@@ -1,0 +1,91 @@
+// Ablation: the Eq. (5) hypervolume-fitness GA vs NSGA-II as the design-time
+// system-level MOEA, at an equal evaluation budget, plus the effect of the
+// paper's GA operator probabilities (pc = 0.7, pm = 0.03) vs alternatives.
+//
+// Metric: 3-D hypervolume (energy, makespan, -reliability) of the feasible
+// non-dominated archive w.r.t. the QoS/energy reference corner, normalized by
+// the sampled objective ranges.
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "moea/hypervolume.hpp"
+
+namespace {
+
+using namespace clr;
+
+double archive_hypervolume(const moea::ParetoArchive& archive, const std::vector<double>& ref,
+                           const std::vector<double>& lo) {
+  if (archive.empty()) return 0.0;
+  std::vector<std::vector<double>> pts;
+  for (const auto& ind : archive.members()) {
+    std::vector<double> p(ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      p[k] = (ind.eval.objectives[k] - lo[k]) / std::max(ref[k] - lo[k], 1e-12);
+    }
+    pts.push_back(std::move(p));
+  }
+  return moea::hypervolume(pts, std::vector<double>(ref.size(), 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace clr;
+  bench::print_scale_note();
+  std::printf("Ablation: design-time MOEA engine and operator settings\n\n");
+
+  util::TextTable table("archive quality at equal budget (normalized 3-D hypervolume)");
+  table.set_header({"tasks", "HvGa (Eq.5)", "NSGA-II", "HvGa pc=0.9/pm=0.1", "HvGa pc=0.5/pm=0.01"});
+
+  for (std::size_t n : {15ul, 30ul, 60ul}) {
+    const auto app = exp::make_synthetic_app(n, exp::derive_seed(0xAB5E, n));
+    util::Rng spec_rng(exp::derive_seed(0xAB5E ^ 1u, n));
+    const auto spec =
+        exp::derive_spec(app->context(), dse::ObjectiveMode::EnergyQos, 64, 0.85, 0.10, spec_rng);
+    dse::MappingProblem problem(app->context(), spec, dse::ObjectiveMode::EnergyQos);
+
+    // Objective box for normalization + reference corner.
+    std::vector<double> lo(3, 1e300), hi(3, -1e300);
+    for (int s = 0; s < 96; ++s) {
+      const auto eval = problem.evaluate(problem.random_genes(spec_rng));
+      for (int k = 0; k < 3; ++k) {
+        lo[k] = std::min(lo[k], eval.objectives[k]);
+        hi[k] = std::max(hi[k], eval.objectives[k]);
+      }
+    }
+    const std::vector<double> ref{hi[0], spec.max_makespan, -spec.min_func_rel};
+    std::vector<double> scale(3);
+    for (int k = 0; k < 3; ++k) scale[k] = 1.0 / std::max(hi[k] - lo[k], 1e-12);
+
+    moea::GaParams paper_params;  // pc = 0.7, pm = 0.03, tournament 5
+    paper_params.population = 64;
+    paper_params.generations = 60;
+
+    auto run_hvga = [&](moea::GaParams params) {
+      util::Rng rng(exp::derive_seed(0xAB5E ^ 2u, n));
+      return moea::HvGa(params, ref, scale).run(problem, rng).archive;
+    };
+    auto run_nsga = [&]() {
+      util::Rng rng(exp::derive_seed(0xAB5E ^ 2u, n));
+      return moea::Nsga2(paper_params).run(problem, rng).archive;
+    };
+
+    moea::GaParams aggressive = paper_params;
+    aggressive.crossover_prob = 0.9;
+    aggressive.mutation_prob = 0.10;
+    moea::GaParams timid = paper_params;
+    timid.crossover_prob = 0.5;
+    timid.mutation_prob = 0.01;
+
+    table.add_row({std::to_string(n),
+                   util::TextTable::fmt(archive_hypervolume(run_hvga(paper_params), ref, lo), 3),
+                   util::TextTable::fmt(archive_hypervolume(run_nsga(), ref, lo), 3),
+                   util::TextTable::fmt(archive_hypervolume(run_hvga(aggressive), ref, lo), 3),
+                   util::TextTable::fmt(archive_hypervolume(run_hvga(timid), ref, lo), 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: both engines find comparable fronts; the paper's operator\n"
+              "settings (pc=0.7, pm=0.03) are competitive with the alternatives.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: does HEFT seeding of the system-level GA pay off?
+// Compares the design-time front (normalized 3-D hypervolume and best
+// makespan) with and without the constructive seed, at small GA budgets
+// where convergence speed matters most.
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "moea/hypervolume.hpp"
+#include "schedule/heft.hpp"
+
+int main() {
+  using namespace clr;
+  bench::print_scale_note();
+  std::printf("Ablation: HEFT seeding of the design-time GA\n\n");
+
+  util::TextTable table("front quality with/without the HEFT seed");
+  table.set_header({"tasks", "generations", "HV seeded", "HV unseeded", "best Sapp seeded",
+                    "best Sapp unseeded", "HEFT Sapp"});
+
+  for (std::size_t n : {20ul, 50ul, 80ul}) {
+    const auto app = exp::make_synthetic_app(n, exp::derive_seed(0xAB8F, n));
+    util::Rng spec_rng(exp::derive_seed(0xAB8F ^ 1u, n));
+    const auto spec =
+        exp::derive_spec(app->context(), dse::ObjectiveMode::EnergyQos, 64, 0.85, 0.10, spec_rng);
+    dse::MappingProblem problem(app->context(), spec, dse::ObjectiveMode::EnergyQos);
+    recfg::ReconfigModel reconfig(app->platform(), app->impls());
+
+    const double heft_makespan =
+        sched::ListScheduler{}.run(app->context(), sched::heft_seed(app->context())).makespan;
+
+    for (std::size_t gens : {15ul, 60ul}) {
+      dse::DseConfig cfg;
+      cfg.base_ga.population = 48;
+      cfg.base_ga.generations = gens;
+      auto run_variant = [&](bool seeded) {
+        dse::DseConfig variant = cfg;
+        variant.heft_seeding = seeded;
+        dse::DesignTimeDse flow(problem, reconfig, variant);
+        util::Rng rng(exp::derive_seed(0xAB8F ^ 2u, n));
+        return flow.run_base(rng);
+      };
+      const auto with_seed = run_variant(true);
+      const auto without_seed = run_variant(false);
+
+      // Shared normalization across the two fronts.
+      auto collect = [](const dse::DesignDb& db) {
+        std::vector<std::vector<double>> pts;
+        for (const auto& p : db.points()) pts.push_back({p.energy, p.makespan, -p.func_rel});
+        return pts;
+      };
+      auto pts_a = collect(with_seed);
+      auto pts_b = collect(without_seed);
+      std::vector<double> lo(3, 1e300), hi(3, -1e300);
+      for (const auto* pts : {&pts_a, &pts_b}) {
+        for (const auto& p : *pts) {
+          for (int k = 0; k < 3; ++k) {
+            lo[k] = std::min(lo[k], p[k]);
+            hi[k] = std::max(hi[k], p[k]);
+          }
+        }
+      }
+      auto norm_hv = [&](std::vector<std::vector<double>> pts) {
+        for (auto& p : pts) {
+          for (int k = 0; k < 3; ++k) p[k] = (p[k] - lo[k]) / std::max(hi[k] - lo[k], 1e-12);
+        }
+        return moea::hypervolume(pts, {1.05, 1.05, 1.05});
+      };
+      auto best_makespan = [](const dse::DesignDb& db) {
+        double best = 1e300;
+        for (const auto& p : db.points()) best = std::min(best, p.makespan);
+        return best;
+      };
+      table.add_row({std::to_string(n), std::to_string(gens),
+                     util::TextTable::fmt(norm_hv(std::move(pts_a)), 3),
+                     util::TextTable::fmt(norm_hv(std::move(pts_b)), 3),
+                     util::TextTable::fmt(best_makespan(with_seed), 1),
+                     util::TextTable::fmt(best_makespan(without_seed), 1),
+                     util::TextTable::fmt(heft_makespan, 1)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: the seeded GA reaches tighter makespans (at or below the raw\n"
+              "HEFT point, which carries no reliability) especially at small budgets.\n");
+  return 0;
+}

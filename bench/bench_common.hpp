@@ -1,0 +1,114 @@
+#pragma once
+// Shared setup for the table/figure reproduction harnesses.
+//
+// Scaling: the paper simulates one million application execution cycles per
+// Monte-Carlo run (§5.2). The default here is 200k cycles so the whole bench
+// suite finishes in a couple of minutes; set CLR_FULL=1 in the environment to
+// run the paper-scale experiments.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "experiments/flow.hpp"
+
+namespace clr::bench {
+
+/// True when the CLR_FULL environment switch asks for paper-scale runs.
+inline bool full_scale() {
+  const char* env = std::getenv("CLR_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Monte-Carlo horizon (application cycles).
+inline double sim_cycles() { return full_scale() ? 1e6 : 2e5; }
+
+/// The task counts of the paper's sweeps (Tables 4-7).
+inline const std::vector<std::size_t>& paper_task_counts() {
+  static const std::vector<std::size_t> counts{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  return counts;
+}
+
+/// Design-time GA parameters per §5.1, sized for bench runtimes.
+inline dse::DseConfig bench_dse_config(std::size_t num_tasks) {
+  dse::DseConfig cfg;
+  cfg.base_ga.population = 64;
+  cfg.base_ga.generations = num_tasks <= 40 ? 60 : 80;
+  cfg.red_ga.population = 32;
+  cfg.red_ga.generations = 24;
+  cfg.max_red_seeds = 12;
+  return cfg;
+}
+
+/// Run the full design-time flow for one synthetic application.
+struct PreparedApp {
+  std::unique_ptr<exp::AppInstance> app;
+  exp::FlowResult flow;
+  dse::MetricRanges qos_box;
+};
+
+inline PreparedApp prepare_app(std::size_t num_tasks, std::uint64_t experiment_tag,
+                               dse::ObjectiveMode mode = dse::ObjectiveMode::EnergyQos) {
+  PreparedApp prepared;
+  prepared.app = exp::make_synthetic_app(num_tasks, exp::derive_seed(experiment_tag, num_tasks));
+  exp::FlowParams params;
+  params.dse = bench_dse_config(num_tasks);
+  params.mode = mode;
+  util::Rng rng(exp::derive_seed(experiment_tag ^ 0xD5Eu, num_tasks));
+  prepared.flow = exp::run_design_flow(*prepared.app, params, rng);
+  prepared.qos_box = exp::qos_ranges(prepared.flow);
+  return prepared;
+}
+
+/// Runtime evaluation with the bench horizon.
+inline rt::RuntimeStats run_policy(const PreparedApp& prepared, const dse::DesignDb& db,
+                                   exp::PolicyKind kind, double p_rc, std::uint64_t seed,
+                                   std::size_t trace_events = 0) {
+  exp::RuntimeEvalParams params;
+  params.kind = kind;
+  params.p_rc = p_rc;
+  params.sim.total_cycles = sim_cycles();
+  params.sim.trace_events = trace_events;
+  return exp::evaluate_policy(*prepared.app, db, prepared.qos_box, params, seed);
+}
+
+/// Runtime evaluation averaged over several Monte-Carlo seeds (smooths the
+/// single-trajectory noise of greedy adaptation).
+inline rt::RuntimeStats run_policy_avg(const PreparedApp& prepared, const dse::DesignDb& db,
+                                       exp::PolicyKind kind, double p_rc, std::uint64_t seed,
+                                       std::size_t repeats = 3) {
+  rt::RuntimeStats acc;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto s = run_policy(prepared, db, kind, p_rc, seed + 0x9e37 * (r + 1));
+    acc.total_cycles += s.total_cycles;
+    acc.num_events += s.num_events;
+    acc.num_reconfigs += s.num_reconfigs;
+    acc.num_infeasible_events += s.num_infeasible_events;
+    acc.avg_energy += s.avg_energy / static_cast<double>(repeats);
+    acc.total_reconfig_cost += s.total_reconfig_cost;
+    acc.max_drc = std::max(acc.max_drc, s.max_drc);
+  }
+  acc.avg_reconfig_cost = acc.num_events > 0
+                              ? acc.total_reconfig_cost / static_cast<double>(acc.num_events)
+                              : 0.0;
+  return acc;
+}
+
+/// Percentage reduction of `ours` vs `theirs` (positive = we are lower).
+inline double pct_reduction(double theirs, double ours) {
+  if (theirs <= 0.0) return 0.0;
+  return 100.0 * (theirs - ours) / theirs;
+}
+
+/// Percentage increase of `ours` vs `base` (positive = we are higher).
+inline double pct_increase(double base, double ours) {
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (ours - base) / base;
+}
+
+inline void print_scale_note() {
+  std::printf("[scale] %s Monte-Carlo horizon: %.0f cycles (CLR_FULL=%d)\n",
+              full_scale() ? "paper-scale" : "bench-scale", sim_cycles(), full_scale() ? 1 : 0);
+}
+
+}  // namespace clr::bench

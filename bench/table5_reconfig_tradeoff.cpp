@@ -1,0 +1,54 @@
+// Table 5 reproduction: on a single set of design points (the ReD database),
+// compare reconfiguration-cost minimization (uRA with pRC = 0) against
+// performance maximization (pRC = 1):
+//   row 1 — % reduction in average reconfiguration cost,
+//   row 2 — % increase in average energy consumption (the price paid).
+//
+// Paper reference values:
+//   reduction: 38 45 28  8 51 44 30 49 43 39
+//   increase:  10 13  4  0  4  1  0  2  2  2
+// Expected shape: large cost reductions at a small single-digit-ish energy
+// premium.
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace clr;
+  bench::print_scale_note();
+  std::printf(
+      "Table 5: reconfiguration-cost minimization (pRC=0) vs performance maximization (pRC=1)\n"
+      "on a single design-point set (the Pareto database)\n\n");
+
+  util::TextTable table;
+  std::vector<std::string> header{"Number of Tasks"};
+  std::vector<std::string> row_cost{"% Reduction in Avg Reconfiguration cost"};
+  std::vector<std::string> row_energy{"% Increase in Avg Energy Consumption"};
+
+  for (std::size_t n : bench::paper_task_counts()) {
+    const auto prepared = bench::prepare_app(n, /*tag=*/0x7ab1e5);
+    const std::uint64_t seed = exp::derive_seed(0x7ab1e5u ^ 0xffu, n);
+
+    const auto perf = bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura,
+                                        /*p_rc=*/1.0, seed);
+    const auto cost = bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura,
+                                        /*p_rc=*/0.0, seed);
+
+    header.push_back(std::to_string(n));
+    row_cost.push_back(util::TextTable::fmt(
+        bench::pct_reduction(perf.avg_reconfig_cost, cost.avg_reconfig_cost), 1));
+    row_energy.push_back(
+        util::TextTable::fmt(bench::pct_increase(perf.avg_energy, cost.avg_energy), 1));
+    std::printf("  [n=%3zu] pRC=1: J=%.2f dRC=%.3f | pRC=0: J=%.2f dRC=%.3f\n", n,
+                perf.avg_energy, perf.avg_reconfig_cost, cost.avg_energy,
+                cost.avg_reconfig_cost);
+  }
+
+  table.set_header(header);
+  table.add_row(row_cost);
+  table.add_row(row_energy);
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\npaper (Table 5): reduction 38 45 28 8 51 44 30 49 43 39; increase 10 13 4 0 4 1 0 2 2 2\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 6 reproduction: percentage improvements using the ReD database over
+// BaseD at the relevant pRC extremes:
+//   row 1 — % reduction in average reconfiguration cost at pRC = 0,
+//   row 2 — % reduction in average energy consumption at pRC = 1.
+//
+// Paper reference values:
+//   cost (pRC=0):   19.6 26.0 4.6 0.2 0.2 0.1 4.0 9.0 7.3 1.7
+//   energy (pRC=1): 36.8 27.5 0.0 0.0 0.8 0.0 3.9 3.5 0.0 0.0
+// Expected shape: non-negative improvements, a few large entries, several
+// near-zero ones (extras do not always help).
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace clr;
+  bench::print_scale_note();
+  std::printf("Table 6: %% improvements using ReD compared to BaseD at the relevant pRC\n\n");
+
+  util::TextTable table;
+  std::vector<std::string> header{"Number of Tasks"};
+  std::vector<std::string> row_cost{"% Reduction in Avg Reconfiguration cost (pRC=0)"};
+  std::vector<std::string> row_energy{"% Reduction in Avg Energy Consumption (pRC=1)"};
+
+  for (std::size_t n : bench::paper_task_counts()) {
+    const auto prepared = bench::prepare_app(n, /*tag=*/0x7ab1e6);
+    const std::uint64_t seed = exp::derive_seed(0x7ab1e6u ^ 0xffu, n);
+
+    const auto based_cost =
+        bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura, 0.0, seed);
+    const auto red_cost =
+        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0, seed);
+    const auto based_energy =
+        bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura, 1.0, seed);
+    const auto red_energy =
+        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 1.0, seed);
+
+    header.push_back(std::to_string(n));
+    row_cost.push_back(util::TextTable::fmt(
+        bench::pct_reduction(based_cost.avg_reconfig_cost, red_cost.avg_reconfig_cost), 1));
+    row_energy.push_back(util::TextTable::fmt(
+        bench::pct_reduction(based_energy.avg_energy, red_energy.avg_energy), 1));
+    std::printf(
+        "  [n=%3zu] pRC=0 dRC: BaseD %.3f / ReD %.3f | pRC=1 J: BaseD %.2f / ReD %.2f\n", n,
+        based_cost.avg_reconfig_cost, red_cost.avg_reconfig_cost, based_energy.avg_energy,
+        red_energy.avg_energy);
+  }
+
+  table.set_header(header);
+  table.add_row(row_cost);
+  table.add_row(row_energy);
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf(
+      "\npaper (Table 6): cost 19.6 26.0 4.6 0.2 0.2 0.1 4.0 9.0 7.3 1.7; "
+      "energy 36.8 27.5 0.0 0.0 0.8 0.0 3.9 3.5 0.0 0.0\n");
+  return 0;
+}

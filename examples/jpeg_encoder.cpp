@@ -1,0 +1,112 @@
+// JPEG-encoder case study (the application of Fig. 2b): explores how
+// cross-layer reliability configurations move the encoder along the
+// energy / reliability / makespan trade-off, first for hand-picked CLR
+// configurations on a fixed mapping, then with the full design-time DSE.
+//
+// Build & run:  ./build/examples/jpeg_encoder
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "experiments/flow.hpp"
+#include "schedule/gantt.hpp"
+
+namespace {
+
+using namespace clr;
+
+/// Fixed reference mapping: every task on its fastest compatible PE, with a
+/// uniform CLR configuration applied to all tasks.
+sched::Configuration uniform_clr_mapping(const exp::AppInstance& app, std::size_t clr_index) {
+  const auto& ctx = app.context();
+  sched::Configuration cfg;
+  cfg.tasks.resize(app.graph().num_tasks());
+  for (tg::TaskId t = 0; t < app.graph().num_tasks(); ++t) {
+    double best_time = 1e300;
+    for (const auto& pe : app.platform().pes()) {
+      for (std::size_t i : app.impls().compatible_with(t, pe.type)) {
+        const double time =
+            app.impls().for_task(t)[i].base_time * app.platform().type_of(pe.id).perf_factor;
+        if (time < best_time) {
+          best_time = time;
+          cfg[t].pe = pe.id;
+          cfg[t].impl_index = static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+    cfg[t].clr_index = static_cast<std::uint32_t>(clr_index % ctx.clr_space->size());
+    cfg[t].priority = static_cast<std::int32_t>(app.graph().num_tasks() - t);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace clr;
+  std::printf("== JPEG encoder (Fig. 2b): cross-layer reliability trade-offs ==\n\n");
+
+  const auto app = exp::make_jpeg_app(/*seed=*/2019);
+  std::printf("task graph: %zu tasks, %zu edges (S -> 4x(D,H) -> Q -> Z), period %.0f\n\n",
+              app->graph().num_tasks(), app->graph().num_edges(), app->graph().period());
+
+  // --- Part 1: uniform CLR configurations on the fastest mapping. ---
+  sched::ListScheduler scheduler;
+  util::TextTable sweep("uniform CLR configuration on the fastest mapping");
+  sweep.set_header({"CLR configuration", "Sapp", "Fapp", "err %", "Wapp", "Japp"});
+  const auto& space = app->clr_space();
+  // A representative sample: unprotected, each single layer, two combos.
+  for (std::size_t idx : std::vector<std::size_t>{0, 1, 2, 3, 8, 20}) {
+    if (idx >= space.size()) continue;
+    const auto cfg = uniform_clr_mapping(*app, idx);
+    const auto res = scheduler.run(app->context(), cfg);
+    sweep.add_row({rel::to_string(space.config(idx)), util::TextTable::fmt(res.makespan, 1),
+                   util::TextTable::fmt(res.func_rel, 5),
+                   util::TextTable::fmt(100.0 * res.error_rate(), 3),
+                   util::TextTable::fmt(res.peak_power, 2), util::TextTable::fmt(res.energy, 1)});
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+
+  // --- Part 2: full hybrid design-time DSE. ---
+  exp::FlowParams params;
+  params.dse.base_ga.population = 64;
+  params.dse.base_ga.generations = 80;
+  util::Rng rng(99);
+  const auto flow = exp::run_design_flow(*app, params, rng);
+  std::printf("design-time DSE\n  BaseD: %s\n  ReD:   %s\n\n", flow.based.summary().c_str(),
+              flow.red.summary().c_str());
+
+  util::TextTable front("stored design points ('>' = reconfiguration-cost-aware extra)");
+  front.set_header({"", "Sapp", "Fapp", "Japp"});
+  for (const auto& p : flow.red.points()) {
+    front.add_row({p.extra ? ">" : "*", util::TextTable::fmt(p.makespan, 1),
+                   util::TextTable::fmt(p.func_rel, 5), util::TextTable::fmt(p.energy, 1)});
+  }
+  std::printf("%s\n", front.to_string().c_str());
+
+  // --- Part 3: run-time adaptation on the encoder. ---
+  exp::RuntimeEvalParams rt_params;
+  rt_params.kind = exp::PolicyKind::Ura;
+  rt_params.sim.total_cycles = 1e5;
+  util::TextTable rt_table("run-time adaptation (100k cycles)");
+  rt_table.set_header({"pRC", "avg energy", "avg dRC/event", "#reconfigs"});
+  for (double p_rc : {0.0, 0.5, 1.0}) {
+    rt_params.p_rc = p_rc;
+    const auto stats = exp::evaluate_policy(*app, flow.red, exp::qos_ranges(flow), rt_params, 7);
+    rt_table.add_row({util::TextTable::fmt(p_rc, 1), util::TextTable::fmt(stats.avg_energy, 1),
+                      util::TextTable::fmt(stats.avg_reconfig_cost, 2),
+                      std::to_string(stats.num_reconfigs)});
+  }
+  std::printf("%s\n", rt_table.to_string().c_str());
+
+  // Bonus: where does the best-energy stored point place the pipeline?
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < flow.red.size(); ++i) {
+    if (flow.red.point(i).energy < flow.red.point(best).energy) best = i;
+  }
+  const auto& best_cfg = flow.red.point(best).config;
+  const auto best_res = scheduler.run(app->context(), best_cfg);
+  std::printf("Gantt of the lowest-energy stored point:\n%s\ndone.\n",
+              sched::render_gantt(app->context(), best_cfg, best_res).c_str());
+  return 0;
+}

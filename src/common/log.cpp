@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace clr::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace clr::util

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger. Off by default in benches/tests; examples turn on
+// Info to narrate the flow.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace clr::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit a log line like "[info] message" to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info) log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error) log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace clr::util

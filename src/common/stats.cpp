@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+namespace clr::util {
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double min_max_norm(double x, double lo, double hi) {
+  const double range = hi - lo;
+  if (range <= 0.0) return 0.0;
+  return std::clamp((x - lo) / range, 0.0, 1.0);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  if (x < lo_ || x >= hi_) return;  // out-of-range samples are dropped
+  const auto idx = static_cast<std::size_t>((x - lo_) / width);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+}  // namespace clr::util

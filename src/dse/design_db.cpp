@@ -1,0 +1,96 @@
+#include "dse/design_db.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace clr::dse {
+
+std::size_t DesignDb::add(DesignPoint point) {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].config == point.config) return i;
+  }
+  points_.push_back(std::move(point));
+  return points_.size() - 1;
+}
+
+std::vector<std::size_t> DesignDb::feasible_indices(const QosSpec& spec) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].feasible_for(spec)) result.push_back(i);
+  }
+  return result;
+}
+
+std::size_t DesignDb::least_violating(const QosSpec& spec) const {
+  if (points_.empty()) throw std::logic_error("DesignDb::least_violating: empty database");
+  std::size_t best = 0;
+  double best_violation = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    double v = 0.0;
+    if (p.makespan > spec.max_makespan) {
+      v += (p.makespan - spec.max_makespan) / spec.max_makespan;
+    }
+    if (p.func_rel < spec.min_func_rel) {
+      v += (spec.min_func_rel - p.func_rel) / std::max(spec.min_func_rel, 1e-9);
+    }
+    if (v < best_violation) {
+      best_violation = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+MetricRanges DesignDb::ranges() const {
+  MetricRanges r;
+  if (points_.empty()) return r;
+  r.energy_min = r.energy_max = points_.front().energy;
+  r.makespan_min = r.makespan_max = points_.front().makespan;
+  r.func_rel_min = r.func_rel_max = points_.front().func_rel;
+  for (const auto& p : points_) {
+    r.energy_min = std::min(r.energy_min, p.energy);
+    r.energy_max = std::max(r.energy_max, p.energy);
+    r.makespan_min = std::min(r.makespan_min, p.makespan);
+    r.makespan_max = std::max(r.makespan_max, p.makespan);
+    r.func_rel_min = std::min(r.func_rel_min, p.func_rel);
+    r.func_rel_max = std::max(r.func_rel_max, p.func_rel);
+  }
+  return r;
+}
+
+std::size_t DesignDb::num_extra() const {
+  return static_cast<std::size_t>(
+      std::count_if(points_.begin(), points_.end(), [](const DesignPoint& p) { return p.extra; }));
+}
+
+std::vector<sched::Configuration> DesignDb::configurations() const {
+  std::vector<sched::Configuration> result;
+  result.reserve(points_.size());
+  for (const auto& p : points_) result.push_back(p.config);
+  return result;
+}
+
+DesignDb DesignDb::without_pe(plat::PeId failed_pe) const {
+  DesignDb survivor;
+  for (const auto& p : points_) {
+    const bool uses_failed = std::any_of(
+        p.config.tasks.begin(), p.config.tasks.end(),
+        [&](const sched::TaskAssignment& a) { return a.pe == failed_pe; });
+    if (!uses_failed) survivor.add(p);
+  }
+  return survivor;
+}
+
+std::string DesignDb::summary() const {
+  const MetricRanges r = ranges();
+  std::ostringstream oss;
+  oss << points_.size() << " points (" << num_extra() << " extra), S in [" << r.makespan_min
+      << ", " << r.makespan_max << "], F in [" << r.func_rel_min << ", " << r.func_rel_max
+      << "], J in [" << r.energy_min << ", " << r.energy_max << "]";
+  return oss.str();
+}
+
+}  // namespace clr::dse

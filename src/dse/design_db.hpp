@@ -1,0 +1,78 @@
+#pragma once
+// Stored design-point database — the artifact the design-time stage hands to
+// the run-time agent (Fig. 3 "Design points database"). BaseD holds only the
+// Pareto front; ReD additionally holds the reconfiguration-cost-aware
+// non-dominant points of §4.2.1 (flagged `extra`).
+
+#include <string>
+#include <vector>
+
+#include "dse/mapping_problem.hpp"
+#include "schedule/configuration.hpp"
+
+namespace clr::dse {
+
+/// One stored design point with its cached QoS/performance metrics.
+struct DesignPoint {
+  sched::Configuration config;
+  double energy = 0.0;     ///< Japp (R = -Japp)
+  double makespan = 0.0;   ///< Sapp
+  double func_rel = 0.0;   ///< Fapp
+  /// True for ReD's additional reconfiguration-cost-aware points.
+  bool extra = false;
+
+  bool feasible_for(const QosSpec& spec) const {
+    return spec.satisfied_by(makespan, func_rel);
+  }
+};
+
+/// Observed metric ranges over a database (for min-max normalization and for
+/// deriving the run-time QoS process).
+struct MetricRanges {
+  double energy_min = 0.0, energy_max = 0.0;
+  double makespan_min = 0.0, makespan_max = 0.0;
+  double func_rel_min = 0.0, func_rel_max = 0.0;
+};
+
+class DesignDb {
+ public:
+  DesignDb() = default;
+
+  /// Add a point; rejects exact configuration duplicates. Returns the index
+  /// of the stored (or pre-existing) point.
+  std::size_t add(DesignPoint point);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const DesignPoint& point(std::size_t i) const { return points_.at(i); }
+  const std::vector<DesignPoint>& points() const { return points_; }
+
+  /// Indices of points satisfying `spec` (the FEAS set of Algorithm 1).
+  std::vector<std::size_t> feasible_indices(const QosSpec& spec) const;
+
+  /// Index of the point minimizing total relative QoS violation — the
+  /// fallback when no stored point satisfies the new spec.
+  std::size_t least_violating(const QosSpec& spec) const;
+
+  /// Metric ranges over all stored points.
+  MetricRanges ranges() const;
+
+  /// Number of `extra` (ReD) points.
+  std::size_t num_extra() const;
+
+  /// All stored configurations (the reconfiguration targets for avg-dRC).
+  std::vector<sched::Configuration> configurations() const;
+
+  /// Database restricted to points that do not bind any task to `failed_pe`
+  /// — the run-time reaction to a permanent PE fault (§4: "a permanent fault
+  /// to one of the PEs resulting in reduced resource availability").
+  DesignDb without_pe(plat::PeId failed_pe) const;
+
+  /// Human-readable summary ("N points (M extra), S in [..], F in [..]").
+  std::string summary() const;
+
+ private:
+  std::vector<DesignPoint> points_;
+};
+
+}  // namespace clr::dse

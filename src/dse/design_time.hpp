@@ -1,0 +1,111 @@
+#pragma once
+// Design/compile-time exploration (paper §4.2, Fig. 3 left):
+//
+//  1. System-level MOEA — a hypervolume-fitness GA (Eq. 5 / Fig. 4a) over the
+//     CLR-integrated mapping space, producing the Pareto-front database
+//     **BaseD** (the [11]-style baseline).
+//  2. Reconfiguration-cost-aware MOEA (**ReD**, §4.2.1) — for every BaseD
+//     point, a secondary MOEA seeded at that point searches for additional
+//     non-dominant points within a QoS/performance degradation tolerance
+//     whose *average dRC to the optimal set* is lower, i.e. points that are
+//     cheap to reach at run-time (the F''_Op of Fig. 4b).
+
+#include "dse/design_db.hpp"
+#include "dse/mapping_problem.hpp"
+#include "moea/hvga.hpp"
+#include "moea/nsga2.hpp"
+#include "reconfig/reconfig.hpp"
+
+namespace clr::dse {
+
+/// Parameters for the two design-time stages. GA operator probabilities
+/// default to the paper's §5.1 values (0.7 / 0.03 / tournament 5).
+struct DseConfig {
+  moea::GaParams base_ga{.population = 80, .generations = 120};
+  moea::GaParams red_ga{.population = 40, .generations = 40};
+  /// Makespan degradation tolerated by a ReD point vs its seed, as a
+  /// fraction of the BaseD front's makespan band. Kept moderate: an extra
+  /// must satisfy (almost) the same QoS demands as its seed, otherwise it is
+  /// never feasible exactly when the run-time needs a cheap target
+  /// (Fig. 4b: F''_Op meets the constraints of S').
+  double tol_makespan_band = 0.35;
+  /// Functional-reliability degradation tolerated vs the seed, as a fraction
+  /// of the BaseD front's reliability band.
+  double tol_func_rel_band = 0.35;
+  /// Relative energy (R) degradation tolerated by a ReD point vs its seed.
+  /// This is where most of the slack lives: paying some energy for cheap
+  /// reachability is the ReD trade.
+  double tol_energy = 0.25;
+  /// Extra points kept per BaseD seed from EACH end of the secondary front
+  /// (cheapest average dRC, lowest energy).
+  std::size_t extras_per_seed = 2;
+  /// Cap on BaseD seeds explored by the ReD stage (storage constraint input
+  /// of Fig. 3); all are explored when the front is smaller.
+  std::size_t max_red_seeds = 16;
+  /// Random configurations sampled to calibrate the Eq. (5) reference point
+  /// and objective scales.
+  std::size_t calibration_samples = 64;
+  /// Seed the system-level GA with a HEFT-constructed mapping (upward-rank
+  /// priorities + EFT-greedy binding, unprotected CLR). Accelerates
+  /// convergence on the makespan-tight corner of the front.
+  bool heft_seeding = true;
+  /// Storage budget for the BaseD database (Fig. 3 "Storage Constraints"):
+  /// when the raw Pareto front is larger it is thinned to this many points,
+  /// keeping objective-space extremes and the best-spread (crowding) points.
+  std::size_t max_base_points = 28;
+};
+
+/// The secondary ReD optimization problem: minimize (avg dRC to the BaseD
+/// set, Japp) subject to the global QoS spec and the per-seed degradation
+/// tolerances.
+class RedProblem : public moea::Problem {
+ public:
+  RedProblem(const MappingProblem& mapping, const recfg::ReconfigModel& reconfig,
+             std::vector<sched::Configuration> base_configs, const DesignPoint& seed,
+             const MetricRanges& base_ranges, const DseConfig& cfg);
+
+  std::size_t num_genes() const override { return mapping_->num_genes(); }
+  int domain_size(std::size_t locus) const override { return mapping_->domain_size(locus); }
+  std::size_t num_objectives() const override { return 2; }
+  moea::Evaluation evaluate(const std::vector<int>& genes) const override;
+
+ private:
+  const MappingProblem* mapping_;
+  const recfg::ReconfigModel* reconfig_;
+  std::vector<sched::Configuration> base_configs_;
+  DesignPoint seed_;
+  MetricRanges base_ranges_;
+  const DseConfig* cfg_;
+};
+
+/// Orchestrates both design-time stages for one application.
+class DesignTimeDse {
+ public:
+  DesignTimeDse(const MappingProblem& problem, const recfg::ReconfigModel& reconfig,
+                DseConfig cfg = {});
+
+  /// Stage 1: Pareto-front database (BaseD).
+  DesignDb run_base(util::Rng& rng) const;
+
+  /// Stage 2: BaseD plus the reconfiguration-cost-aware extras (ReD).
+  DesignDb run_red(const DesignDb& base, util::Rng& rng) const;
+
+  /// Convenience: both stages.
+  struct Result {
+    DesignDb based;
+    DesignDb red;
+  };
+  Result run(util::Rng& rng) const;
+
+  /// Build a fully-evaluated design point from a configuration.
+  DesignPoint make_point(const sched::Configuration& cfg, bool extra = false) const;
+
+  const DseConfig& config() const { return cfg_; }
+
+ private:
+  const MappingProblem* problem_;
+  const recfg::ReconfigModel* reconfig_;
+  DseConfig cfg_;
+};
+
+}  // namespace clr::dse

@@ -1,0 +1,129 @@
+#include "dse/mapping_problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clr::dse {
+
+MappingProblem::MappingProblem(const sched::EvalContext& ctx, QosSpec spec, ObjectiveMode mode,
+                               std::vector<plat::PeId> excluded_pes)
+    : ctx_(&ctx), spec_(spec), mode_(mode), num_tasks_(ctx.graph->num_tasks()) {
+  ctx.check();
+  if (spec.max_makespan <= 0.0) throw std::invalid_argument("MappingProblem: SSPEC must be > 0");
+  if (spec.min_func_rel < 0.0 || spec.min_func_rel > 1.0) {
+    throw std::invalid_argument("MappingProblem: FSPEC must be in [0,1]");
+  }
+
+  allowed_pes_.resize(num_tasks_);
+  compat_impls_.resize(num_tasks_);
+  for (tg::TaskId t = 0; t < num_tasks_; ++t) {
+    for (const auto& pe : ctx.platform->pes()) {
+      if (std::find(excluded_pes.begin(), excluded_pes.end(), pe.id) != excluded_pes.end()) {
+        continue;
+      }
+      auto compat = ctx.impls->compatible_with(t, pe.type);
+      if (compat.empty()) continue;
+      allowed_pes_[t].push_back(pe.id);
+      compat_impls_[t].push_back(std::move(compat));
+    }
+    if (allowed_pes_[t].empty()) {
+      throw std::invalid_argument("MappingProblem: task has no runnable PE");
+    }
+  }
+}
+
+int MappingProblem::domain_size(std::size_t locus) const {
+  const std::size_t t = locus / 4;
+  if (t >= num_tasks_) throw std::out_of_range("MappingProblem: locus out of range");
+  switch (locus % 4) {
+    case 0:  // PE slot
+      return static_cast<int>(allowed_pes_[t].size());
+    case 1: {  // implementation slot (decoded modulo the bound PE's count)
+      std::size_t max_c = 1;
+      for (const auto& c : compat_impls_[t]) max_c = std::max(max_c, c.size());
+      return static_cast<int>(max_c);
+    }
+    case 2:  // CLR configuration
+      return static_cast<int>(ctx_->clr_space->size());
+    default:  // priority
+      return static_cast<int>(num_tasks_);
+  }
+}
+
+sched::Configuration MappingProblem::decode(const std::vector<int>& genes) const {
+  if (genes.size() != num_genes()) throw std::invalid_argument("decode: gene count mismatch");
+  sched::Configuration cfg;
+  cfg.tasks.resize(num_tasks_);
+  for (tg::TaskId t = 0; t < num_tasks_; ++t) {
+    const int g_pe = genes[4 * t];
+    const int g_impl = genes[4 * t + 1];
+    const int g_clr = genes[4 * t + 2];
+    const int g_prio = genes[4 * t + 3];
+
+    const auto slot = static_cast<std::size_t>(g_pe) % allowed_pes_[t].size();
+    const auto& compat = compat_impls_[t][slot];
+    sched::TaskAssignment& a = cfg[t];
+    a.pe = allowed_pes_[t][slot];
+    a.impl_index = static_cast<std::uint32_t>(compat[static_cast<std::size_t>(g_impl) % compat.size()]);
+    a.clr_index = static_cast<std::uint32_t>(static_cast<std::size_t>(g_clr) % ctx_->clr_space->size());
+    a.priority = g_prio;
+  }
+  return cfg;
+}
+
+std::vector<int> MappingProblem::encode(const sched::Configuration& cfg) const {
+  if (cfg.size() != num_tasks_) throw std::invalid_argument("encode: configuration size mismatch");
+  std::vector<int> genes(num_genes(), 0);
+  for (tg::TaskId t = 0; t < num_tasks_; ++t) {
+    const auto& a = cfg[t];
+    const auto& pes = allowed_pes_[t];
+    const auto it = std::find(pes.begin(), pes.end(), a.pe);
+    if (it == pes.end()) throw std::invalid_argument("encode: PE not allowed for task");
+    const auto slot = static_cast<std::size_t>(it - pes.begin());
+    const auto& compat = compat_impls_[t][slot];
+    const auto impl_it = std::find(compat.begin(), compat.end(), a.impl_index);
+    if (impl_it == compat.end()) throw std::invalid_argument("encode: impl not compatible");
+    genes[4 * t] = static_cast<int>(slot);
+    genes[4 * t + 1] = static_cast<int>(impl_it - compat.begin());
+    genes[4 * t + 2] = static_cast<int>(a.clr_index);
+    genes[4 * t + 3] = std::clamp(a.priority, 0, static_cast<int>(num_tasks_) - 1);
+  }
+  return genes;
+}
+
+sched::ScheduleResult MappingProblem::evaluate_schedule(const sched::Configuration& cfg) const {
+  return sched::ListScheduler{}.run(*ctx_, cfg);
+}
+
+std::vector<double> MappingProblem::objectives_of(const sched::ScheduleResult& result) const {
+  switch (mode_) {
+    case ObjectiveMode::EnergyQos:
+      return {result.energy, result.makespan, -result.func_rel};
+    case ObjectiveMode::CspQos:
+      return {result.makespan, -result.func_rel};
+    case ObjectiveMode::EnergyLifetime:
+      return {result.energy, -result.system_mttf};
+  }
+  throw std::logic_error("MappingProblem: unknown objective mode");
+}
+
+moea::Evaluation MappingProblem::evaluate(const std::vector<int>& genes) const {
+  const sched::Configuration cfg = decode(genes);
+  const sched::ScheduleResult result = evaluate_schedule(cfg);
+
+  moea::Evaluation eval;
+  eval.objectives = objectives_of(result);
+
+  // Relative constraint violations against the Eq. (5) reference corner.
+  double violation = 0.0;
+  if (result.makespan > spec_.max_makespan) {
+    violation += (result.makespan - spec_.max_makespan) / spec_.max_makespan;
+  }
+  if (result.func_rel < spec_.min_func_rel) {
+    violation += (spec_.min_func_rel - result.func_rel) / std::max(spec_.min_func_rel, 1e-9);
+  }
+  eval.violation = violation;
+  return eval;
+}
+
+}  // namespace clr::dse

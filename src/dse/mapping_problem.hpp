@@ -1,0 +1,88 @@
+#pragma once
+// The CLR-integrated task-mapping search space of Eq. (4):
+//   Xapp = Π_t (Mt x Ct),  Mt = Pt x It x Qt
+// encoded as 4 integer genes per task: PE binding (restricted to PEs with a
+// compatible implementation), implementation choice, CLR-config index and
+// list-scheduling priority.
+
+#include <vector>
+
+#include "moea/problem.hpp"
+#include "schedule/scheduler.hpp"
+
+namespace clr::dse {
+
+/// QoS specification (SSPEC, FSPEC) of Eq. (4): an upper bound on average
+/// makespan and a lower bound on functional reliability.
+struct QosSpec {
+  double max_makespan = 0.0;  ///< SSPEC
+  double min_func_rel = 0.0;  ///< FSPEC
+
+  bool satisfied_by(double makespan, double func_rel) const {
+    return makespan <= max_makespan && func_rel >= min_func_rel;
+  }
+};
+
+/// Objective layout of the design-time problem.
+enum class ObjectiveMode {
+  /// {Japp, Sapp, -Fapp} — the full Eq. (5) trade-off space.
+  EnergyQos,
+  /// {Sapp, -Fapp} — the constraint-satisfaction variant of §5.2 (R(Xi)=0).
+  CspQos,
+  /// {Japp, -MTTF} under QoS constraints — the lifetime-optimization
+  /// extension the paper suggests ("Other metrics such as MTTF can be added
+  /// to R(Xi) for optimization of system lifetime").
+  EnergyLifetime,
+};
+
+/// moea::Problem adapter over the list-scheduler evaluation.
+class MappingProblem : public moea::Problem {
+ public:
+  /// @param spec the reference QoS corner (max SSPEC / min FSPEC of Eq. 5);
+  ///        configurations beyond it are constraint-violating.
+  /// @param excluded_pes PEs removed from the binding domain — the paper's
+  ///        reduced-resource-availability scenario (a permanent PE fault is
+  ///        "a separate instance of this scenario with ... the number of
+  ///        available PEs", §4). Throws when a task is left without any
+  ///        runnable PE.
+  MappingProblem(const sched::EvalContext& ctx, QosSpec spec, ObjectiveMode mode,
+                 std::vector<plat::PeId> excluded_pes = {});
+
+  std::size_t num_genes() const override { return 4 * num_tasks_; }
+  int domain_size(std::size_t locus) const override;
+  std::size_t num_objectives() const override {
+    return mode_ == ObjectiveMode::EnergyQos ? 3 : 2;  // CspQos/EnergyLifetime: 2
+  }
+  moea::Evaluation evaluate(const std::vector<int>& genes) const override;
+
+  /// Decode a chromosome into a concrete configuration (always valid:
+  /// PE/implementation compatibility is guaranteed by construction).
+  sched::Configuration decode(const std::vector<int>& genes) const;
+
+  /// Inverse of decode (used to seed the ReD stage from BaseD points).
+  /// Throws std::invalid_argument when cfg uses a (pe, impl) pair that the
+  /// encoding cannot express.
+  std::vector<int> encode(const sched::Configuration& cfg) const;
+
+  /// Full schedule evaluation of a decoded configuration.
+  sched::ScheduleResult evaluate_schedule(const sched::Configuration& cfg) const;
+
+  const sched::EvalContext& context() const { return *ctx_; }
+  const QosSpec& spec() const { return spec_; }
+  ObjectiveMode mode() const { return mode_; }
+
+  /// Objective vector for a schedule result under this mode.
+  std::vector<double> objectives_of(const sched::ScheduleResult& result) const;
+
+ private:
+  const sched::EvalContext* ctx_;
+  QosSpec spec_;
+  ObjectiveMode mode_;
+  std::size_t num_tasks_;
+  /// Per task: PEs that have at least one compatible implementation.
+  std::vector<std::vector<plat::PeId>> allowed_pes_;
+  /// Per task / per allowed-PE slot: compatible implementation indices.
+  std::vector<std::vector<std::vector<std::size_t>>> compat_impls_;
+};
+
+}  // namespace clr::dse

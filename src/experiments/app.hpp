@@ -1,0 +1,74 @@
+#pragma once
+// Experiment application instances: bundles one task graph with the platform,
+// implementation sets, CLR space and fault model, and owns their lifetimes so
+// an EvalContext can point into them safely.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/implementation.hpp"
+#include "reliability/metrics.hpp"
+#include "schedule/scheduler.hpp"
+#include "taskgraph/generator.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::exp {
+
+/// Immovable bundle of everything a design-space evaluation needs.
+class AppInstance {
+ public:
+  AppInstance(tg::TaskGraph graph, plat::Platform platform, rel::ClrGranularity granularity,
+              rel::FaultModel fault, rel::ImplGenParams impl_params, std::uint64_t impl_seed);
+
+  /// Same, with an explicit (custom) CLR configuration space.
+  AppInstance(tg::TaskGraph graph, plat::Platform platform, rel::ClrSpace clr_space,
+              rel::FaultModel fault, rel::ImplGenParams impl_params, std::uint64_t impl_seed);
+
+  AppInstance(const AppInstance&) = delete;
+  AppInstance& operator=(const AppInstance&) = delete;
+
+  const tg::TaskGraph& graph() const { return graph_; }
+  const plat::Platform& platform() const { return platform_; }
+  const rel::ImplementationSet& impls() const { return impls_; }
+  const rel::ClrSpace& clr_space() const { return clr_space_; }
+
+  /// Evaluation context wired to this instance's members (valid for the
+  /// lifetime of the AppInstance).
+  const sched::EvalContext& context() const { return ctx_; }
+
+ private:
+  tg::TaskGraph graph_;
+  plat::Platform platform_;
+  rel::ClrSpace clr_space_;
+  rel::ImplementationSet impls_;
+  sched::EvalContext ctx_;
+};
+
+/// Synthetic TGFF-style application of §5.1 on the default 5-PE/3-PRR
+/// HMPSoC. Deterministic per (num_tasks, seed).
+std::unique_ptr<AppInstance> make_synthetic_app(
+    std::size_t num_tasks, std::uint64_t seed,
+    rel::ClrGranularity granularity = rel::ClrGranularity::Full);
+
+/// Synthetic application with a caller-supplied CLR space (layer-ablation
+/// studies). Graph/implementations are identical to make_synthetic_app for
+/// the same (num_tasks, seed).
+std::unique_ptr<AppInstance> make_synthetic_app_with_space(std::size_t num_tasks,
+                                                           std::uint64_t seed,
+                                                           rel::ClrSpace clr_space);
+
+/// The Fig. 2b JPEG-encoder application on the default platform.
+std::unique_ptr<AppInstance> make_jpeg_app(
+    std::uint64_t seed, rel::ClrGranularity granularity = rel::ClrGranularity::Full);
+
+/// The master experiment seed; per-application seeds are derived from it so
+/// every bench/test sweep is reproducible.
+inline constexpr std::uint64_t kMasterSeed = 0xC1A0D5E2019ULL;
+
+/// Per-(experiment, num_tasks) derived seed.
+std::uint64_t derive_seed(std::uint64_t experiment_tag, std::size_t num_tasks);
+
+}  // namespace clr::exp

@@ -1,0 +1,102 @@
+#include "experiments/flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace clr::exp {
+
+dse::MetricRanges qos_ranges(const FlowResult& flow) {
+  // The demand distribution must sweep across the *front's* QoS band —
+  // requirements far looser than the band never force adaptation, and
+  // requirements far tighter are never satisfiable. A modest slack on the
+  // loose side keeps a share of everything-feasible events.
+  const dse::MetricRanges base = flow.based.ranges();
+  const double s_band = std::max(base.makespan_max - base.makespan_min, 1e-9);
+  const double f_band = std::max(base.func_rel_max - base.func_rel_min, 1e-9);
+  dse::MetricRanges box = base;
+  box.makespan_max = std::min(base.makespan_max + 0.25 * s_band, flow.spec.max_makespan);
+  box.makespan_max = std::max(box.makespan_max, base.makespan_max);  // spec can be tighter
+  box.func_rel_min = std::max(base.func_rel_min - 0.25 * f_band, flow.spec.min_func_rel);
+  box.func_rel_min = std::min(box.func_rel_min, base.func_rel_min);
+  return box;
+}
+
+dse::QosSpec derive_spec(const sched::EvalContext& ctx, dse::ObjectiveMode mode,
+                         std::size_t samples, double makespan_quantile,
+                         double func_rel_quantile, util::Rng& rng) {
+  // Bootstrap with a throwaway loose spec (MappingProblem requires one).
+  dse::QosSpec loose{1e18, 0.0};
+  dse::MappingProblem probe(ctx, loose, mode);
+
+  std::vector<double> makespans;
+  std::vector<double> func_rels;
+  makespans.reserve(samples);
+  func_rels.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto cfg = probe.decode(probe.random_genes(rng));
+    const auto res = probe.evaluate_schedule(cfg);
+    makespans.push_back(res.makespan);
+    func_rels.push_back(res.func_rel);
+  }
+
+  dse::QosSpec spec;
+  spec.max_makespan = util::percentile(makespans, makespan_quantile);
+  spec.min_func_rel = util::percentile(func_rels, func_rel_quantile);
+  return spec;
+}
+
+FlowResult run_design_flow(const AppInstance& app, const FlowParams& params, util::Rng& rng) {
+  FlowResult result;
+  result.spec = derive_spec(app.context(), params.mode, params.spec_samples,
+                            params.makespan_quantile, params.func_rel_quantile, rng);
+
+  dse::MappingProblem problem(app.context(), result.spec, params.mode);
+  recfg::ReconfigModel reconfig(app.platform(), app.impls());
+  dse::DesignTimeDse dse_flow(problem, reconfig, params.dse);
+
+  result.based = dse_flow.run_base(rng);
+  if (result.based.empty()) {
+    throw std::runtime_error("run_design_flow: design-time DSE found no feasible point");
+  }
+  result.red = dse_flow.run_red(result.based, rng);
+  return result;
+}
+
+rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db,
+                                 const dse::MetricRanges& ranges,
+                                 const RuntimeEvalParams& params, std::uint64_t seed) {
+  recfg::ReconfigModel reconfig(app.platform(), app.impls());
+  rt::DrcMatrix drc(db, reconfig);
+  rt::QosProcess qos(ranges, params.qos);
+  rt::RuntimeSimulator sim(params.sim);
+
+  util::SplitMix64 mix(seed);
+  util::Rng pretrain_rng(mix.next());
+  util::Rng eval_rng(mix.next());
+
+  switch (params.kind) {
+    case PolicyKind::Baseline: {
+      rt::BaselinePolicy policy(db, drc);
+      return sim.run(db, policy, qos, eval_rng);
+    }
+    case PolicyKind::Ura: {
+      rt::UraPolicy policy(db, drc, params.p_rc);
+      return sim.run(db, policy, qos, eval_rng);
+    }
+    case PolicyKind::Aura: {
+      rt::AuraPolicy policy(db, drc, params.p_rc, params.aura);
+      if (params.pretrain) {
+        rt::pretrain_aura(policy, db, qos, params.pretrain_cycles, params.pretrain_sweeps,
+                          pretrain_rng);
+      }
+      return sim.run(db, policy, qos, eval_rng);
+    }
+  }
+  throw std::logic_error("evaluate_policy: unknown policy kind");
+}
+
+}  // namespace clr::exp

@@ -1,0 +1,72 @@
+#pragma once
+// End-to-end hybrid flow (Fig. 3): derive a QoS reference from the space,
+// run the design-time stages (BaseD, ReD), and evaluate run-time policies
+// over the stored databases under the Monte-Carlo QoS process.
+
+#include "dse/design_time.hpp"
+#include "experiments/app.hpp"
+#include "runtime/simulator.hpp"
+
+namespace clr::exp {
+
+/// Knobs for the full flow; defaults match the paper's §5.1 setup scaled to
+/// bench-friendly run times (override total_cycles for the full 1e6 runs).
+struct FlowParams {
+  dse::DseConfig dse;
+  dse::ObjectiveMode mode = dse::ObjectiveMode::EnergyQos;
+  /// Random chromosomes sampled to estimate the achievable (S, F) ranges
+  /// when deriving the QoS reference corner.
+  std::size_t spec_samples = 64;
+  /// The SSPEC corner as a quantile of sampled makespans (loose: most of the
+  /// space is feasible; the run-time QoS process then tightens it).
+  double makespan_quantile = 0.85;
+  /// The FSPEC corner as a quantile of sampled reliabilities.
+  double func_rel_quantile = 0.10;
+};
+
+struct FlowResult {
+  dse::QosSpec spec;
+  dse::DesignDb based;  ///< Pareto-front-only database ([11]-style)
+  dse::DesignDb red;    ///< BaseD + reconfiguration-cost-aware extras
+};
+
+/// The QoS-requirement box the run-time process samples from: from the global
+/// reference corner (loosest demand) to the best point the BaseD database
+/// achieves (tightest satisfiable demand). Using this box for *both*
+/// databases keeps BaseD-vs-ReD comparisons apples-to-apples, and it makes
+/// ReD's tolerance-degraded extras genuinely feasible under loose demands.
+dse::MetricRanges qos_ranges(const FlowResult& flow);
+
+/// Estimate a workable QoS reference corner (max SSPEC / min FSPEC of Eq. 5)
+/// by sampling random configurations.
+dse::QosSpec derive_spec(const sched::EvalContext& ctx, dse::ObjectiveMode mode,
+                         std::size_t samples, double makespan_quantile,
+                         double func_rel_quantile, util::Rng& rng);
+
+/// Run design-time DSE (both stages) for one application.
+FlowResult run_design_flow(const AppInstance& app, const FlowParams& params, util::Rng& rng);
+
+/// Which run-time policy to evaluate.
+enum class PolicyKind { Baseline, Ura, Aura };
+
+struct RuntimeEvalParams {
+  PolicyKind kind = PolicyKind::Ura;
+  double p_rc = 0.5;
+  rt::AuraPolicy::Params aura{};
+  /// Offline pre-training budget for AuRA's prior knowledge (cycles/sweeps).
+  double pretrain_cycles = 5e4;
+  std::size_t pretrain_sweeps = 4;
+  bool pretrain = true;
+  rt::SimulationParams sim{};
+  rt::QosProcessParams qos{};
+};
+
+/// Evaluate one policy over one database. `ranges` defines the QoS process
+/// (pass the same ranges when comparing databases so both see the same
+/// requirement distribution); `seed` fixes both the QoS sequence and any
+/// pre-training randomness.
+rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db,
+                                 const dse::MetricRanges& ranges,
+                                 const RuntimeEvalParams& params, std::uint64_t seed);
+
+}  // namespace clr::exp

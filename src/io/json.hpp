@@ -1,0 +1,83 @@
+#pragma once
+// Minimal self-contained JSON value / parser / writer — just enough to
+// persist platforms, task graphs and design-point databases (io/serialize.hpp)
+// without external dependencies. Supports the JSON subset those artifacts
+// need: null, bool, finite numbers, strings (with \" \\ \/ \b \f \n \r \t and
+// \uXXXX BMP escapes), arrays and objects. Object key order is preserved.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace clr::io {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Order-preserving object representation.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// Parse / structure errors carry a byte offset into the input.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A JSON value.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(unsigned u) : value_(static_cast<double>(u)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field lookup; throws JsonError when missing.
+  const Json& at(const std::string& key) const;
+  /// Object field lookup; returns nullptr when missing.
+  const Json* find(const std::string& key) const;
+
+  /// Convenience integral accessor with range check.
+  std::int64_t as_int() const;
+
+  /// Serialize. indent = 0 emits compact JSON, > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing junk is an error).
+  static Json parse(const std::string& text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> value_;
+};
+
+}  // namespace clr::io

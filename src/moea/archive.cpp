@@ -1,0 +1,27 @@
+#include "moea/archive.hpp"
+
+#include <algorithm>
+
+namespace clr::moea {
+
+bool ParetoArchive::insert(const Individual& candidate) {
+  if (!candidate.eval.feasible()) return false;
+  for (const auto& m : members_) {
+    if (m.genes == candidate.genes) return false;
+    if (dominates(m.eval.objectives, candidate.eval.objectives)) return false;
+    if (m.eval.objectives == candidate.eval.objectives) return false;  // duplicate point
+  }
+  std::erase_if(members_, [&](const Individual& m) {
+    return dominates(candidate.eval.objectives, m.eval.objectives);
+  });
+  members_.push_back(candidate);
+  return true;
+}
+
+bool ParetoArchive::non_dominated(const Evaluation& eval) const {
+  return std::none_of(members_.begin(), members_.end(), [&](const Individual& m) {
+    return dominates(m.eval.objectives, eval.objectives);
+  });
+}
+
+}  // namespace clr::moea

@@ -1,0 +1,31 @@
+#pragma once
+// Bounded-free Pareto archive of feasible, non-dominated individuals,
+// deduplicated by chromosome. The design-time DSE's BaseD database is the
+// final contents of this archive.
+
+#include <vector>
+
+#include "moea/individual.hpp"
+
+namespace clr::moea {
+
+class ParetoArchive {
+ public:
+  /// Insert a candidate. Returns true when it was added (i.e. feasible and
+  /// not dominated by, nor identical to, an archived point). Dominated
+  /// archive members are evicted.
+  bool insert(const Individual& candidate);
+
+  const std::vector<Individual>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  void clear() { members_.clear(); }
+
+  /// True iff no archive member dominates `eval` (ties allowed).
+  bool non_dominated(const Evaluation& eval) const;
+
+ private:
+  std::vector<Individual> members_;
+};
+
+}  // namespace clr::moea

@@ -1,0 +1,82 @@
+#include "moea/hvga.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "moea/hypervolume.hpp"
+
+namespace clr::moea {
+
+double HvGa::fitness_of(const Evaluation& eval) const {
+  if (eval.objectives.size() != reference_.size()) {
+    throw std::invalid_argument("HvGa: objective/reference dimension mismatch");
+  }
+  return signed_point_hypervolume(eval.objectives, reference_, scale_);
+}
+
+HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
+                       const std::vector<std::vector<int>>& seeds) const {
+  if (params_.population < 2) throw std::invalid_argument("HvGa: population must be >= 2");
+
+  Result result;
+  auto& pop = result.population;
+  pop.reserve(params_.population);
+
+  for (const auto& seed : seeds) {
+    if (pop.size() >= params_.population) break;
+    Individual ind;
+    ind.genes = seed;
+    problem.repair(ind.genes);
+    pop.push_back(std::move(ind));
+  }
+  while (pop.size() < params_.population) {
+    Individual ind;
+    ind.genes = problem.random_genes(rng);
+    pop.push_back(std::move(ind));
+  }
+  for (auto& ind : pop) {
+    ind.eval = problem.evaluate(ind.genes);
+    ind.fitness = fitness_of(ind.eval);
+    result.archive.insert(ind);
+  }
+
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    auto better = [&](std::size_t a, std::size_t b) { return pop[a].fitness > pop[b].fitness; };
+    std::vector<Individual> offspring;
+    offspring.reserve(params_.population);
+    while (offspring.size() < params_.population) {
+      const std::size_t pa = tournament(pop.size(), params_.tournament_size, better, rng);
+      const std::size_t pb = tournament(pop.size(), params_.tournament_size, better, rng);
+      Individual ca, cb;
+      ca.genes = pop[pa].genes;
+      cb.genes = pop[pb].genes;
+      uniform_crossover(ca.genes, cb.genes, params_.crossover_prob, rng);
+      reset_mutation(problem, ca.genes, params_.mutation_prob, rng);
+      reset_mutation(problem, cb.genes, params_.mutation_prob, rng);
+      ca.eval = problem.evaluate(ca.genes);
+      cb.eval = problem.evaluate(cb.genes);
+      ca.fitness = fitness_of(ca.eval);
+      cb.fitness = fitness_of(cb.eval);
+      result.archive.insert(ca);
+      result.archive.insert(cb);
+      offspring.push_back(std::move(ca));
+      if (offspring.size() < params_.population) offspring.push_back(std::move(cb));
+    }
+
+    // (mu + lambda) truncation on scalar fitness keeps the best sweepers;
+    // the archive preserves diversity of the non-dominated set.
+    std::vector<Individual> merged;
+    merged.reserve(pop.size() + offspring.size());
+    std::move(pop.begin(), pop.end(), std::back_inserter(merged));
+    std::move(offspring.begin(), offspring.end(), std::back_inserter(merged));
+    std::sort(merged.begin(), merged.end(),
+              [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
+    merged.resize(params_.population);
+    pop = std::move(merged);
+  }
+
+  result.best_fitness = pop.empty() ? 0.0 : pop.front().fitness;
+  return result;
+}
+
+}  // namespace clr::moea

@@ -1,0 +1,26 @@
+#include "moea/individual.hpp"
+
+#include <stdexcept>
+
+namespace clr::moea {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dominates: dimension mismatch");
+  bool strictly_better = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool constrained_dominates(const Evaluation& a, const Evaluation& b) {
+  const bool fa = a.feasible();
+  const bool fb = b.feasible();
+  if (fa && !fb) return true;
+  if (!fa && fb) return false;
+  if (!fa && !fb) return a.violation < b.violation;
+  return dominates(a.objectives, b.objectives);
+}
+
+}  // namespace clr::moea

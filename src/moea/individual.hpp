@@ -1,0 +1,39 @@
+#pragma once
+// GA individual and Pareto-dominance primitives. All objectives are
+// MINIMIZED; callers negate gains (the paper maximizes R = -Japp, i.e.
+// minimizes energy).
+
+#include <vector>
+
+namespace clr::moea {
+
+/// Result of evaluating a chromosome.
+struct Evaluation {
+  /// Objective vector (minimization).
+  std::vector<double> objectives;
+  /// Aggregate constraint violation; 0 = feasible. Units are
+  /// problem-defined but must be comparable within one problem.
+  double violation = 0.0;
+
+  bool feasible() const { return violation <= 0.0; }
+};
+
+/// Integer-coded GA individual.
+struct Individual {
+  std::vector<int> genes;
+  Evaluation eval;
+  /// Scalar fitness for hypervolume-fitness GA (higher is better).
+  double fitness = 0.0;
+  /// NSGA-II bookkeeping.
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+/// True iff `a` Pareto-dominates `b` (minimization, no constraints).
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Constraint-domination (Deb): feasible beats infeasible; two infeasibles
+/// compare by violation; two feasibles by Pareto dominance.
+bool constrained_dominates(const Evaluation& a, const Evaluation& b);
+
+}  // namespace clr::moea

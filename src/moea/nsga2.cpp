@@ -1,0 +1,167 @@
+#include "moea/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace clr::moea {
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(std::vector<Individual>& pop) {
+  const std::size_t n = pop.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (constrained_dominates(pop[i].eval, pop[j].eval)) {
+        dominated_by[i].push_back(j);
+        ++domination_count[j];
+      } else if (constrained_dominates(pop[j].eval, pop[i].eval)) {
+        dominated_by[j].push_back(i);
+        ++domination_count[i];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) {
+      pop[i].rank = 0;
+      current.push_back(i);
+    }
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) {
+          pop[j].rank = static_cast<int>(fronts.size());
+          next.push_back(j);
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+void assign_crowding(std::vector<Individual>& pop, const std::vector<std::size_t>& front) {
+  if (front.empty()) return;
+  const std::size_t m = pop[front[0]].eval.objectives.size();
+  for (std::size_t i : front) pop[i].crowding = 0.0;
+  if (front.size() <= 2) {
+    for (std::size_t i : front) pop[i].crowding = std::numeric_limits<double>::infinity();
+    return;
+  }
+  std::vector<std::size_t> order(front);
+  for (std::size_t k = 0; k < m; ++k) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].eval.objectives[k] < pop[b].eval.objectives[k];
+    });
+    const double lo = pop[order.front()].eval.objectives[k];
+    const double hi = pop[order.back()].eval.objectives[k];
+    pop[order.front()].crowding = std::numeric_limits<double>::infinity();
+    pop[order.back()].crowding = std::numeric_limits<double>::infinity();
+    if (hi - lo <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+      pop[order[i]].crowding += (pop[order[i + 1]].eval.objectives[k] -
+                                 pop[order[i - 1]].eval.objectives[k]) /
+                                (hi - lo);
+    }
+  }
+}
+
+namespace {
+
+bool crowded_better(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace
+
+MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
+                      const std::vector<std::vector<int>>& seeds) const {
+  if (params_.population < 2) throw std::invalid_argument("Nsga2: population must be >= 2");
+
+  MoeaResult result;
+  auto& pop = result.population;
+  pop.reserve(params_.population);
+
+  for (const auto& seed : seeds) {
+    if (pop.size() >= params_.population) break;
+    Individual ind;
+    ind.genes = seed;
+    problem.repair(ind.genes);
+    pop.push_back(std::move(ind));
+  }
+  while (pop.size() < params_.population) {
+    Individual ind;
+    ind.genes = problem.random_genes(rng);
+    pop.push_back(std::move(ind));
+  }
+  for (auto& ind : pop) {
+    ind.eval = problem.evaluate(ind.genes);
+    result.archive.insert(ind);
+  }
+  {
+    auto fronts = non_dominated_sort(pop);
+    for (const auto& f : fronts) assign_crowding(pop, f);
+  }
+
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    // Offspring via binary-operator pipeline.
+    std::vector<Individual> offspring;
+    offspring.reserve(params_.population);
+    auto better = [&](std::size_t a, std::size_t b) { return crowded_better(pop[a], pop[b]); };
+    while (offspring.size() < params_.population) {
+      const std::size_t pa = tournament(pop.size(), params_.tournament_size, better, rng);
+      const std::size_t pb = tournament(pop.size(), params_.tournament_size, better, rng);
+      Individual ca, cb;
+      ca.genes = pop[pa].genes;
+      cb.genes = pop[pb].genes;
+      uniform_crossover(ca.genes, cb.genes, params_.crossover_prob, rng);
+      reset_mutation(problem, ca.genes, params_.mutation_prob, rng);
+      reset_mutation(problem, cb.genes, params_.mutation_prob, rng);
+      ca.eval = problem.evaluate(ca.genes);
+      cb.eval = problem.evaluate(cb.genes);
+      result.archive.insert(ca);
+      result.archive.insert(cb);
+      offspring.push_back(std::move(ca));
+      if (offspring.size() < params_.population) offspring.push_back(std::move(cb));
+    }
+
+    // Environmental selection over parents + offspring.
+    std::vector<Individual> merged;
+    merged.reserve(pop.size() + offspring.size());
+    std::move(pop.begin(), pop.end(), std::back_inserter(merged));
+    std::move(offspring.begin(), offspring.end(), std::back_inserter(merged));
+    auto fronts = non_dominated_sort(merged);
+    for (const auto& f : fronts) assign_crowding(merged, f);
+
+    std::vector<Individual> next;
+    next.reserve(params_.population);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= params_.population) {
+        for (std::size_t i : front) next.push_back(merged[i]);
+      } else {
+        std::vector<std::size_t> sorted(front);
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+          return merged[a].crowding > merged[b].crowding;
+        });
+        for (std::size_t i : sorted) {
+          if (next.size() >= params_.population) break;
+          next.push_back(merged[i]);
+        }
+      }
+      if (next.size() >= params_.population) break;
+    }
+    pop = std::move(next);
+  }
+
+  return result;
+}
+
+}  // namespace clr::moea

@@ -1,0 +1,43 @@
+#pragma once
+// NSGA-II with constraint-domination — the general-purpose MOEA used for the
+// ReD secondary optimization and available as an ablation alternative to the
+// hypervolume-fitness GA.
+
+#include <vector>
+
+#include "moea/archive.hpp"
+#include "moea/operators.hpp"
+#include "moea/problem.hpp"
+
+namespace clr::moea {
+
+/// Fast non-dominated sort (constraint-domination). Returns fronts of
+/// indices; also writes Individual::rank.
+std::vector<std::vector<std::size_t>> non_dominated_sort(std::vector<Individual>& pop);
+
+/// Crowding distance within one front (writes Individual::crowding).
+void assign_crowding(std::vector<Individual>& pop, const std::vector<std::size_t>& front);
+
+/// NSGA-II result: final population plus the feasible non-dominated archive
+/// accumulated over all generations.
+struct MoeaResult {
+  std::vector<Individual> population;
+  ParetoArchive archive;
+};
+
+class Nsga2 {
+ public:
+  explicit Nsga2(GaParams params) : params_(params) {}
+
+  /// Run the optimization. `seeds` (optional) are injected into the initial
+  /// population after repair.
+  MoeaResult run(const Problem& problem, util::Rng& rng,
+                 const std::vector<std::vector<int>>& seeds = {}) const;
+
+  const GaParams& params() const { return params_; }
+
+ private:
+  GaParams params_;
+};
+
+}  // namespace clr::moea

@@ -1,0 +1,38 @@
+#include "moea/operators.hpp"
+
+#include <stdexcept>
+
+namespace clr::moea {
+
+std::size_t tournament(std::size_t population_size, std::size_t size,
+                       const std::function<bool(std::size_t, std::size_t)>& better,
+                       util::Rng& rng) {
+  if (population_size == 0) throw std::invalid_argument("tournament: empty population");
+  if (size == 0) throw std::invalid_argument("tournament: size must be >= 1");
+  std::size_t champion = rng.index(population_size);
+  for (std::size_t i = 1; i < size; ++i) {
+    const std::size_t challenger = rng.index(population_size);
+    if (better(challenger, champion)) champion = challenger;
+  }
+  return champion;
+}
+
+void uniform_crossover(std::vector<int>& a, std::vector<int>& b, double prob, util::Rng& rng) {
+  if (a.size() != b.size()) throw std::invalid_argument("uniform_crossover: size mismatch");
+  if (!rng.chance(prob)) return;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (rng.chance(0.5)) std::swap(a[i], b[i]);
+  }
+}
+
+void reset_mutation(const Problem& problem, std::vector<int>& genes, double prob,
+                    util::Rng& rng) {
+  if (genes.size() != problem.num_genes()) {
+    throw std::invalid_argument("reset_mutation: gene count mismatch");
+  }
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (rng.chance(prob)) genes[i] = rng.uniform_int(0, problem.domain_size(i) - 1);
+  }
+}
+
+}  // namespace clr::moea

@@ -1,0 +1,128 @@
+#include "platform/platform.hpp"
+
+namespace clr::plat {
+
+PeTypeId Platform::add_pe_type(PeType type) {
+  type.id = static_cast<PeTypeId>(types_.size());
+  if (type.perf_factor <= 0.0) throw std::invalid_argument("PeType: perf_factor must be > 0");
+  if (type.power_factor <= 0.0) throw std::invalid_argument("PeType: power_factor must be > 0");
+  if (type.avf < 0.0 || type.avf > 1.0) throw std::invalid_argument("PeType: avf must be in [0,1]");
+  if (type.beta_aging <= 0.0) throw std::invalid_argument("PeType: beta_aging must be > 0");
+  types_.push_back(std::move(type));
+  return types_.back().id;
+}
+
+PeId Platform::add_pe(PeTypeId type, std::uint32_t local_mem_bytes, std::uint32_t prr) {
+  if (type >= types_.size()) throw std::out_of_range("add_pe: unknown PE type");
+  if (prr != Pe::kNoPrr && prr >= prrs_.size()) throw std::out_of_range("add_pe: unknown PRR");
+  const auto id = static_cast<PeId>(pes_.size());
+  pes_.push_back(Pe{id, type, local_mem_bytes, prr});
+  return id;
+}
+
+PrrId Platform::add_prr(std::uint32_t bitstream_bytes) {
+  const auto id = static_cast<PrrId>(prrs_.size());
+  prrs_.push_back(Prr{id, bitstream_bytes});
+  return id;
+}
+
+bool Platform::is_reconfigurable(PeId id) const {
+  const Pe& p = pes_.at(id);
+  return p.prr != Pe::kNoPrr;
+}
+
+std::vector<PeId> Platform::pes_of_kind(PeKind kind) const {
+  std::vector<PeId> result;
+  for (const auto& p : pes_) {
+    if (types_[p.type].kind == kind) result.push_back(p.id);
+  }
+  return result;
+}
+
+std::size_t Platform::hop_count(PeId a, PeId b) const {
+  if (a >= pes_.size() || b >= pes_.size()) throw std::out_of_range("hop_count: unknown PE");
+  if (a == b) return 0;
+  if (interconnect_.topology == Topology::Bus) return 1;
+  const std::size_t cols = std::max<std::size_t>(interconnect_.mesh_columns, 1);
+  const auto ax = a % cols, ay = a / cols;
+  const auto bx = b % cols, by = b / cols;
+  const std::size_t dist = (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
+  return std::max<std::size_t>(dist, 1);
+}
+
+double Platform::comm_factor(PeId a, PeId b) const {
+  if (a == b) return 1.0;
+  if (interconnect_.topology == Topology::Bus) return 1.0;
+  return static_cast<double>(hop_count(a, b));
+}
+
+Platform make_default_hmpsoc() {
+  Platform hw;
+
+  // Three PE types differing mainly in masking factor (AVF), per §5.1, plus
+  // an accelerator type for the PRR slots.
+  PeType big;
+  big.name = "big-core";
+  big.kind = PeKind::GeneralPurpose;
+  big.perf_factor = 0.8;    // fastest general-purpose core
+  big.power_factor = 1.6;   // but power hungry
+  big.avf = 0.45;           // little architectural masking
+  big.beta_aging = 2.2;
+  big.static_power = 0.08;
+
+  PeType little;
+  little.name = "little-core";
+  little.kind = PeKind::GeneralPurpose;
+  little.perf_factor = 1.4;
+  little.power_factor = 0.7;
+  little.avf = 0.30;
+  little.beta_aging = 1.8;
+  little.static_power = 0.03;
+
+  PeType dsp;
+  dsp.name = "dsp";
+  dsp.kind = PeKind::Dsp;
+  dsp.perf_factor = 1.0;
+  dsp.power_factor = 1.0;
+  dsp.avf = 0.20;           // strongest masking of the three
+  dsp.beta_aging = 2.0;
+  dsp.static_power = 0.05;
+
+  PeType accel;
+  accel.name = "prr-accel";
+  accel.kind = PeKind::Accelerator;
+  accel.perf_factor = 0.5;  // accelerators are fast for matching tasks
+  accel.power_factor = 0.9;
+  accel.avf = 0.55;         // SRAM configuration memory is more vulnerable
+  accel.beta_aging = 2.5;
+  accel.static_power = 0.04;
+
+  const PeTypeId t_big = hw.add_pe_type(big);
+  const PeTypeId t_little = hw.add_pe_type(little);
+  const PeTypeId t_dsp = hw.add_pe_type(dsp);
+  const PeTypeId t_accel = hw.add_pe_type(accel);
+
+  // 5 fixed PEs: 2 big, 2 little, 1 DSP.
+  hw.add_pe(t_big);
+  hw.add_pe(t_big);
+  hw.add_pe(t_little);
+  hw.add_pe(t_little);
+  hw.add_pe(t_dsp);
+
+  // 3 PRRs, each hosting one accelerator slot.
+  const PrrId r0 = hw.add_prr(2u << 20);
+  const PrrId r1 = hw.add_prr(2u << 20);
+  const PrrId r2 = hw.add_prr(3u << 20);
+  hw.add_pe(t_accel, 1u << 19, r0);
+  hw.add_pe(t_accel, 1u << 19, r1);
+  hw.add_pe(t_accel, 1u << 19, r2);
+
+  Interconnect ic;
+  ic.binary_bandwidth = 8192.0;
+  ic.icap_bandwidth = 2048.0;
+  ic.per_migration_overhead = 2.0;
+  hw.set_interconnect(ic);
+  return hw;
+}
+
+}  // namespace clr::plat

@@ -1,0 +1,136 @@
+#pragma once
+// Architecture model (paper §3.1): a heterogeneous MPSoC with distributed
+// shared memory, P processing elements characterized by (IDp, PETypep),
+// partially reconfigurable regions (PRRs) hosting accelerators, an on-chip
+// interconnect for binary migration, and an ICAP port for bitstream loads.
+//
+// PETypep folds together (1) processor kind, (2) aging fault profile βp and
+// (3) soft-error masking (AVF) — exactly the three heterogeneity factors the
+// paper lists.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace clr::plat {
+
+using PeId = std::uint32_t;
+using PeTypeId = std::uint32_t;
+using PrrId = std::uint32_t;
+
+/// Processor kind within a PE type.
+enum class PeKind : std::uint8_t {
+  GeneralPurpose,  ///< embedded general-purpose core
+  Dsp,             ///< specialized signal processor
+  Accelerator,     ///< soft accelerator instantiated in a PRR
+};
+
+/// PE type: the heterogeneity tuple of §3.1.
+struct PeType {
+  PeTypeId id = 0;
+  std::string name;
+  PeKind kind = PeKind::GeneralPurpose;
+  /// Execution-time multiplier relative to the reference core (lower=faster).
+  double perf_factor = 1.0;
+  /// Dynamic power multiplier relative to the reference core.
+  double power_factor = 1.0;
+  /// Architectural Vulnerability Factor — soft-error masking of the PE
+  /// micro-architecture (fraction of raw upsets that become task errors).
+  double avf = 0.4;
+  /// Weibull shape parameter of the PE's aging fault profile (βp).
+  double beta_aging = 2.0;
+  /// Static (idle) power of a PE of this type.
+  double static_power = 0.05;
+};
+
+/// A processing element instance (IDp, PETypep) with fixed local memory for
+/// the binaries of the tasks mapped on it (§3.5).
+struct Pe {
+  PeId id = 0;
+  PeTypeId type = 0;
+  std::uint32_t local_mem_bytes = 1u << 20;
+  /// For accelerator PEs: the PRR this PE occupies (PRR id), else npos.
+  static constexpr std::uint32_t kNoPrr = 0xffffffffu;
+  std::uint32_t prr = kNoPrr;
+};
+
+/// Partially reconfigurable region hosting an accelerator PE; switching the
+/// accelerator requires streaming a bitstream through the ICAP.
+struct Prr {
+  PrrId id = 0;
+  std::uint32_t bitstream_bytes = 1u << 21;
+};
+
+/// Interconnect topology: a shared bus (uniform cost between any PE pair) or
+/// a 2-D mesh NoC where cost scales with the Manhattan hop distance between
+/// the PEs' grid positions (PE id -> (id % columns, id / columns)).
+enum class Topology : std::uint8_t { Bus, Mesh2D };
+
+/// On-chip interconnect + reconfiguration ports.
+struct Interconnect {
+  /// Bytes per time unit for task-binary migration over the NoC/bus.
+  double binary_bandwidth = 4096.0;
+  /// Bytes per time unit through the ICAP for PRR bitstreams.
+  double icap_bandwidth = 1024.0;
+  /// Fixed overhead charged per migrated task (control, cache warmup).
+  double per_migration_overhead = 2.0;
+  /// Topology of the on-chip network (Bus keeps the uniform-cost semantics).
+  Topology topology = Topology::Bus;
+  /// Mesh width used to place PE ids on the grid (Mesh2D only).
+  std::size_t mesh_columns = 4;
+};
+
+/// The full HMPSoC platform.
+class Platform {
+ public:
+  Platform() = default;
+
+  PeTypeId add_pe_type(PeType type);
+  PeId add_pe(PeTypeId type, std::uint32_t local_mem_bytes = 1u << 20,
+              std::uint32_t prr = Pe::kNoPrr);
+  PrrId add_prr(std::uint32_t bitstream_bytes);
+
+  void set_interconnect(Interconnect ic) { interconnect_ = ic; }
+  const Interconnect& interconnect() const { return interconnect_; }
+
+  std::size_t num_pes() const { return pes_.size(); }
+  std::size_t num_pe_types() const { return types_.size(); }
+  std::size_t num_prrs() const { return prrs_.size(); }
+
+  const Pe& pe(PeId id) const { return pes_.at(id); }
+  const PeType& pe_type(PeTypeId id) const { return types_.at(id); }
+  const PeType& type_of(PeId id) const { return types_.at(pes_.at(id).type); }
+  const Prr& prr(PrrId id) const { return prrs_.at(id); }
+  const std::vector<Pe>& pes() const { return pes_; }
+  const std::vector<PeType>& pe_types() const { return types_; }
+
+  /// True when the PE is an accelerator living in a PRR.
+  bool is_reconfigurable(PeId id) const;
+
+  /// Ids of PEs whose type kind matches `kind`.
+  std::vector<PeId> pes_of_kind(PeKind kind) const;
+
+  /// Manhattan hop distance between two PEs under the configured topology
+  /// (Bus: 1 for distinct PEs; Mesh2D: grid distance, min 1 for distinct
+  /// PEs on the same tile). 0 when a == b.
+  std::size_t hop_count(PeId a, PeId b) const;
+
+  /// Communication-cost multiplier between two PEs: 1.0 on a bus (and for
+  /// a == b), the hop count on a mesh. Scales both edge communication times
+  /// in the scheduler and binary-migration times in the reconfiguration
+  /// model.
+  double comm_factor(PeId a, PeId b) const;
+
+ private:
+  std::vector<PeType> types_;
+  std::vector<Pe> pes_;
+  std::vector<Prr> prrs_;
+  Interconnect interconnect_;
+};
+
+/// The evaluation platform of §5.1: 5 PEs of 3 types differing in masking
+/// factor (AVF), plus 3 PRR-hosted accelerator slots.
+Platform make_default_hmpsoc();
+
+}  // namespace clr::plat

@@ -1,0 +1,51 @@
+#include "reconfig/reconfig.hpp"
+
+#include <stdexcept>
+
+namespace clr::recfg {
+
+ReconfigCost ReconfigModel::cost(const sched::Configuration& from,
+                                 const sched::Configuration& to) const {
+  if (from.size() != to.size()) {
+    throw std::invalid_argument("ReconfigModel::cost: configuration size mismatch");
+  }
+  const auto& ic = platform_->interconnect();
+  ReconfigCost c;
+
+  for (tg::TaskId t = 0; t < from.size(); ++t) {
+    const auto& a = from[t];
+    const auto& b = to[t];
+    const bool moved = a.pe != b.pe;
+    const bool impl_changed = a.impl_index != b.impl_index;
+    if (!moved && !impl_changed) continue;  // re-ordering / CLR change: free
+
+    const rel::Implementation& impl = impls_->for_task(t).at(b.impl_index);
+    // On a mesh NoC the binary travels hop-by-hop from the old to the new
+    // PE; implementation swaps on the same PE load from backing store at
+    // unit distance.
+    const double factor = moved ? platform_->comm_factor(a.pe, b.pe) : 1.0;
+    c.migration += factor * static_cast<double>(impl.binary_bytes) / ic.binary_bandwidth +
+                   ic.per_migration_overhead;
+    ++c.migrated_tasks;
+
+    // Loading onto a PRR-hosted accelerator requires its bitstream unless the
+    // same accelerator implementation already occupied that PRR slot.
+    const plat::Pe& target_pe = platform_->pe(b.pe);
+    if (target_pe.prr != plat::Pe::kNoPrr) {
+      const plat::Prr& prr = platform_->prr(target_pe.prr);
+      c.bitstream += static_cast<double>(prr.bitstream_bytes) / ic.icap_bandwidth;
+      ++c.prr_loads;
+    }
+  }
+  return c;
+}
+
+double ReconfigModel::average_drc(const sched::Configuration& from,
+                                  const std::vector<sched::Configuration>& targets) const {
+  if (targets.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& target : targets) sum += drc(from, target);
+  return sum / static_cast<double>(targets.size());
+}
+
+}  // namespace clr::recfg

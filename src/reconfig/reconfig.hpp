@@ -1,0 +1,51 @@
+#pragma once
+// Reconfiguration model (paper §3.5). Of the four adaptation modes, only
+// (3) changing a task's implementation and (4) changing its PE binding incur
+// cost: the task binary must be copied to the new PE's local memory over the
+// on-chip interconnect, and — when the new implementation is an accelerator
+// in a PRR — the PRR bitstream must be streamed through the ICAP.
+// Re-ordering (1) and CLR-configuration changes (2) are free.
+//
+// dRC(a, b) is the total cost of reconfiguring from configuration a to b.
+
+#include "reliability/implementation.hpp"
+#include "schedule/configuration.hpp"
+
+namespace clr::recfg {
+
+/// Breakdown of one reconfiguration's cost.
+struct ReconfigCost {
+  double migration = 0.0;  ///< binary copies over the interconnect + overhead
+  double bitstream = 0.0;  ///< PRR bitstream loads through the ICAP
+  std::size_t migrated_tasks = 0;
+  std::size_t prr_loads = 0;
+
+  double total() const { return migration + bitstream; }
+};
+
+/// Deterministic dRC evaluation.
+class ReconfigModel {
+ public:
+  ReconfigModel(const plat::Platform& platform, const rel::ImplementationSet& impls)
+      : platform_(&platform), impls_(&impls) {}
+
+  /// Cost breakdown of switching from `from` to `to`.
+  /// dRC(x, x) is always zero.
+  ReconfigCost cost(const sched::Configuration& from, const sched::Configuration& to) const;
+
+  /// Convenience: total dRC.
+  double drc(const sched::Configuration& from, const sched::Configuration& to) const {
+    return cost(from, to).total();
+  }
+
+  /// Average dRC from `from` to every configuration in `targets` — the
+  /// secondary objective of the ReD stage (§4.2.1).
+  double average_drc(const sched::Configuration& from,
+                     const std::vector<sched::Configuration>& targets) const;
+
+ private:
+  const plat::Platform* platform_;
+  const rel::ImplementationSet* impls_;
+};
+
+}  // namespace clr::recfg

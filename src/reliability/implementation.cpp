@@ -1,0 +1,84 @@
+#include "reliability/implementation.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace clr::rel {
+
+std::vector<std::size_t> ImplementationSet::compatible_with(tg::TaskId t,
+                                                            plat::PeTypeId type) const {
+  std::vector<std::size_t> result;
+  const auto& list = impls_.at(t);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].pe_type == type) result.push_back(i);
+  }
+  return result;
+}
+
+void ImplementationSet::add(tg::TaskId t, Implementation impl) {
+  if (t >= impls_.size()) throw std::out_of_range("ImplementationSet::add: unknown task");
+  if (impl.base_time <= 0.0) throw std::invalid_argument("Implementation: base_time must be > 0");
+  if (impl.base_power <= 0.0) throw std::invalid_argument("Implementation: base_power must be > 0");
+  impls_[t].push_back(impl);
+}
+
+ImplementationSet generate_implementations(const tg::TaskGraph& graph, const plat::Platform& hw,
+                                           const ImplGenParams& params, util::Rng& rng) {
+  ImplementationSet set;
+  set.resize(graph.num_tasks());
+
+  // Per (task type, PE type) cost tables so identical task types get
+  // identical implementation characteristics — TGFF semantics.
+  struct Entry {
+    double time;
+    double power;
+    std::uint32_t bytes;
+  };
+  std::map<std::pair<tg::TaskType, plat::PeTypeId>, Entry> table;
+  std::map<tg::TaskType, bool> has_accel;
+
+  auto entry_for = [&](tg::TaskType tt, plat::PeTypeId pt, bool accel) -> const Entry& {
+    const auto key = std::make_pair(tt, pt);
+    auto it = table.find(key);
+    if (it == table.end()) {
+      Entry e;
+      e.time = rng.uniform(params.base_time_min, params.base_time_max);
+      if (accel) e.time /= params.accel_speedup;
+      e.power = rng.uniform(params.base_power_min, params.base_power_max);
+      e.bytes = static_cast<std::uint32_t>(rng.uniform_int(
+          static_cast<int>(params.binary_bytes_min), static_cast<int>(params.binary_bytes_max)));
+      it = table.emplace(key, e).first;
+    }
+    return it->second;
+  };
+
+  for (const auto& task : graph.tasks()) {
+    for (const auto& pe_type : hw.pe_types()) {
+      const bool accel = pe_type.kind == plat::PeKind::Accelerator;
+      if (accel) {
+        auto it = has_accel.find(task.type);
+        if (it == has_accel.end()) {
+          it = has_accel.emplace(task.type, rng.chance(params.accel_availability)).first;
+        }
+        if (!it->second) continue;
+      }
+      const Entry& e = entry_for(task.type, pe_type.id, accel);
+      Implementation impl;
+      impl.pe_type = pe_type.id;
+      impl.base_time = e.time;
+      impl.base_power = e.power;
+      impl.binary_bytes = e.bytes;
+      set.add(task.id, impl);
+    }
+  }
+
+  // Every task must be runnable somewhere.
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    if (set.for_task(t).empty()) {
+      throw std::logic_error("generate_implementations: task without implementations");
+    }
+  }
+  return set;
+}
+
+}  // namespace clr::rel

@@ -1,0 +1,72 @@
+#pragma once
+// Task implementations (paper §3.2): each task type has a set of
+// implementations Impl(t,i), each tied to a PE type (processor kind +
+// system/application software variant) with its own base execution time,
+// power, and binary footprint. Accelerator implementations additionally
+// carry the PRR bitstream cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::rel {
+
+/// One implementation choice for a task.
+struct Implementation {
+  /// PE type this implementation runs on (binds processor + ISA/bitstream).
+  plat::PeTypeId pe_type = 0;
+  /// Execution time of the bare implementation on a reference core at the
+  /// PE-type's perf_factor 1.0 (the scheduler multiplies by perf_factor).
+  double base_time = 10.0;
+  /// Dynamic power of the bare implementation at power_factor 1.0.
+  double base_power = 1.0;
+  /// Binary size copied over the interconnect when the task migrates.
+  std::uint32_t binary_bytes = 1u << 16;
+};
+
+/// Implementation sets for all tasks of one application.
+class ImplementationSet {
+ public:
+  ImplementationSet() = default;
+
+  /// Implementations available for task `t` (indexable; never empty once
+  /// built via generate()).
+  const std::vector<Implementation>& for_task(tg::TaskId t) const { return impls_.at(t); }
+  std::size_t num_tasks() const { return impls_.size(); }
+
+  /// Implementations of task `t` runnable on PE type `type`.
+  std::vector<std::size_t> compatible_with(tg::TaskId t, plat::PeTypeId type) const;
+
+  void add(tg::TaskId t, Implementation impl);
+  void resize(std::size_t num_tasks) { impls_.resize(num_tasks); }
+
+ private:
+  std::vector<std::vector<Implementation>> impls_;
+};
+
+/// Parameters for the synthetic implementation-set generator (the TGFF-style
+/// per-task-type execution-time tables of §5.1).
+struct ImplGenParams {
+  double base_time_min = 6.0;
+  double base_time_max = 36.0;
+  double base_power_min = 0.6;
+  double base_power_max = 1.6;
+  std::uint32_t binary_bytes_min = 16u << 10;
+  std::uint32_t binary_bytes_max = 192u << 10;
+  /// Fraction of task *types* that have an accelerator implementation.
+  double accel_availability = 0.6;
+  /// Accelerator speedup over the reference implementation (time divides).
+  double accel_speedup = 2.5;
+};
+
+/// Generate per-task implementation sets: every task gets one implementation
+/// per non-accelerator PE type (time/power drawn per *task type*, so equal
+/// task types share tables), and — for a seeded subset of task types — an
+/// accelerator implementation.
+ImplementationSet generate_implementations(const tg::TaskGraph& graph, const plat::Platform& hw,
+                                           const ImplGenParams& params, util::Rng& rng);
+
+}  // namespace clr::rel

@@ -1,0 +1,94 @@
+#include "reliability/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clr::rel {
+
+TaskMetrics MetricsModel::evaluate(const Implementation& impl, const plat::PeType& pe_type,
+                                   const ClrConfig& cfg) const {
+  if (impl.pe_type != pe_type.id) {
+    throw std::invalid_argument("MetricsModel::evaluate: implementation/PE type mismatch");
+  }
+  const HwTraits& hw = hw_traits(cfg.hw);
+  const SswTraits& ssw = ssw_traits(cfg.ssw);
+  const AswTraits& asw = asw_traits(cfg.asw);
+
+  TaskMetrics m;
+
+  // --- Error-free execution time (MinExT): all static time overheads. ---
+  const double ssw_factor =
+      ssw.base_time_factor + ssw.per_unit_overhead * static_cast<double>(cfg.ssw_param);
+  m.min_ext = impl.base_time * pe_type.perf_factor * hw.time_factor * asw.time_factor *
+              (cfg.ssw == SswTechnique::None ? 1.0 : ssw_factor);
+
+  // --- Average power (W): multiplicative overheads; redundancy burns power
+  // even when no error occurs. ---
+  m.avg_power = impl.base_power * pe_type.power_factor * hw.power_factor * asw.power_factor *
+                ssw.power_factor;
+
+  // --- Error probability algebra (DESIGN.md §5.1). ---
+  // Raw per-execution upset probability: Poisson arrivals over the exposed
+  // time window, masked by the PE micro-architecture (AVF).
+  const double p_raw = 1.0 - std::exp(-fault_.lambda_seu * m.min_ext * pe_type.avf);
+  // Spatial (hardware) redundancy masks all but `residual` of the upsets.
+  const double p_hw = p_raw * hw.residual;
+  // Information redundancy splits the surviving errors.
+  const double p_detected_unc = p_hw * (asw.detect_coverage - asw.correct_coverage);
+  const double p_silent = p_hw * (1.0 - asw.detect_coverage);
+
+  double residual_detected = p_detected_unc;  // no temporal redundancy
+  double expected_reexec_time = 0.0;
+
+  switch (cfg.ssw) {
+    case SswTechnique::None:
+      break;
+    case SswTechnique::Retry: {
+      // Up to k full re-executions of detected-uncorrected attempts. A retry
+      // fails the same way with probability p_detected_unc; the error
+      // persists only if the initial attempt and all k retries fail.
+      const int k = std::max<int>(1, cfg.ssw_param);
+      double persist = p_detected_unc;
+      double expected_retries = 0.0;
+      double fail_chain = p_detected_unc;
+      for (int j = 1; j <= k; ++j) {
+        expected_retries += fail_chain;        // a j-th retry happens iff the
+        fail_chain *= p_detected_unc;          // previous j attempts failed
+      }
+      persist = fail_chain;  // = p_detected_unc^(k+1)
+      residual_detected = persist;
+      expected_reexec_time = expected_retries * m.min_ext;
+      break;
+    }
+    case SswTechnique::Checkpoint: {
+      // k checkpoint segments: a detected error rolls back one segment
+      // (cost min_ext / k) and is re-tried once per segment; two consecutive
+      // failures of the same segment abort (residual ~ p^2).
+      const int k = std::max<int>(1, cfg.ssw_param);
+      residual_detected = p_detected_unc * p_detected_unc;
+      expected_reexec_time =
+          (p_detected_unc + residual_detected) * (m.min_ext / static_cast<double>(k));
+      break;
+    }
+  }
+
+  m.err_prob = std::clamp(p_silent + residual_detected, 0.0, 1.0);
+  m.avg_ext = m.min_ext + expected_reexec_time;
+
+  // --- Aging (η, MTTF): Weibull with PE shape βp; the scale parameter comes
+  // from the steady-state thermal model (Arrhenius acceleration with the
+  // junction temperature reached at this implementation's power). ---
+  m.eta = thermal_.eta(m.avg_power);
+  m.mttf = m.eta * std::tgamma(1.0 + 1.0 / pe_type.beta_aging);
+
+  return m;
+}
+
+double ThermalModel::eta(double avg_power) const {
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // eV / K
+  const double t = junction_k(std::max(avg_power, 0.0));
+  return eta_ref * std::exp(activation_ev / kBoltzmannEv * (1.0 / t - 1.0 / t_ref_k));
+}
+
+}  // namespace clr::rel

@@ -1,0 +1,81 @@
+#pragma once
+// Task-level performance metrics of Table 2, evaluated per
+// (implementation, PE, CLR configuration) following the CLRFrame-style
+// model [13] documented in DESIGN.md §5.1:
+//
+//   MinExT(t,i)  — error-free execution time (all technique time overheads)
+//   AvgExT(t,i)  — expected execution time including re-executions
+//   ErrProb(t,i) — probability an execution produces a wrong (or unrecovered)
+//                  result
+//   MTTF(t,i)    — aging-limited mean time to failure (Weibull, shape βp)
+//   W(t,i)       — average dynamic power while executing
+//   η(t,i)       — Weibull scale parameter (thermal/power stress indicator)
+
+#include "platform/platform.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/implementation.hpp"
+
+namespace clr::rel {
+
+/// Environmental fault model: the single-event-upset rate the paper treats
+/// as a (per-scenario) constant (§4: "constant resource availability and
+/// λSEU as the working scenario").
+struct FaultModel {
+  /// SEU arrival rate per time unit of raw execution on AVF = 1 logic.
+  double lambda_seu = 1e-2;
+};
+
+/// Steady-state thermal model driving the aging scale parameter η (Table 2:
+/// "η(t,i) is a function of the thermal profile of executing Impl(t,i)").
+/// Junction temperature rises linearly with dissipated power
+/// (T = T_ambient + R_th * W) and aging accelerates with temperature by the
+/// Arrhenius law: η(T) = η_ref * exp(Ea/k * (1/T - 1/T_ref)).
+struct ThermalModel {
+  double ambient_k = 318.0;      ///< ambient temperature (45 C)
+  double rth_k_per_w = 25.0;     ///< junction-to-ambient thermal resistance
+  double activation_ev = 0.7;    ///< activation energy (electromigration-ish)
+  double t_ref_k = 338.0;        ///< reference junction temperature (65 C)
+  double eta_ref = 5e6;          ///< Weibull scale at the reference temperature
+
+  /// Junction temperature for a given average power.
+  double junction_k(double avg_power) const { return ambient_k + rth_k_per_w * avg_power; }
+
+  /// Arrhenius-accelerated Weibull scale parameter at that power.
+  double eta(double avg_power) const;
+};
+
+/// The Table 2 metric bundle for one (task, impl, PE, CLR config) choice.
+struct TaskMetrics {
+  double min_ext = 0.0;    ///< MinExT
+  double avg_ext = 0.0;    ///< AvgExT
+  double err_prob = 0.0;   ///< ErrProb (post-mitigation, per execution)
+  double mttf = 0.0;       ///< MTTF
+  double avg_power = 0.0;  ///< W
+  double eta = 0.0;        ///< η (Weibull scale / stress indicator)
+
+  /// Energy of one average execution (J = AvgExT * W), used by Eq. (3).
+  double energy() const { return avg_ext * avg_power; }
+};
+
+/// Deterministic analytical evaluation of Table 2 metrics.
+class MetricsModel {
+ public:
+  explicit MetricsModel(FaultModel fault = {}, ThermalModel thermal = {})
+      : fault_(fault), thermal_(thermal) {}
+
+  const FaultModel& fault_model() const { return fault_; }
+  void set_fault_model(FaultModel fm) { fault_ = fm; }
+  const ThermalModel& thermal_model() const { return thermal_; }
+  void set_thermal_model(ThermalModel tm) { thermal_ = tm; }
+
+  /// Evaluate the metric bundle for running `impl` on PE type `pe_type`
+  /// under CLR configuration `cfg`.
+  TaskMetrics evaluate(const Implementation& impl, const plat::PeType& pe_type,
+                       const ClrConfig& cfg) const;
+
+ private:
+  FaultModel fault_;
+  ThermalModel thermal_;
+};
+
+}  // namespace clr::rel

@@ -1,0 +1,68 @@
+#include "reliability/techniques.hpp"
+
+#include <stdexcept>
+
+namespace clr::rel {
+
+namespace {
+// Hardware: partial TMR triplicates critical sublogic (large power cost,
+// small timing cost via majority voters, strong masking); hardening swaps in
+// rad-hard(ish) cells (moderate cost, moderate masking).
+constexpr std::array<HwTraits, kNumHwTechniques> kHw{{
+    /*None*/ {1.00, 1.00, 1.00},
+    /*Hardening*/ {1.15, 1.35, 0.30},
+    /*PartialTmr*/ {1.05, 2.20, 0.08},
+}};
+
+// System software: retry re-executes the whole task on detected errors;
+// checkpointing pays a per-segment save cost but re-executes only a segment.
+constexpr std::array<SswTraits, kNumSswTechniques> kSsw{{
+    /*None*/ {1.00, 0.00, 1.00},
+    /*Retry*/ {1.02, 0.00, 1.00},
+    /*Checkpoint*/ {1.01, 0.03, 1.05},
+}};
+
+// Application software: checksum detects but cannot correct; Hamming corrects
+// single-symbol errors; code tripling (triple execution + vote) corrects at
+// ~3x time.
+constexpr std::array<AswTraits, kNumAswTechniques> kAsw{{
+    /*None*/ {1.00, 1.00, 0.00, 0.00},
+    /*Checksum*/ {1.10, 1.05, 0.95, 0.00},
+    /*Hamming*/ {1.35, 1.15, 0.97, 0.90},
+    /*CodeTripling*/ {2.90, 1.10, 0.99, 0.95},
+}};
+}  // namespace
+
+const HwTraits& hw_traits(HwTechnique t) { return kHw.at(static_cast<std::size_t>(t)); }
+const SswTraits& ssw_traits(SswTechnique t) { return kSsw.at(static_cast<std::size_t>(t)); }
+const AswTraits& asw_traits(AswTechnique t) { return kAsw.at(static_cast<std::size_t>(t)); }
+
+std::string to_string(HwTechnique t) {
+  switch (t) {
+    case HwTechnique::None: return "hw:none";
+    case HwTechnique::Hardening: return "hw:harden";
+    case HwTechnique::PartialTmr: return "hw:ptmr";
+  }
+  throw std::invalid_argument("to_string: bad HwTechnique");
+}
+
+std::string to_string(SswTechnique t) {
+  switch (t) {
+    case SswTechnique::None: return "ssw:none";
+    case SswTechnique::Retry: return "ssw:retry";
+    case SswTechnique::Checkpoint: return "ssw:ckpt";
+  }
+  throw std::invalid_argument("to_string: bad SswTechnique");
+}
+
+std::string to_string(AswTechnique t) {
+  switch (t) {
+    case AswTechnique::None: return "asw:none";
+    case AswTechnique::Checksum: return "asw:crc";
+    case AswTechnique::Hamming: return "asw:hamming";
+    case AswTechnique::CodeTripling: return "asw:triple";
+  }
+  throw std::invalid_argument("to_string: bad AswTechnique");
+}
+
+}  // namespace clr::rel

@@ -1,0 +1,67 @@
+#pragma once
+// Fault-mitigation technique library across the three layers of the paper's
+// CLR model (§3.3, Table 2):
+//   Hardware      (HWRel)  — spatial redundancy: partial TMR, circuit hardening
+//   System SW     (SSWRel) — temporal redundancy: retry, checkpointing
+//   Application SW(ASWRel) — information redundancy: checksum, Hamming, tripling
+//
+// Each technique is described by multiplicative time/power overheads and by
+// coverage parameters that drive the error-probability algebra in
+// MetricsModel (see DESIGN.md §5.1).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace clr::rel {
+
+/// Hardware-layer technique (spatial redundancy).
+enum class HwTechnique : std::uint8_t { None = 0, Hardening, PartialTmr };
+inline constexpr std::size_t kNumHwTechniques = 3;
+
+/// System-software-layer technique (temporal redundancy). The `param` of a
+/// ClrConfig holds the retry count / checkpoint-segment count.
+enum class SswTechnique : std::uint8_t { None = 0, Retry, Checkpoint };
+inline constexpr std::size_t kNumSswTechniques = 3;
+
+/// Application-software-layer technique (information redundancy).
+enum class AswTechnique : std::uint8_t { None = 0, Checksum, Hamming, CodeTripling };
+inline constexpr std::size_t kNumAswTechniques = 4;
+
+/// Hardware technique traits: overheads plus the *residual* fraction of raw
+/// faults that survive the spatial redundancy (1.0 = no protection).
+struct HwTraits {
+  double time_factor;
+  double power_factor;
+  double residual;
+};
+
+/// System-software technique traits. Retry/checkpoint act on *detected but
+/// uncorrected* errors from the layer above; per_unit_overhead is the time
+/// overhead per retry slot / checkpoint segment.
+struct SswTraits {
+  double base_time_factor;     ///< detection-hook / checkpoint-setup overhead
+  double per_unit_overhead;    ///< additional time factor per param unit
+  double power_factor;
+};
+
+/// Application-software technique traits: detection and correction coverage
+/// (correct <= detect) plus overheads.
+struct AswTraits {
+  double time_factor;
+  double power_factor;
+  double detect_coverage;
+  double correct_coverage;
+};
+
+/// Trait tables (calibrated to typical overheads from the CLR literature;
+/// see DESIGN.md §5.1 for the rationale).
+const HwTraits& hw_traits(HwTechnique t);
+const SswTraits& ssw_traits(SswTechnique t);
+const AswTraits& asw_traits(AswTechnique t);
+
+std::string to_string(HwTechnique t);
+std::string to_string(SswTechnique t);
+std::string to_string(AswTechnique t);
+
+}  // namespace clr::rel

@@ -1,0 +1,61 @@
+#include "runtime/contextual_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace clr::rt {
+
+ContextualAuraPolicy::ContextualAuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc,
+                                           double p_rc, const dse::MetricRanges& ranges,
+                                           Params params)
+    : UraPolicy(db, drc, p_rc), params_(params), ranges_(ranges) {
+  if (params.makespan_buckets == 0 || params.func_rel_buckets == 0) {
+    throw std::invalid_argument("ContextualAuraPolicy: bucket counts must be >= 1");
+  }
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    throw std::invalid_argument("ContextualAuraPolicy: gamma must be in [0,1)");
+  }
+  if (params.alpha <= 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("ContextualAuraPolicy: alpha must be in (0,1]");
+  }
+  values_.assign(num_contexts(), std::vector<double>(db.size(), 0.0));
+}
+
+std::size_t ContextualAuraPolicy::context_of(const dse::QosSpec& spec) const {
+  auto bucket = [](double x, double lo, double hi, std::size_t n) {
+    if (n <= 1) return std::size_t{0};
+    const double t = util::min_max_norm(x, lo, hi);
+    return std::min(static_cast<std::size_t>(t * static_cast<double>(n)), n - 1);
+  };
+  const std::size_t s_bucket =
+      bucket(spec.max_makespan, ranges_.makespan_min, ranges_.makespan_max,
+             params_.makespan_buckets);
+  const std::size_t f_bucket =
+      bucket(spec.min_func_rel, ranges_.func_rel_min, ranges_.func_rel_max,
+             params_.func_rel_buckets);
+  return s_bucket * params_.func_rel_buckets + f_bucket;
+}
+
+Decision ContextualAuraPolicy::select(std::size_t current, const dse::QosSpec& spec) {
+  const std::size_t ctx = context_of(spec);
+  Decision d = evaluate_and_pick(current, spec, &values_[ctx], params_.gamma, params_.guard);
+  if (learning_) episode_.push_back(Step{ctx, d.point, d.reward});
+  return d;
+}
+
+void ContextualAuraPolicy::end_episode() {
+  if (!learning_ || episode_.empty()) return;
+  double g = 0.0;
+  for (auto it = episode_.rbegin(); it != episode_.rend(); ++it) {
+    g = it->reward + params_.gamma * g;
+    double& v = values_[it->context][it->state];
+    v += params_.alpha * (g - v);
+  }
+  episode_.clear();
+}
+
+void ContextualAuraPolicy::reset() { episode_.clear(); }
+
+}  // namespace clr::rt

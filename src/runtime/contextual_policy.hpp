@@ -1,0 +1,60 @@
+#pragma once
+// Contextual AuRA (extension): the plain AuRA agent learns one value per
+// stored design point, but a point's long-run worth depends on the *demand
+// regime* — a frugal low-reliability point is valuable while requirements
+// are loose and a liability while they are tight. This agent quantizes the
+// incoming QoS requirement into a small grid of contexts and learns a value
+// per (context, point) pair; selection and learning otherwise follow
+// AuraPolicy's guarded-lookahead scheme. With a 1x1 grid it degenerates to
+// the plain agent.
+
+#include "runtime/policy.hpp"
+
+namespace clr::rt {
+
+class ContextualAuraPolicy : public UraPolicy {
+ public:
+  struct Params {
+    double gamma = 0.5;
+    double alpha = 0.05;
+    double guard = 0.0;  ///< 0 => value arbitrates exact immediate ties only
+    /// Context grid resolution per QoS dimension (makespan bound x
+    /// reliability floor). 1 x 1 matches the plain AuraPolicy.
+    std::size_t makespan_buckets = 3;
+    std::size_t func_rel_buckets = 3;
+  };
+
+  /// `ranges` delimits the demand box used for bucketing (usually the same
+  /// MetricRanges handed to the QosProcess).
+  ContextualAuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc,
+                       const dse::MetricRanges& ranges, Params params);
+
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  void end_episode() override;
+  void reset() override;
+
+  /// Context index for a requirement (row-major bucket id).
+  std::size_t context_of(const dse::QosSpec& spec) const;
+  std::size_t num_contexts() const { return params_.makespan_buckets * params_.func_rel_buckets; }
+
+  /// Values of one context (size = database size).
+  const std::vector<double>& values(std::size_t context) const { return values_.at(context); }
+
+  void set_learning(bool enabled) { learning_ = enabled; }
+
+ private:
+  Params params_;
+  dse::MetricRanges ranges_;
+  /// Per context: one value per stored point.
+  std::vector<std::vector<double>> values_;
+  /// (context, state, reward) trajectory of the current episode.
+  struct Step {
+    std::size_t context;
+    std::size_t state;
+    double reward;
+  };
+  std::vector<Step> episode_;
+  bool learning_ = true;
+};
+
+}  // namespace clr::rt

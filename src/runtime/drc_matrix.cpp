@@ -1,0 +1,31 @@
+#include "runtime/drc_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clr::rt {
+
+DrcMatrix::DrcMatrix(std::size_t n, std::vector<double> costs)
+    : n_(n), costs_(std::move(costs)) {
+  if (costs_.size() != n_ * n_) {
+    throw std::invalid_argument("DrcMatrix: cost table must be n*n");
+  }
+}
+
+double DrcMatrix::max_drc() const {
+  double best = 0.0;
+  for (double c : costs_) best = std::max(best, c);
+  return best;
+}
+
+DrcMatrix::DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model)
+    : n_(db.size()), costs_(db.size() * db.size(), 0.0) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      costs_[i * n_ + j] = model.drc(db.point(i).config, db.point(j).config);
+    }
+  }
+}
+
+}  // namespace clr::rt

@@ -1,0 +1,35 @@
+#pragma once
+// Precomputed pairwise reconfiguration costs between all stored design
+// points. The database is immutable at run-time, so dRC(i -> j) is evaluated
+// once; the Monte-Carlo simulator then does O(1) lookups per candidate
+// instead of re-walking both configurations on every event.
+
+#include <vector>
+
+#include "dse/design_db.hpp"
+#include "reconfig/reconfig.hpp"
+
+namespace clr::rt {
+
+class DrcMatrix {
+ public:
+  DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model);
+
+  /// Build from an explicit row-major n x n cost table (tests, what-if
+  /// analyses). Throws std::invalid_argument unless costs.size() == n*n.
+  DrcMatrix(std::size_t n, std::vector<double> costs);
+
+  /// dRC of reconfiguring from stored point `from` to stored point `to`.
+  double drc(std::size_t from, std::size_t to) const { return costs_[from * n_ + to]; }
+
+  /// Largest pairwise cost in the table (global normalization scale).
+  double max_drc() const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> costs_;
+};
+
+}  // namespace clr::rt

@@ -1,0 +1,204 @@
+#include "runtime/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "moea/hypervolume.hpp"
+
+namespace clr::rt {
+
+BaselinePolicy::BaselinePolicy(const dse::DesignDb& db, const DrcMatrix& drc)
+    : db_(&db), drc_(&drc) {
+  if (db.empty()) throw std::invalid_argument("BaselinePolicy: empty database");
+}
+
+Decision BaselinePolicy::select(std::size_t current, const dse::QosSpec& spec) {
+  Decision d;
+  auto feas = db_->feasible_indices(spec);
+  if (feas.empty()) {
+    d.feasible_set_empty = true;
+    d.point = db_->least_violating(spec);
+  } else {
+    // Best signed hypervolume w.r.t. the QoS corner in (S, -F, J) space —
+    // scale by the database ranges so units are comparable.
+    const auto r = db_->ranges();
+    const std::vector<double> ref{spec.max_makespan, -spec.min_func_rel,
+                                  r.energy_max * 1.05 + 1e-9};
+    const std::vector<double> scale{
+        1.0 / std::max(r.makespan_max - r.makespan_min, 1e-9),
+        1.0 / std::max(r.func_rel_max - r.func_rel_min, 1e-9),
+        1.0 / std::max(r.energy_max - r.energy_min, 1e-9)};
+    double best_hv = -std::numeric_limits<double>::infinity();
+    std::size_t best = feas.front();
+    for (std::size_t i : feas) {
+      const auto& p = db_->point(i);
+      const double hv =
+          moea::signed_point_hypervolume({p.makespan, -p.func_rel, p.energy}, ref, scale);
+      if (hv > best_hv) {
+        best_hv = hv;
+        best = i;
+      }
+    }
+    d.point = best;
+  }
+  d.drc = drc_->drc(current, d.point);
+  return d;
+}
+
+UraPolicy::UraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc)
+    : db_(&db), drc_(&drc), p_rc_(p_rc) {
+  if (db.empty()) throw std::invalid_argument("UraPolicy: empty database");
+  if (p_rc < 0.0 || p_rc > 1.0) throw std::invalid_argument("UraPolicy: pRC must be in [0,1]");
+  // Database-global scales for the *learning* reward: unlike the per-event
+  // FEAS normalization of Algorithm 1 (which ranks candidates), the reward
+  // fed to AuRA's value updates must be stationary across events, or the
+  // learned values average incomparable quantities.
+  const auto r = db.ranges();
+  global_energy_lo_ = r.energy_min;
+  global_energy_hi_ = r.energy_max;
+  global_drc_hi_ = drc.max_drc();
+}
+
+Decision UraPolicy::evaluate_and_pick(std::size_t current, const dse::QosSpec& spec,
+                                      const std::vector<double>* state_values, double gamma,
+                                      double guard) {
+  Decision d;
+  auto feas = db_->feasible_indices(spec);
+  if (feas.empty()) {
+    d.feasible_set_empty = true;
+    d.point = db_->least_violating(spec);
+    d.drc = drc_->drc(current, d.point);
+    d.reward = 0.0;  // violating spec is the worst outcome in the [0,1] scale
+    return d;
+  }
+
+  // Algorithm 1 lines 5-9: estimate dRC and R per feasible point, normalize
+  // within FEAS, combine by pRC. dRC normalizes against a zero floor (not
+  // the FEAS minimum): staying put costs nothing and must rank strictly
+  // better than the cheapest actual move, otherwise a value lookahead breaks
+  // the artificial tie with paid reconfigurations.
+  std::vector<double> drc(feas.size());
+  std::vector<double> perf(feas.size());  // R(p) = -Japp(p)
+  double drc_hi = 0.0;
+  double r_lo = std::numeric_limits<double>::infinity(), r_hi = -r_lo;
+  for (std::size_t k = 0; k < feas.size(); ++k) {
+    const auto& p = db_->point(feas[k]);
+    drc[k] = drc_->drc(current, feas[k]);
+    perf[k] = -p.energy;
+    drc_hi = std::max(drc_hi, drc[k]);
+    r_lo = std::min(r_lo, perf[k]);
+    r_hi = std::max(r_hi, perf[k]);
+  }
+
+  std::vector<double> immediate(feas.size());
+  double best_imm = -std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < feas.size(); ++k) {
+    immediate[k] = p_rc_ * util::min_max_norm(perf[k], r_lo, r_hi) -
+                   (1.0 - p_rc_) * util::min_max_norm(drc[k], 0.0, drc_hi);
+    if (immediate[k] > best_imm || (immediate[k] == best_imm && feas[k] == current)) {
+      best_imm = immediate[k];
+      best_k = k;
+    }
+  }
+
+  // Guarded value lookahead (AuRA): among candidates whose immediate RET is
+  // within the guard band of the best, prefer the one with the best
+  // RET + gamma * V — the learned values arbitrate otherwise-close choices
+  // toward states with better long-run returns.
+  if (state_values != nullptr && gamma > 0.0) {
+    const double band = std::max(guard, 1e-12);  // guard 0 => exact ties only
+    double best_ret = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < feas.size(); ++k) {
+      if (immediate[k] + band < best_imm) continue;
+      const double ret = immediate[k] + gamma * (*state_values)[feas[k]];
+      if (ret > best_ret || (ret == best_ret && feas[k] == current)) {
+        best_ret = ret;
+        best_k = k;
+      }
+    }
+  }
+
+  d.point = feas[best_k];
+  d.drc = drc[best_k];
+  d.reward = global_reward(d.point, d.drc);
+  return d;
+}
+
+double UraPolicy::global_reward(std::size_t point, double paid_drc) const {
+  // Rewards live in [0, 1] (an affine shift of Algorithm 1's weighted sum):
+  // a zero-initialized value function is then *pessimistic* about unvisited
+  // states, so the agent does not pay reconfigurations just to explore them.
+  const double norm_r =
+      1.0 - util::min_max_norm(db_->point(point).energy, global_energy_lo_, global_energy_hi_);
+  const double norm_drc = util::min_max_norm(paid_drc, 0.0, global_drc_hi_);
+  return p_rc_ * norm_r + (1.0 - p_rc_) * (1.0 - norm_drc);
+}
+
+Decision UraPolicy::select(std::size_t current, const dse::QosSpec& spec) {
+  return evaluate_and_pick(current, spec, nullptr, 0.0, 0.0);
+}
+
+AuraPolicy::AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc,
+                       Params params)
+    : UraPolicy(db, drc, p_rc), params_(params) {
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    throw std::invalid_argument("AuraPolicy: gamma must be in [0,1)");
+  }
+  if (params.alpha <= 0.0 || params.alpha > 1.0) {
+    throw std::invalid_argument("AuraPolicy: alpha must be in (0,1]");
+  }
+  values_.assign(db.size(), params.initial_value);
+  visits_.assign(db.size(), 0);
+}
+
+AuraPolicy::AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc)
+    : AuraPolicy(db, drc, p_rc, Params{}) {}
+
+Decision AuraPolicy::select(std::size_t current, const dse::QosSpec& spec) {
+  Decision d = evaluate_and_pick(current, spec, &values_, params_.gamma, params_.guard);
+  if (learning_) episode_.emplace_back(d.point, d.reward);
+  return d;
+}
+
+void AuraPolicy::end_episode() {
+  if (!learning_ || episode_.empty()) return;
+  // Every-visit Monte-Carlo: discounted return from each step to episode end.
+  double g = 0.0;
+  for (auto it = episode_.rbegin(); it != episode_.rend(); ++it) {
+    g = it->second + params_.gamma * g;
+    double& v = values_[it->first];
+    v += params_.alpha * (g - v);
+    ++visits_[it->first];
+  }
+  episode_.clear();
+}
+
+void AuraPolicy::neutralize_unvisited() {
+  double sum = 0.0;
+  std::size_t visited = 0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (visits_[i] > 0) {
+      sum += values_[i];
+      ++visited;
+    }
+  }
+  if (visited == 0) return;
+  const double mean = sum / static_cast<double>(visited);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (visits_[i] == 0) values_[i] = mean;
+  }
+}
+
+void AuraPolicy::reset() { episode_.clear(); }
+
+void AuraPolicy::set_values(std::vector<double> values) {
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument("AuraPolicy::set_values: size mismatch");
+  }
+  values_ = std::move(values);
+}
+
+}  // namespace clr::rt

@@ -1,0 +1,142 @@
+#pragma once
+// Run-time adaptation policies (paper §4.3):
+//
+//  - BaselinePolicy: the [11]-style purely performance-oriented selection —
+//    on every event it moves to the feasible point with the best signed
+//    hypervolume w.r.t. the new QoS corner, regardless of reconfiguration
+//    cost (the behaviour BaseD exhibits in Fig. 6).
+//  - UraPolicy: user-modulated run-time adaptation, Algorithm 1 —
+//    RET(p) = pRC * norm(R(p)) - (1 - pRC) * norm(dRC(p)) over the feasible
+//    stored points, normalized within the feasible set.
+//  - AuraPolicy: agent-based uRA (§4.3.2) — every stored design point is an
+//    RL state; selection adds a one-step lookahead of the learned state value
+//    (gamma * V(p)), and values are updated by every-visit Monte-Carlo
+//    returns over fixed-length episodes. gamma = 0 recovers uRA exactly.
+//    Prior knowledge is injected by pre-training V with an offline
+//    Monte-Carlo simulation of the same fixed policy (see RuntimeSimulator).
+
+#include <vector>
+
+#include "dse/design_db.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace clr::rt {
+
+/// Outcome of one policy decision.
+struct Decision {
+  std::size_t point = 0;        ///< selected database index
+  bool feasible_set_empty = false;  ///< no stored point satisfied the spec
+  double drc = 0.0;             ///< reconfiguration cost from the current point
+  double reward = 0.0;          ///< normalized immediate return (uRA's RET term)
+};
+
+/// Common interface: select the next stored design point for a new QoS spec.
+class AdaptationPolicy {
+ public:
+  virtual ~AdaptationPolicy() = default;
+
+  /// Pick the next point given the current one and the new requirement.
+  virtual Decision select(std::size_t current, const dse::QosSpec& spec) = 0;
+
+  /// Episode boundary notification (learning policies update values here).
+  virtual void end_episode() {}
+
+  /// Reset transient state between simulation runs (learned values persist).
+  virtual void reset() {}
+};
+
+/// Performance-oriented baseline: best signed hypervolume w.r.t. the QoS
+/// corner on every event (reconfiguration-cost-blind).
+class BaselinePolicy : public AdaptationPolicy {
+ public:
+  BaselinePolicy(const dse::DesignDb& db, const DrcMatrix& drc);
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+
+ private:
+  const dse::DesignDb* db_;
+  const DrcMatrix* drc_;
+};
+
+/// Algorithm 1. pRC = 1 maximizes performance (energy reduction); pRC = 0
+/// minimizes reconfiguration cost (stay put whenever feasible).
+class UraPolicy : public AdaptationPolicy {
+ public:
+  UraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc);
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+
+  double p_rc() const { return p_rc_; }
+
+ protected:
+  /// Shared evaluation core: returns RET per feasible point (plus lookahead
+  /// hook used by AuRA). Handles the empty-feasible-set fallback.
+  Decision evaluate_and_pick(std::size_t current, const dse::QosSpec& spec,
+                             const std::vector<double>* state_values, double gamma,
+                             double guard);
+
+  /// Stationary (database-global) reward for the RL value updates:
+  /// pRC * normR(point) - (1 - pRC) * norm(dRC paid), normalized over the
+  /// whole database / cost table.
+  double global_reward(std::size_t point, double paid_drc) const;
+
+  const dse::DesignDb* db_;
+  const DrcMatrix* drc_;
+  double p_rc_;
+  double global_energy_lo_ = 0.0;
+  double global_energy_hi_ = 0.0;
+  double global_drc_hi_ = 0.0;
+};
+
+/// AuRA (§4.3.2): uRA with learned state-value lookahead.
+class AuraPolicy : public UraPolicy {
+ public:
+  struct Params {
+    double gamma = 0.5;   ///< discount factor (0 => uRA)
+    double alpha = 0.05;  ///< value-function learning rate
+    /// Guard band: the value lookahead only arbitrates among candidates
+    /// whose immediate RET is within `guard` of the best immediate RET.
+    /// 0 (default) restricts the lookahead to exact ties — the agent then
+    /// can never do worse than uRA on the immediate objective and uses its
+    /// learned values to resolve cost ties (e.g. between several free
+    /// CLR-only reconfiguration targets). Larger values trade bounded
+    /// immediate loss for speculative long-run gain.
+    double guard = 0.0;
+    /// Initial value for every state (uniform prior of the purely online
+    /// agent; replaced by Monte-Carlo pre-training when prior knowledge is
+    /// available).
+    double initial_value = 0.0;
+  };
+
+  AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc, Params params);
+  /// Defaults: gamma 0.5, alpha 0.05, guard 0.02, uniform zero-valued prior.
+  AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc);
+
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  void end_episode() override;
+  void reset() override;
+
+  const std::vector<double>& values() const { return values_; }
+  void set_values(std::vector<double> values);
+  const Params& rl_params() const { return params_; }
+
+  /// Number of value updates each state has received.
+  const std::vector<std::size_t>& visit_counts() const { return visits_; }
+
+  /// Give states never visited during (pre-)training the mean value of the
+  /// visited ones. Without this, an arbitrary initial value acts as a strong
+  /// optimism/pessimism bias relative to the learned values and distorts the
+  /// ranking (argmax only cares about value *differences*).
+  void neutralize_unvisited();
+
+  /// Freeze learning (used after offline pre-training when evaluating).
+  void set_learning(bool enabled) { learning_ = enabled; }
+
+ private:
+  Params params_;
+  std::vector<double> values_;
+  std::vector<std::size_t> visits_;
+  bool learning_ = true;
+  /// (state, reward) trajectory of the current episode.
+  std::vector<std::pair<std::size_t, double>> episode_;
+};
+
+}  // namespace clr::rt

@@ -1,0 +1,94 @@
+#include "runtime/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clr::rt {
+
+RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& policy,
+                                   const QosProcess& qos, util::Rng& rng) const {
+  if (db.empty()) throw std::invalid_argument("RuntimeSimulator: empty database");
+  if (params_.total_cycles <= 0.0) {
+    throw std::invalid_argument("RuntimeSimulator: total_cycles must be > 0");
+  }
+
+  RuntimeStats stats;
+  stats.total_cycles = params_.total_cycles;
+  policy.reset();
+
+  // Initial placement: policy decision for the first spec, free of charge.
+  dse::QosSpec spec = qos.sample_spec(rng);
+  std::size_t current = policy.select(db.least_violating(spec), spec).point;
+
+  double now = 0.0;
+  double next_event = qos.sample_gap(rng);
+  double next_episode = params_.episode_cycles;
+  double energy_weighted = 0.0;
+
+  while (now < params_.total_cycles) {
+    const double horizon = std::min({next_event, next_episode, params_.total_cycles});
+    energy_weighted += db.point(current).energy * (horizon - now);
+    now = horizon;
+
+    if (now >= params_.total_cycles) break;
+
+    if (now == next_episode) {
+      policy.end_episode();
+      next_episode += params_.episode_cycles;
+      if (now != next_event) continue;
+    }
+
+    // QoS-change event (requirements drift per the AR(1) process).
+    spec = qos.next_spec(spec, rng);
+    const Decision d = policy.select(current, spec);
+    ++stats.num_events;
+    if (d.feasible_set_empty) ++stats.num_infeasible_events;
+
+    const bool reconfigured = d.point != current;
+    const double drc = reconfigured ? d.drc : 0.0;
+    if (reconfigured) {
+      ++stats.num_reconfigs;
+      stats.total_reconfig_cost += drc;
+      stats.max_drc = std::max(stats.max_drc, drc);
+    }
+    if (stats.trace.size() < params_.trace_events) {
+      stats.trace.push_back(EventRecord{now, d.point, drc, reconfigured, d.feasible_set_empty});
+    }
+    current = d.point;
+    next_event = now + qos.sample_gap(rng);
+  }
+  policy.end_episode();
+
+  stats.avg_energy = energy_weighted / params_.total_cycles;
+  stats.avg_reconfig_cost =
+      stats.num_events > 0 ? stats.total_reconfig_cost / static_cast<double>(stats.num_events)
+                           : 0.0;
+  return stats;
+}
+
+std::string trace_to_csv(const std::vector<EventRecord>& trace) {
+  std::string out = "time,point,drc,reconfigured,infeasible\n";
+  for (const auto& ev : trace) {
+    out += std::to_string(ev.time) + "," + std::to_string(ev.point) + "," +
+           std::to_string(ev.drc) + "," + (ev.reconfigured ? "1" : "0") + "," +
+           (ev.infeasible ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+std::vector<double> pretrain_aura(AuraPolicy& policy, const dse::DesignDb& db,
+                                  const QosProcess& qos, double cycles_per_sweep,
+                                  std::size_t sweeps, util::Rng& rng) {
+  SimulationParams params;
+  params.total_cycles = cycles_per_sweep;
+  RuntimeSimulator sim(params);
+  policy.set_learning(true);
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    sim.run(db, policy, qos, rng);
+  }
+  policy.set_learning(false);
+  policy.neutralize_unvisited();
+  return policy.values();
+}
+
+}  // namespace clr::rt

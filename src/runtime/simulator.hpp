@@ -1,0 +1,83 @@
+#pragma once
+// Monte-Carlo discrete-event simulation of the run-time adaptation loop
+// (paper §5.1): QoS requirements change at exponentially-distributed event
+// times; at each event the policy picks the next stored design point; energy
+// integrates the active point's Japp per application cycle; reconfiguration
+// costs accumulate per transition. Episodes of fixed length drive the AuRA
+// value updates.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dse/design_db.hpp"
+#include "runtime/policy.hpp"
+#include "runtime/qos_process.hpp"
+
+namespace clr::rt {
+
+struct SimulationParams {
+  /// Total simulated application execution cycles (paper: one million).
+  double total_cycles = 1e6;
+  /// Episode length for value-function updates (paper: "typically a
+  /// thousand ... application execution cycles").
+  double episode_cycles = 1000.0;
+  /// Record the first N events into the trace (0 = no trace) — Fig. 6 uses
+  /// the first 50 QoS changes.
+  std::size_t trace_events = 0;
+};
+
+/// One traced QoS-change event.
+struct EventRecord {
+  double time = 0.0;        ///< cycles
+  std::size_t point = 0;    ///< selected database index
+  double drc = 0.0;         ///< cost paid for this transition (0 = stayed)
+  bool reconfigured = false;
+  bool infeasible = false;  ///< no stored point satisfied the new spec
+};
+
+/// Aggregated simulation outcome.
+struct RuntimeStats {
+  double total_cycles = 0.0;
+  std::size_t num_events = 0;
+  std::size_t num_reconfigs = 0;
+  std::size_t num_infeasible_events = 0;
+  /// Time-weighted mean Japp of the active configuration (the paper's Javg).
+  double avg_energy = 0.0;
+  /// Total dRC paid over the run.
+  double total_reconfig_cost = 0.0;
+  /// Mean dRC per QoS-change event (the paper's average reconfiguration cost).
+  double avg_reconfig_cost = 0.0;
+  /// Largest single transition cost (the ΔdRC annotation of Fig. 6).
+  double max_drc = 0.0;
+  std::vector<EventRecord> trace;
+};
+
+/// The run-time adaptation loop of Fig. 3 (right half).
+class RuntimeSimulator {
+ public:
+  explicit RuntimeSimulator(SimulationParams params = {}) : params_(params) {}
+
+  /// Simulate `policy` over `db` against the QoS process. The initial point
+  /// is the policy's choice for the first sampled spec (no cost charged).
+  RuntimeStats run(const dse::DesignDb& db, AdaptationPolicy& policy, const QosProcess& qos,
+                   util::Rng& rng) const;
+
+  const SimulationParams& params() const { return params_; }
+
+ private:
+  SimulationParams params_;
+};
+
+/// Render a recorded event trace as CSV ("time,point,drc,reconfigured,
+/// infeasible") for offline plotting — e.g. regenerating Fig. 6 graphically.
+std::string trace_to_csv(const std::vector<EventRecord>& trace);
+
+/// Offline Monte-Carlo pre-training of an AuRA agent (§4.3.2 "Prior
+/// knowledge"): runs `sweeps` simulations of `cycles_per_sweep` cycles with
+/// learning enabled, then freezes learning. Returns the trained values.
+std::vector<double> pretrain_aura(AuraPolicy& policy, const dse::DesignDb& db,
+                                  const QosProcess& qos, double cycles_per_sweep,
+                                  std::size_t sweeps, util::Rng& rng);
+
+}  // namespace clr::rt

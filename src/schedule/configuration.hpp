@@ -1,0 +1,39 @@
+#pragma once
+// A CLR-integrated task-mapping configuration Xi (paper §4.1):
+// for every task — the PE binding (Pt), the implementation choice (It), the
+// schedule position / priority (Qt) and the CLR configuration (Ct).
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::sched {
+
+/// Per-task decision variables.
+struct TaskAssignment {
+  plat::PeId pe = 0;
+  /// Index into ImplementationSet::for_task(t) — must be compatible with the
+  /// PE's type.
+  std::uint32_t impl_index = 0;
+  /// Index into the shared ClrSpace.
+  std::uint32_t clr_index = 0;
+  /// List-scheduling priority (higher runs earlier among ready tasks).
+  std::int32_t priority = 0;
+
+  friend bool operator==(const TaskAssignment&, const TaskAssignment&) = default;
+};
+
+/// One full design point's decision vector (the Xi of Eq. 4).
+struct Configuration {
+  std::vector<TaskAssignment> tasks;
+
+  std::size_t size() const { return tasks.size(); }
+  TaskAssignment& operator[](tg::TaskId t) { return tasks[t]; }
+  const TaskAssignment& operator[](tg::TaskId t) const { return tasks[t]; }
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+};
+
+}  // namespace clr::sched

@@ -1,0 +1,63 @@
+#include "schedule/dot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace clr::sched {
+
+namespace {
+
+std::string node_label(const tg::Task& t) {
+  std::ostringstream oss;
+  if (!t.name.empty()) {
+    oss << t.name;
+  } else {
+    oss << "t" << t.id;
+  }
+  oss << "\\n(type " << t.type << ")";
+  return oss.str();
+}
+
+/// A small qualitative palette cycled per PE.
+const char* pe_color(plat::PeId pe) {
+  static const char* kColors[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                  "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+  return kColors[pe % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+void emit_edges(const tg::TaskGraph& graph, std::ostringstream& oss) {
+  for (const auto& e : graph.edges()) {
+    oss << "  n" << e.src << " -> n" << e.dst << " [label=\"" << e.comm_time << "\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const tg::TaskGraph& graph) {
+  std::ostringstream oss;
+  oss << "digraph app {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+  for (const auto& t : graph.tasks()) {
+    oss << "  n" << t.id << " [label=\"" << node_label(t) << "\"];\n";
+  }
+  emit_edges(graph, oss);
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string to_dot(const tg::TaskGraph& graph, const Configuration& cfg) {
+  if (cfg.size() != graph.num_tasks()) {
+    throw std::invalid_argument("to_dot: configuration size mismatch");
+  }
+  std::ostringstream oss;
+  oss << "digraph mapped_app {\n  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  for (const auto& t : graph.tasks()) {
+    oss << "  n" << t.id << " [label=\"" << node_label(t) << "\\nPE" << cfg[t.id].pe
+        << " prio " << cfg[t.id].priority << "\", fillcolor=\"" << pe_color(cfg[t.id].pe)
+        << "\"];\n";
+  }
+  emit_edges(graph, oss);
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace clr::sched

@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT export of task graphs (and optionally of a mapped
+// configuration, coloring tasks by their bound PE) for quick visual
+// inspection of generated applications.
+
+#include <string>
+
+#include "schedule/configuration.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::sched {
+
+/// Plain structural DOT: nodes labelled "name (type)" and edges labelled
+/// with their communication time.
+std::string to_dot(const tg::TaskGraph& graph);
+
+/// DOT with mapping overlay: nodes grouped/colored per bound PE.
+/// `cfg` must have one assignment per task.
+std::string to_dot(const tg::TaskGraph& graph, const Configuration& cfg);
+
+}  // namespace clr::sched

@@ -1,0 +1,65 @@
+#include "schedule/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace clr::sched {
+
+namespace {
+
+char label_for(tg::TaskId t) {
+  constexpr const char* kAlphabet =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return kAlphabet[t % 62];
+}
+
+}  // namespace
+
+std::string render_gantt(const EvalContext& ctx, const Configuration& cfg,
+                         const ScheduleResult& result, GanttOptions options) {
+  ctx.check();
+  if (cfg.size() != ctx.graph->num_tasks() || result.tasks.size() != cfg.size()) {
+    throw std::invalid_argument("render_gantt: configuration/schedule size mismatch");
+  }
+  if (options.width < 8) throw std::invalid_argument("render_gantt: width too small");
+
+  const double horizon = std::max(result.makespan, 1e-12);
+  const double slot = horizon / static_cast<double>(options.width);
+
+  std::ostringstream out;
+  out << "time 0 .. " << result.makespan << " (one column = " << slot << ")\n";
+
+  for (const auto& pe : ctx.platform->pes()) {
+    std::string row(options.width, '.');
+    bool used = false;
+    for (tg::TaskId t = 0; t < cfg.size(); ++t) {
+      if (cfg[t].pe != pe.id) continue;
+      used = true;
+      const auto& ts = result.tasks[t];
+      auto first = static_cast<std::size_t>(ts.start / slot);
+      auto last = static_cast<std::size_t>(ts.end / slot);
+      first = std::min(first, options.width - 1);
+      last = std::min(std::max(last, first + 1), options.width);
+      for (std::size_t c = first; c < last; ++c) row[c] = label_for(t);
+    }
+    if (!used && !options.show_idle_pes) continue;
+    out << "PE" << pe.id << " [" << ctx.platform->type_of(pe.id).name << "]";
+    // Pad the PE header to a fixed column.
+    const std::string header = out.str();
+    const std::size_t line_start = header.rfind('\n') + 1;
+    const std::size_t header_len = header.size() - line_start;
+    out << std::string(header_len < 24 ? 24 - header_len : 1, ' ') << "|" << row << "|\n";
+  }
+
+  if (cfg.size() <= 20) {
+    out << "legend:";
+    for (tg::TaskId t = 0; t < cfg.size(); ++t) {
+      out << " " << label_for(t) << "=t" << t;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace clr::sched

@@ -1,0 +1,25 @@
+#pragma once
+// ASCII Gantt rendering of a computed schedule — one row per PE, one column
+// per time slot — used by the examples and the CLI to show where a mapping
+// actually places work.
+
+#include <string>
+
+#include "schedule/scheduler.hpp"
+
+namespace clr::sched {
+
+struct GanttOptions {
+  /// Total character width of the time axis.
+  std::size_t width = 72;
+  /// Show idle PEs (PEs with no task) as empty rows.
+  bool show_idle_pes = false;
+};
+
+/// Render the schedule as text. Tasks are labelled by id modulo 62 with
+/// [0-9a-zA-Z]; '.' is idle time. A legend line maps labels back to task ids
+/// when there are few enough tasks to be readable.
+std::string render_gantt(const EvalContext& ctx, const Configuration& cfg,
+                         const ScheduleResult& result, GanttOptions options = {});
+
+}  // namespace clr::sched

@@ -1,0 +1,92 @@
+#include "schedule/heft.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace clr::sched {
+
+double mean_execution_time(const EvalContext& ctx, tg::TaskId t) {
+  const auto& impls = ctx.impls->for_task(t);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& pe : ctx.platform->pes()) {
+    for (std::size_t i : ctx.impls->compatible_with(t, pe.type)) {
+      sum += impls[i].base_time * ctx.platform->type_of(pe.id).perf_factor;
+      ++count;
+    }
+  }
+  if (count == 0) throw std::logic_error("mean_execution_time: task has no option");
+  return sum / static_cast<double>(count);
+}
+
+std::vector<double> upward_ranks(const EvalContext& ctx) {
+  ctx.check();
+  const tg::TaskGraph& g = *ctx.graph;
+  std::vector<double> rank(g.num_tasks(), 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const tg::TaskId t = *it;
+    double succ_term = 0.0;
+    for (tg::EdgeId e : g.out_edges(t)) {
+      const tg::Edge& edge = g.edge(e);
+      succ_term = std::max(succ_term, edge.comm_time + rank[edge.dst]);
+    }
+    rank[t] = mean_execution_time(ctx, t) + succ_term;
+  }
+  return rank;
+}
+
+Configuration heft_seed(const EvalContext& ctx) {
+  ctx.check();
+  const tg::TaskGraph& g = *ctx.graph;
+  const auto ranks = upward_ranks(ctx);
+
+  // Process tasks in decreasing upward rank (ties: lower id first), which is
+  // always a valid topological order.
+  std::vector<tg::TaskId> order(g.num_tasks());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](tg::TaskId a, tg::TaskId b) {
+    if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+    return a < b;
+  });
+
+  Configuration cfg;
+  cfg.tasks.resize(g.num_tasks());
+  std::vector<double> pe_free(ctx.platform->num_pes(), 0.0);
+  std::vector<double> finish(g.num_tasks(), 0.0);
+  std::vector<plat::PeId> placed_on(g.num_tasks(), 0);
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const tg::TaskId t = order[pos];
+    double best_eft = std::numeric_limits<double>::infinity();
+    for (const auto& pe : ctx.platform->pes()) {
+      for (std::size_t i : ctx.impls->compatible_with(t, pe.type)) {
+        const double exec =
+            ctx.impls->for_task(t)[i].base_time * ctx.platform->type_of(pe.id).perf_factor;
+        double est = pe_free[pe.id];
+        for (tg::EdgeId e : g.in_edges(t)) {
+          const tg::Edge& edge = g.edge(e);
+          est = std::max(est, finish[edge.src] +
+                                  (placed_on[edge.src] != pe.id ? edge.comm_time : 0.0));
+        }
+        const double eft = est + exec;
+        if (eft < best_eft) {
+          best_eft = eft;
+          cfg[t].pe = pe.id;
+          cfg[t].impl_index = static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+    if (!std::isfinite(best_eft)) throw std::logic_error("heft_seed: unmappable task");
+    finish[t] = best_eft;
+    placed_on[t] = cfg[t].pe;
+    pe_free[cfg[t].pe] = best_eft;
+    cfg[t].clr_index = 0;  // unprotected; the GA layers reliability on top
+    // Priority encodes the HEFT order: earlier tasks get higher priority.
+    cfg[t].priority = static_cast<std::int32_t>(g.num_tasks() - pos - 1);
+  }
+  return cfg;
+}
+
+}  // namespace clr::sched

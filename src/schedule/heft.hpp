@@ -1,0 +1,27 @@
+#pragma once
+// HEFT-style constructive heuristic used to seed the design-time GA: upward
+// ranks give list-scheduling priorities, and an earliest-finish-time greedy
+// picks PE bindings. Seeding the MOEA with a good makespan-oriented point
+// accelerates convergence on the Sapp-tight corner of the front.
+
+#include <vector>
+
+#include "schedule/configuration.hpp"
+#include "schedule/scheduler.hpp"
+
+namespace clr::sched {
+
+/// Mean execution time of task `t` over all its (PE, implementation)
+/// options, with the unprotected CLR configuration.
+double mean_execution_time(const EvalContext& ctx, tg::TaskId t);
+
+/// HEFT upward ranks: rank(t) = meanExec(t) + max over successors of
+/// (CommT(e) + rank(dst)). Higher rank = schedule earlier.
+std::vector<double> upward_ranks(const EvalContext& ctx);
+
+/// Greedy earliest-finish-time mapping in upward-rank order, unprotected CLR
+/// everywhere (reliability is left for the GA to add). Priorities encode the
+/// rank order, so the ListScheduler reproduces the HEFT order.
+Configuration heft_seed(const EvalContext& ctx);
+
+}  // namespace clr::sched

@@ -1,0 +1,50 @@
+#include "sim/des.hpp"
+
+#include <stdexcept>
+
+namespace clr::sim {
+
+std::uint64_t EventQueue::schedule(double when, Callback cb) {
+  if (when < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  const auto id = static_cast<std::uint64_t>(state_.size());
+  state_.push_back(State::Pending);
+  heap_.push(Entry{when, id, std::move(cb)});
+  ++pending_;
+  return id;
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  if (id >= state_.size() || state_[id] != State::Pending) return false;
+  state_[id] = State::Cancelled;
+  --pending_;
+  return true;
+}
+
+bool EventQueue::skip_cancelled() {
+  while (!heap_.empty() && state_[heap_.top().id] == State::Cancelled) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool EventQueue::step() {
+  if (!skip_cancelled()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  state_[top.id] = State::Fired;
+  now_ = top.when;
+  --pending_;
+  top.cb();
+  return true;
+}
+
+std::size_t EventQueue::run(double until) {
+  std::size_t fired = 0;
+  while (skip_cancelled() && heap_.top().when <= until) {
+    step();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace clr::sim

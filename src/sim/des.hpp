@@ -1,0 +1,62 @@
+#pragma once
+// Minimal discrete-event simulation engine (the "Discrete Event" substrate of
+// the paper's Fig. 3). Events are (time, sequence, callback) triples; ties in
+// time are broken by insertion order so runs are fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace clr::sim {
+
+/// Deterministic event-driven executive.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `when` (must be >= now()).
+  /// Returns a monotonically increasing event id.
+  std::uint64_t schedule(double when, Callback cb);
+
+  /// Cancel a pending event by id; returns false when it already fired, was
+  /// already cancelled, or is unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Current simulation time (last fired event's time).
+  double now() const { return now_; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return pending_; }
+
+  /// Fire the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `until` is passed (events strictly after
+  /// `until` stay queued). Returns the number of events fired.
+  std::size_t run(double until = std::numeric_limits<double>::infinity());
+
+ private:
+  enum class State : std::uint8_t { Pending, Fired, Cancelled };
+
+  struct Entry {
+    double when;
+    std::uint64_t id;
+    Callback cb;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  /// Drop cancelled entries from the heap top; returns false when empty.
+  bool skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<State> state_;
+  double now_ = 0.0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace clr::sim

@@ -1,0 +1,129 @@
+#include "taskgraph/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace clr::tg {
+
+TaskGraph TgffGenerator::generate(util::Rng& rng) const {
+  const auto& p = params_;
+  if (p.num_tasks == 0) throw std::invalid_argument("TgffGenerator: num_tasks must be >= 1");
+  if (p.num_task_types == 0) throw std::invalid_argument("TgffGenerator: num_task_types must be >= 1");
+  if (p.comm_time_min < 0.0 || p.comm_time_max < p.comm_time_min) {
+    throw std::invalid_argument("TgffGenerator: bad comm_time range");
+  }
+
+  TaskGraph g;
+  g.set_period(p.period);
+
+  auto new_task = [&]() {
+    const auto type = static_cast<TaskType>(rng.index(p.num_task_types));
+    const double crit = rng.uniform(p.criticality_min, p.criticality_max);
+    return g.add_task(type, crit);
+  };
+  auto new_edge = [&](TaskId src, TaskId dst) {
+    const double comm = rng.uniform(p.comm_time_min, p.comm_time_max);
+    const auto bytes = static_cast<std::uint32_t>(
+        rng.uniform_int(static_cast<int>(p.data_bytes_min), static_cast<int>(p.data_bytes_max)));
+    g.add_edge(src, dst, comm, bytes);
+  };
+
+  // Frontier = tasks that can still take more out-edges. TGFF-style growth:
+  // fan-out from a frontier node, or fan-in several frontier nodes into one.
+  std::vector<TaskId> frontier;
+  std::vector<std::size_t> out_degree;
+
+  const TaskId root = new_task();
+  frontier.push_back(root);
+  out_degree.push_back(0);
+
+  while (g.num_tasks() < p.num_tasks) {
+    const std::size_t remaining = p.num_tasks - g.num_tasks();
+    const bool can_fan_in = frontier.size() >= 2;
+    const bool do_fan_in = can_fan_in && rng.chance(p.fan_in_prob);
+
+    if (do_fan_in) {
+      // Join 2..max_in_degree frontier nodes into a fresh task.
+      const std::size_t want = 2 + rng.index(std::max<std::size_t>(1, p.max_in_degree - 1));
+      const std::size_t join = std::min(want, frontier.size());
+      rng.shuffle(frontier);
+      const TaskId joined = new_task();
+      out_degree.push_back(0);
+      for (std::size_t i = 0; i < join; ++i) {
+        const TaskId src = frontier[frontier.size() - 1 - i];
+        new_edge(src, joined);
+        if (++out_degree[src] >= p.max_out_degree) {
+          // src leaves the frontier below.
+        }
+      }
+      // Remove joined-from nodes that are saturated; keep the rest.
+      std::vector<TaskId> next;
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const TaskId t = frontier[i];
+        const bool was_joined = i >= frontier.size() - join;
+        if (!was_joined || out_degree[t] < p.max_out_degree) next.push_back(t);
+      }
+      next.push_back(joined);
+      frontier = std::move(next);
+    } else {
+      // Fan out: pick a frontier node, give it 1..max_out children (capped by
+      // remaining budget).
+      const std::size_t fi = rng.index(frontier.size());
+      const TaskId parent = frontier[fi];
+      const std::size_t head = p.max_out_degree - out_degree[parent];
+      const std::size_t kids =
+          std::min({remaining, head, static_cast<std::size_t>(1) + rng.index(p.max_out_degree)});
+      for (std::size_t k = 0; k < std::max<std::size_t>(kids, 1); ++k) {
+        if (g.num_tasks() >= p.num_tasks) break;
+        const TaskId child = new_task();
+        out_degree.push_back(0);
+        new_edge(parent, child);
+        ++out_degree[parent];
+        frontier.push_back(child);
+        if (out_degree[parent] >= p.max_out_degree) break;
+      }
+      if (out_degree[parent] >= p.max_out_degree) {
+        frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(fi));
+      }
+    }
+  }
+
+  return g;
+}
+
+TaskGraph make_jpeg_encoder_graph() {
+  // Fig. 2b: source S fans into four parallel H1..H4-style pipelines that
+  // re-join for quantization (Q) and entropy coding (Z): 11 tasks, 13 edges.
+  TaskGraph g;
+  // Task types: 0=split, 1=colorspace, 2=dct, 3=quant, 4=entropy, 5=pack.
+  const TaskId s = g.add_task(0, 2.0, "S");           // source / split
+  const TaskId d1 = g.add_task(1, 1.0, "D1");         // block prep x4
+  const TaskId d2 = g.add_task(1, 1.0, "D2");
+  const TaskId d3 = g.add_task(1, 1.0, "D3");
+  const TaskId d4 = g.add_task(1, 1.0, "D4");
+  const TaskId h1 = g.add_task(2, 1.5, "H1");         // DCT stages
+  const TaskId h2 = g.add_task(2, 1.5, "H2");
+  const TaskId h3 = g.add_task(2, 1.5, "H3");
+  const TaskId h4 = g.add_task(2, 1.5, "H4");
+  const TaskId q = g.add_task(3, 2.0, "Q");           // quantization join
+  const TaskId z = g.add_task(4, 2.5, "Z");           // entropy coding
+
+  g.add_edge(s, d1, 2.0, 4096);
+  g.add_edge(s, d2, 2.0, 4096);
+  g.add_edge(s, d3, 2.0, 4096);
+  g.add_edge(s, d4, 2.0, 4096);
+  g.add_edge(d1, h1, 1.5, 2048);
+  g.add_edge(d2, h2, 1.5, 2048);
+  g.add_edge(d3, h3, 1.5, 2048);
+  g.add_edge(d4, h4, 1.5, 2048);
+  g.add_edge(h1, q, 1.0, 1024);
+  g.add_edge(h2, q, 1.0, 1024);
+  g.add_edge(h3, q, 1.0, 1024);
+  g.add_edge(h4, q, 1.0, 1024);
+  g.add_edge(q, z, 2.5, 8192);
+  g.set_period(200.0);
+  return g;
+}
+
+}  // namespace clr::tg

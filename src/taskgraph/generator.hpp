@@ -1,0 +1,59 @@
+#pragma once
+// TGFF-substitute synthetic task-graph generator (DESIGN.md §2).
+//
+// The paper generates its 10–100-task applications with the TGFF tool [4].
+// TGFF grows a DAG by alternating fan-out steps (a node spawns children) and
+// fan-in steps (several frontier nodes join into one), bounded by in/out
+// degree limits, and assigns task types whose execution costs come from
+// per-type tables. This generator reproduces that construction, seeded and
+// deterministic.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::tg {
+
+/// Knobs mirroring the TGFF options the paper's setup needs.
+struct GeneratorParams {
+  std::size_t num_tasks = 20;
+  /// Number of distinct task types; execution-cost tables are per type.
+  std::size_t num_task_types = 8;
+  std::size_t max_out_degree = 4;
+  std::size_t max_in_degree = 3;
+  /// Probability that a growth step is a fan-in (join) rather than fan-out.
+  double fan_in_prob = 0.35;
+  /// Communication time range for edges (uniform).
+  double comm_time_min = 1.0;
+  double comm_time_max = 8.0;
+  /// Payload size range in bytes (uniform, rounded).
+  std::uint32_t data_bytes_min = 512;
+  std::uint32_t data_bytes_max = 16384;
+  /// Criticality weight range (uniform); ζt is this normalized over tasks.
+  double criticality_min = 0.5;
+  double criticality_max = 2.0;
+  /// Application period (0 = aperiodic / derived by caller).
+  double period = 0.0;
+};
+
+/// Seeded TGFF-like generator.
+class TgffGenerator {
+ public:
+  explicit TgffGenerator(GeneratorParams params) : params_(params) {}
+
+  /// Build one DAG. Always returns a connected, acyclic graph whose task
+  /// count equals params.num_tasks (>= 1).
+  TaskGraph generate(util::Rng& rng) const;
+
+  const GeneratorParams& params() const { return params_; }
+
+ private:
+  GeneratorParams params_;
+};
+
+/// The 11-task / 13-edge JPEG-encoder application of Fig. 2b, used by the
+/// examples and as a fixed regression workload.
+TaskGraph make_jpeg_encoder_graph();
+
+}  // namespace clr::tg

@@ -1,0 +1,124 @@
+#include "taskgraph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace clr::tg {
+
+TaskId TaskGraph::add_task(TaskType type, double criticality, std::string name) {
+  if (criticality < 0.0) throw std::invalid_argument("add_task: criticality must be >= 0");
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{id, type, criticality, std::move(name)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, double comm_time, std::uint32_t data_bytes) {
+  if (src >= tasks_.size() || dst >= tasks_.size()) {
+    throw std::out_of_range("add_edge: unknown endpoint");
+  }
+  if (src == dst) throw std::invalid_argument("add_edge: self-loop");
+  if (comm_time < 0.0) throw std::invalid_argument("add_edge: negative comm_time");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{id, src, dst, comm_time, data_bytes});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+std::vector<TaskId> TaskGraph::successors(TaskId id) const {
+  std::vector<TaskId> result;
+  result.reserve(out_.at(id).size());
+  for (EdgeId e : out_.at(id)) result.push_back(edges_[e].dst);
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::predecessors(TaskId id) const {
+  std::vector<TaskId> result;
+  result.reserve(in_.at(id).size());
+  for (EdgeId e : in_.at(id)) result.push_back(edges_[e].src);
+  return result;
+}
+
+bool TaskGraph::is_acyclic() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.dst];
+  std::queue<TaskId> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (indegree[t] == 0) ready.push(t);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop();
+    ++visited;
+    for (EdgeId e : out_[t]) {
+      if (--indegree[edges_[e].dst] == 0) ready.push(edges_[e].dst);
+    }
+  }
+  return visited == tasks_.size();
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& e : edges_) ++indegree[e.dst];
+  std::queue<TaskId> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (indegree[t] == 0) ready.push(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop();
+    order.push_back(t);
+    for (EdgeId e : out_[t]) {
+      if (--indegree[edges_[e].dst] == 0) ready.push(edges_[e].dst);
+    }
+  }
+  if (order.size() != tasks_.size()) throw std::logic_error("topological_order: graph is cyclic");
+  return order;
+}
+
+double TaskGraph::normalized_criticality(TaskId id) const {
+  const double total = std::accumulate(tasks_.begin(), tasks_.end(), 0.0,
+                                       [](double acc, const Task& t) { return acc + t.criticality; });
+  if (total <= 0.0) return tasks_.empty() ? 0.0 : 1.0 / static_cast<double>(tasks_.size());
+  return tasks_.at(id).criticality / total;
+}
+
+double TaskGraph::critical_path_length(const std::vector<double>& task_cost) const {
+  if (task_cost.size() != tasks_.size()) {
+    throw std::invalid_argument("critical_path_length: cost vector size mismatch");
+  }
+  std::vector<double> finish(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (TaskId t : topological_order()) {
+    double start = 0.0;
+    for (EdgeId e : in_[t]) start = std::max(start, finish[edges_[e].src]);
+    finish[t] = start + task_cost[t];
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> result;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (in_[t].empty()) result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> result;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (out_[t].empty()) result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace clr::tg

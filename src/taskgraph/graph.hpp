@@ -1,0 +1,96 @@
+#pragma once
+// Application model (paper §3.2):
+//   Gapp = (Tapp, Eapp, Papp) — task nodes, directed dependency edges, period.
+// Each task Tt = (IDt, Typet, Implt); implementations live in the reliability
+// module (they depend on the platform/CLR model), so the graph stores the
+// task *type* and per-task criticality weight used by Eq. (2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clr::tg {
+
+using TaskId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using TaskType = std::uint32_t;
+
+/// Task node (IDt, Typet); criticality ζt feeds functional reliability (Eq. 2).
+struct Task {
+  TaskId id = 0;
+  TaskType type = 0;
+  /// Raw (un-normalized) criticality weight; TaskGraph::normalized_criticality
+  /// divides by the sum so Σ ζt = 1.
+  double criticality = 1.0;
+  std::string name;
+};
+
+/// Dependency edge Ee = (IDe, Srce, Dste, CommTe).
+struct Edge {
+  EdgeId id = 0;
+  TaskId src = 0;
+  TaskId dst = 0;
+  /// Data transfer time when src and dst run on *different* PEs (same-PE
+  /// communication goes through local memory at zero cost).
+  double comm_time = 0.0;
+  /// Payload size in bytes (used by the interconnect/energy models).
+  std::uint32_t data_bytes = 0;
+};
+
+/// Immutable-after-build directed acyclic task graph.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Add a task; returns its id (ids are dense, 0-based).
+  TaskId add_task(TaskType type, double criticality = 1.0, std::string name = {});
+
+  /// Add a dependency edge; returns its id. Throws on unknown endpoints or
+  /// a self-loop.
+  EdgeId add_edge(TaskId src, TaskId dst, double comm_time, std::uint32_t data_bytes = 0);
+
+  void set_period(double period) { period_ = period; }
+  double period() const { return period_; }
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Task& task(TaskId id) const { return tasks_.at(id); }
+  const Edge& edge(EdgeId id) const { return edges_.at(id); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving / entering a task.
+  const std::vector<EdgeId>& out_edges(TaskId id) const { return out_.at(id); }
+  const std::vector<EdgeId>& in_edges(TaskId id) const { return in_.at(id); }
+
+  /// Successor / predecessor task ids.
+  std::vector<TaskId> successors(TaskId id) const;
+  std::vector<TaskId> predecessors(TaskId id) const;
+
+  /// True iff the graph has no directed cycle.
+  bool is_acyclic() const;
+
+  /// Kahn topological order; throws std::logic_error when cyclic.
+  std::vector<TaskId> topological_order() const;
+
+  /// ζt of Eq. (2): task criticality normalized so the sum over tasks is 1.
+  double normalized_criticality(TaskId id) const;
+
+  /// Longest path through the graph where each task costs `task_cost(id)` and
+  /// cross-PE communication is ignored (a lower bound on any makespan).
+  double critical_path_length(const std::vector<double>& task_cost) const;
+
+  /// Source tasks (no predecessors) / sink tasks (no successors).
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  double period_ = 0.0;
+};
+
+}  // namespace clr::tg

@@ -1,0 +1,87 @@
+#include "common/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clr::util {
+namespace {
+
+TEST(BivariateGaussian, RejectsBadParameters) {
+  EXPECT_THROW(BivariateGaussian(0, 0, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BivariateGaussian(0, 0, 1.0, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BivariateGaussian(0, 0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BivariateGaussian(0, 0, 1.0, 1.0, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(BivariateGaussian(0, 0, 1.0, 1.0, 0.99));
+}
+
+TEST(BivariateGaussian, MarginalMoments) {
+  BivariateGaussian d(10.0, -5.0, 2.0, 3.0, 0.5);
+  Rng rng(101);
+  double sx = 0, sy = 0, sx2 = 0, sy2 = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const auto [x, y] = d.sample(rng);
+    sx += x;
+    sy += y;
+    sx2 += x * x;
+    sy2 += y * y;
+  }
+  EXPECT_NEAR(sx / n, 10.0, 0.05);
+  EXPECT_NEAR(sy / n, -5.0, 0.07);
+  EXPECT_NEAR(sx2 / n - (sx / n) * (sx / n), 4.0, 0.15);
+  EXPECT_NEAR(sy2 / n - (sy / n) * (sy / n), 9.0, 0.3);
+}
+
+class BivariateCorrelationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BivariateCorrelationTest, EmpiricalCorrelationMatchesRho) {
+  const double rho = GetParam();
+  BivariateGaussian d(0.0, 0.0, 1.0, 1.0, rho);
+  Rng rng(202);
+  double sx = 0, sy = 0, sxy = 0, sx2 = 0, sy2 = 0;
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    const auto [x, y] = d.sample(rng);
+    sx += x;
+    sy += y;
+    sxy += x * y;
+    sx2 += x * x;
+    sy2 += y * y;
+  }
+  const double mx = sx / n, my = sy / n;
+  const double cov = sxy / n - mx * my;
+  const double vx = sx2 / n - mx * mx;
+  const double vy = sy2 / n - my * my;
+  EXPECT_NEAR(cov / std::sqrt(vx * vy), rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, BivariateCorrelationTest,
+                         ::testing::Values(-0.8, -0.3, 0.0, 0.3, 0.8));
+
+TEST(ClampedNormal, SamplesWithinBounds) {
+  ClampedNormal d(0.0, 10.0, -1.0, 1.0);
+  Rng rng(303);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ClampedNormal, TightDistributionRarelyClamps) {
+  ClampedNormal d(0.5, 0.01, 0.0, 1.0);
+  Rng rng(404);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(ClampedNormal, RejectsBadBounds) {
+  EXPECT_THROW(ClampedNormal(0, 1, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ClampedNormal(0, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clr::util

@@ -1,0 +1,128 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3.0;
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 70; ++i) {
+    const double x = i * -0.3 + 11.0;
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(Percentile, KnownQuantiles) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 1.5);  // interpolated
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(MinMaxNorm, Basics) {
+  EXPECT_DOUBLE_EQ(min_max_norm(5.0, 0.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(min_max_norm(0.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_max_norm(10.0, 0.0, 10.0), 1.0);
+}
+
+TEST(MinMaxNorm, ClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(min_max_norm(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_max_norm(11.0, 0.0, 10.0), 1.0);
+}
+
+TEST(MinMaxNorm, DegenerateRangeIsZero) {
+  // Algorithm 1 convention: a single-candidate feasible set is not penalized.
+  EXPECT_DOUBLE_EQ(min_max_norm(5.0, 5.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(min_max_norm(5.0, 6.0, 5.0), 0.0);
+}
+
+TEST(Histogram, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10.0);  // out of range, dropped
+  h.add(-0.1);  // out of range, dropped
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clr::util

@@ -1,0 +1,112 @@
+#include "dse/design_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::dse {
+namespace {
+
+DesignPoint make_point(double energy, double makespan, double func_rel, int tag = 0) {
+  DesignPoint p;
+  p.energy = energy;
+  p.makespan = makespan;
+  p.func_rel = func_rel;
+  // Distinct configurations via the priority field.
+  p.config.tasks.resize(1);
+  p.config.tasks[0].priority = tag;
+  return p;
+}
+
+TEST(DesignDb, AddAndQuery) {
+  DesignDb db;
+  EXPECT_TRUE(db.empty());
+  const auto i = db.add(make_point(10, 100, 0.9, 1));
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.point(0).energy, 10.0);
+}
+
+TEST(DesignDb, DeduplicatesByConfiguration) {
+  DesignDb db;
+  db.add(make_point(10, 100, 0.9, 1));
+  const auto again = db.add(make_point(99, 999, 0.1, 1));  // same config tag
+  EXPECT_EQ(again, 0u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.point(0).energy, 10.0);  // first insert wins
+}
+
+TEST(DesignDb, FeasibleIndices) {
+  DesignDb db;
+  db.add(make_point(1, 100, 0.95, 1));
+  db.add(make_point(2, 200, 0.99, 2));
+  db.add(make_point(3, 50, 0.90, 3));
+  const auto feas = db.feasible_indices(QosSpec{150.0, 0.94});
+  EXPECT_EQ(feas, (std::vector<std::size_t>{0}));
+  const auto all = db.feasible_indices(QosSpec{500.0, 0.0});
+  EXPECT_EQ(all.size(), 3u);
+  const auto none = db.feasible_indices(QosSpec{10.0, 0.999});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(DesignDb, LeastViolatingPrefersFeasible) {
+  DesignDb db;
+  db.add(make_point(1, 1000, 0.5, 1));   // violates both
+  db.add(make_point(2, 100, 0.95, 2));   // feasible
+  EXPECT_EQ(db.least_violating(QosSpec{150.0, 0.9}), 1u);
+}
+
+TEST(DesignDb, LeastViolatingPicksSmallestViolation) {
+  DesignDb db;
+  db.add(make_point(1, 200, 0.95, 1));  // makespan 33% over
+  db.add(make_point(2, 160, 0.95, 2));  // makespan 6.7% over
+  EXPECT_EQ(db.least_violating(QosSpec{150.0, 0.9}), 1u);
+}
+
+TEST(DesignDb, LeastViolatingThrowsOnEmpty) {
+  DesignDb db;
+  EXPECT_THROW(db.least_violating(QosSpec{1.0, 0.5}), std::logic_error);
+}
+
+TEST(DesignDb, RangesSpanAllPoints) {
+  DesignDb db;
+  db.add(make_point(10, 100, 0.90, 1));
+  db.add(make_point(30, 80, 0.99, 2));
+  const auto r = db.ranges();
+  EXPECT_DOUBLE_EQ(r.energy_min, 10.0);
+  EXPECT_DOUBLE_EQ(r.energy_max, 30.0);
+  EXPECT_DOUBLE_EQ(r.makespan_min, 80.0);
+  EXPECT_DOUBLE_EQ(r.makespan_max, 100.0);
+  EXPECT_DOUBLE_EQ(r.func_rel_min, 0.90);
+  EXPECT_DOUBLE_EQ(r.func_rel_max, 0.99);
+}
+
+TEST(DesignDb, NumExtraCountsFlag) {
+  DesignDb db;
+  auto p = make_point(1, 1, 0.5, 1);
+  p.extra = true;
+  db.add(p);
+  db.add(make_point(2, 2, 0.6, 2));
+  EXPECT_EQ(db.num_extra(), 1u);
+}
+
+TEST(DesignDb, ConfigurationsExportsAll) {
+  DesignDb db;
+  db.add(make_point(1, 1, 0.5, 1));
+  db.add(make_point(2, 2, 0.6, 2));
+  EXPECT_EQ(db.configurations().size(), 2u);
+}
+
+TEST(DesignDb, SummaryMentionsCounts) {
+  DesignDb db;
+  db.add(make_point(1, 1, 0.5, 1));
+  EXPECT_NE(db.summary().find("1 points"), std::string::npos);
+}
+
+TEST(DesignPoint, FeasibleFor) {
+  const auto p = make_point(5, 100, 0.95);
+  EXPECT_TRUE(p.feasible_for(QosSpec{100.0, 0.95}));
+  EXPECT_FALSE(p.feasible_for(QosSpec{99.0, 0.95}));
+  EXPECT_FALSE(p.feasible_for(QosSpec{100.0, 0.96}));
+}
+
+}  // namespace
+}  // namespace clr::dse

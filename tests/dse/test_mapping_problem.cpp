@@ -1,0 +1,110 @@
+#include "dse/mapping_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/app.hpp"
+
+namespace clr::dse {
+namespace {
+
+class MappingProblemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = exp::make_synthetic_app(12, 777);
+    spec_ = QosSpec{1e6, 0.0};  // loose
+  }
+
+  std::unique_ptr<exp::AppInstance> app_;
+  QosSpec spec_;
+};
+
+TEST_F(MappingProblemTest, GeneLayoutIsFourPerTask) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  EXPECT_EQ(prob.num_genes(), 4 * app_->graph().num_tasks());
+  for (std::size_t i = 0; i < prob.num_genes(); ++i) {
+    EXPECT_GE(prob.domain_size(i), 1);
+  }
+  EXPECT_THROW(prob.domain_size(prob.num_genes()), std::out_of_range);
+}
+
+TEST_F(MappingProblemTest, ObjectiveCountPerMode) {
+  MappingProblem full(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  MappingProblem csp(app_->context(), spec_, ObjectiveMode::CspQos);
+  EXPECT_EQ(full.num_objectives(), 3u);
+  EXPECT_EQ(csp.num_objectives(), 2u);
+}
+
+TEST_F(MappingProblemTest, DecodeAlwaysProducesSchedulableConfigs) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto genes = prob.random_genes(rng);
+    const auto cfg = prob.decode(genes);
+    // evaluate_schedule throws on any invalid index/compatibility issue.
+    EXPECT_NO_THROW(prob.evaluate_schedule(cfg));
+  }
+}
+
+TEST_F(MappingProblemTest, EncodeDecodeRoundTrip) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto cfg = prob.decode(prob.random_genes(rng));
+    const auto genes = prob.encode(cfg);
+    const auto cfg2 = prob.decode(genes);
+    EXPECT_EQ(cfg, cfg2);
+  }
+}
+
+TEST_F(MappingProblemTest, EvaluationMatchesSchedule) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  util::Rng rng(7);
+  const auto genes = prob.random_genes(rng);
+  const auto eval = prob.evaluate(genes);
+  const auto res = prob.evaluate_schedule(prob.decode(genes));
+  ASSERT_EQ(eval.objectives.size(), 3u);
+  EXPECT_DOUBLE_EQ(eval.objectives[0], res.energy);
+  EXPECT_DOUBLE_EQ(eval.objectives[1], res.makespan);
+  EXPECT_DOUBLE_EQ(eval.objectives[2], -res.func_rel);
+}
+
+TEST_F(MappingProblemTest, LooseSpecIsFeasible) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  util::Rng rng(8);
+  const auto eval = prob.evaluate(prob.random_genes(rng));
+  EXPECT_DOUBLE_EQ(eval.violation, 0.0);
+}
+
+TEST_F(MappingProblemTest, ImpossibleSpecIsViolated) {
+  QosSpec impossible{1e-6, 1.0};
+  MappingProblem prob(app_->context(), impossible, ObjectiveMode::EnergyQos);
+  util::Rng rng(9);
+  const auto eval = prob.evaluate(prob.random_genes(rng));
+  EXPECT_GT(eval.violation, 0.0);
+}
+
+TEST_F(MappingProblemTest, RejectsBadSpec) {
+  EXPECT_THROW(MappingProblem(app_->context(), QosSpec{0.0, 0.5}, ObjectiveMode::EnergyQos),
+               std::invalid_argument);
+  EXPECT_THROW(MappingProblem(app_->context(), QosSpec{1.0, 1.5}, ObjectiveMode::EnergyQos),
+               std::invalid_argument);
+}
+
+TEST_F(MappingProblemTest, EncodeRejectsForeignConfig) {
+  MappingProblem prob(app_->context(), spec_, ObjectiveMode::EnergyQos);
+  util::Rng rng(10);
+  auto cfg = prob.decode(prob.random_genes(rng));
+  cfg[0].impl_index = 10000;
+  EXPECT_THROW(prob.encode(cfg), std::invalid_argument);
+}
+
+TEST(QosSpec, SatisfiedBy) {
+  QosSpec spec{100.0, 0.9};
+  EXPECT_TRUE(spec.satisfied_by(100.0, 0.9));
+  EXPECT_TRUE(spec.satisfied_by(50.0, 0.99));
+  EXPECT_FALSE(spec.satisfied_by(100.1, 0.99));
+  EXPECT_FALSE(spec.satisfied_by(50.0, 0.89));
+}
+
+}  // namespace
+}  // namespace clr::dse

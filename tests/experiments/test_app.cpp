@@ -1,0 +1,64 @@
+#include "experiments/app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::exp {
+namespace {
+
+TEST(MakeSyntheticApp, BuildsConsistentContext) {
+  const auto app = make_synthetic_app(25, 1);
+  EXPECT_EQ(app->graph().num_tasks(), 25u);
+  EXPECT_NO_THROW(app->context().check());
+  EXPECT_EQ(app->context().graph, &app->graph());
+  EXPECT_EQ(app->context().impls->num_tasks(), 25u);
+}
+
+TEST(MakeSyntheticApp, DeterministicPerSeed) {
+  const auto a = make_synthetic_app(30, 99);
+  const auto b = make_synthetic_app(30, 99);
+  ASSERT_EQ(a->graph().num_edges(), b->graph().num_edges());
+  for (tg::EdgeId e = 0; e < a->graph().num_edges(); ++e) {
+    EXPECT_EQ(a->graph().edge(e).src, b->graph().edge(e).src);
+    EXPECT_EQ(a->graph().edge(e).dst, b->graph().edge(e).dst);
+  }
+  for (tg::TaskId t = 0; t < 30; ++t) {
+    ASSERT_EQ(a->impls().for_task(t).size(), b->impls().for_task(t).size());
+    for (std::size_t i = 0; i < a->impls().for_task(t).size(); ++i) {
+      EXPECT_DOUBLE_EQ(a->impls().for_task(t)[i].base_time, b->impls().for_task(t)[i].base_time);
+    }
+  }
+}
+
+TEST(MakeSyntheticApp, SeedsChangeTheApplication) {
+  const auto a = make_synthetic_app(30, 1);
+  const auto b = make_synthetic_app(30, 2);
+  bool differs = a->graph().num_edges() != b->graph().num_edges();
+  if (!differs) {
+    for (tg::EdgeId e = 0; e < a->graph().num_edges() && !differs; ++e) {
+      differs = a->graph().edge(e).dst != b->graph().edge(e).dst;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MakeSyntheticApp, GranularitySelectsClrSpace) {
+  const auto hw_only = make_synthetic_app(10, 3, rel::ClrGranularity::HwOnly);
+  const auto full = make_synthetic_app(10, 3, rel::ClrGranularity::Full);
+  EXPECT_LT(hw_only->clr_space().size(), full->clr_space().size());
+}
+
+TEST(MakeJpegApp, UsesTheFig2bGraph) {
+  const auto app = make_jpeg_app(5);
+  EXPECT_EQ(app->graph().num_tasks(), 11u);
+  EXPECT_EQ(app->graph().num_edges(), 13u);
+  EXPECT_NO_THROW(app->context().check());
+}
+
+TEST(DeriveSeed, StableAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 10), derive_seed(1, 10));
+  EXPECT_NE(derive_seed(1, 10), derive_seed(1, 20));
+  EXPECT_NE(derive_seed(1, 10), derive_seed(2, 10));
+}
+
+}  // namespace
+}  // namespace clr::exp

@@ -1,0 +1,144 @@
+// End-to-end integration: design-time DSE + run-time Monte-Carlo adaptation
+// on one small application, asserting the qualitative shapes the paper
+// reports (DESIGN.md §4).
+
+#include <gtest/gtest.h>
+
+#include "experiments/flow.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace clr::exp {
+namespace {
+
+class FullFlowTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    app_ = make_synthetic_app(16, 20210).release();
+    FlowParams params;
+    params.dse.base_ga.population = 48;
+    params.dse.base_ga.generations = 40;
+    params.dse.red_ga.population = 24;
+    params.dse.red_ga.generations = 20;
+    params.dse.max_red_seeds = 8;
+    util::Rng rng(11);
+    flow_ = new FlowResult(run_design_flow(*app_, params, rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete flow_;
+    delete app_;
+    flow_ = nullptr;
+    app_ = nullptr;
+  }
+
+  static RuntimeEvalParams eval_params(PolicyKind kind, double p_rc) {
+    RuntimeEvalParams p;
+    p.kind = kind;
+    p.p_rc = p_rc;
+    p.sim.total_cycles = 1e5;
+    return p;
+  }
+
+  static AppInstance* app_;
+  static FlowResult* flow_;
+};
+
+AppInstance* FullFlowTest::app_ = nullptr;
+FlowResult* FullFlowTest::flow_ = nullptr;
+
+TEST_F(FullFlowTest, DesignTimeProducesBothDatabases) {
+  EXPECT_FALSE(flow_->based.empty());
+  EXPECT_GE(flow_->red.size(), flow_->based.size());
+  EXPECT_EQ(flow_->based.num_extra(), 0u);
+}
+
+TEST_F(FullFlowTest, QosRangesCoverTheFrontBand) {
+  const auto box = qos_ranges(*flow_);
+  const auto base = flow_->based.ranges();
+  // The demand box must sweep the whole front band (so adaptation happens)
+  // with some slack on the loose side, but never beyond the global spec.
+  EXPECT_LE(box.makespan_min, base.makespan_min);
+  EXPECT_GE(box.makespan_max, base.makespan_max - 1e-9);
+  EXPECT_LE(box.makespan_max, std::max(flow_->spec.max_makespan, base.makespan_max) + 1e-9);
+  EXPECT_LE(box.func_rel_min, base.func_rel_min + 1e-12);
+  EXPECT_GE(box.func_rel_min, std::min(flow_->spec.min_func_rel, base.func_rel_min) - 1e-12);
+  EXPECT_GE(box.func_rel_max, base.func_rel_max - 1e-12);
+}
+
+TEST_F(FullFlowTest, RuntimeEnergyStaysWithinDatabaseRange) {
+  const auto box = qos_ranges(*flow_);
+  const auto stats = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 0.5), 1);
+  const auto r = flow_->red.ranges();
+  EXPECT_GE(stats.avg_energy, r.energy_min - 1e-9);
+  EXPECT_LE(stats.avg_energy, r.energy_max + 1e-9);
+}
+
+TEST_F(FullFlowTest, PrcTradesEnergyAgainstReconfigCost) {
+  // Fig. 7 shape: pRC = 1 maximizes adaptation cost and minimizes energy;
+  // pRC = 0 the reverse.
+  const auto box = qos_ranges(*flow_);
+  const auto lo = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 0.0), 2);
+  const auto hi = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 1.0), 2);
+  EXPECT_LE(lo.total_reconfig_cost, hi.total_reconfig_cost);
+  EXPECT_LE(hi.avg_energy, lo.avg_energy + 1e-9);
+}
+
+TEST_F(FullFlowTest, RedDoesNotIncreaseEnergyAtPrcOne) {
+  // Table 6 shape (pRC = 1): the ReD extras can only improve the best
+  // feasible energy choice, never worsen it (BaseD is a subset of ReD).
+  const auto box = qos_ranges(*flow_);
+  const auto based = evaluate_policy(*app_, flow_->based, box, eval_params(PolicyKind::Ura, 1.0), 3);
+  const auto red = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 1.0), 3);
+  EXPECT_LE(red.avg_energy, based.avg_energy + 1e-9);
+}
+
+TEST_F(FullFlowTest, BaselinePolicyReconfiguresAtLeastAsOftenAsStickyUra) {
+  // Fig. 6 shape: the performance-oriented baseline hunts the best point on
+  // every event; reconfiguration-cost-aware uRA (pRC = 0) adapts only on
+  // violations.
+  const auto box = qos_ranges(*flow_);
+  const auto baseline =
+      evaluate_policy(*app_, flow_->based, box, eval_params(PolicyKind::Baseline, 0.5), 4);
+  const auto sticky = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 0.0), 4);
+  EXPECT_GE(baseline.num_reconfigs, sticky.num_reconfigs);
+  EXPECT_GE(baseline.total_reconfig_cost, sticky.total_reconfig_cost);
+}
+
+TEST_F(FullFlowTest, AuraRunsWithAndWithoutPretraining) {
+  const auto box = qos_ranges(*flow_);
+  auto with = eval_params(PolicyKind::Aura, 0.5);
+  with.pretrain = true;
+  auto without = eval_params(PolicyKind::Aura, 0.5);
+  without.pretrain = false;
+  const auto s_with = evaluate_policy(*app_, flow_->red, box, with, 5);
+  const auto s_without = evaluate_policy(*app_, flow_->red, box, without, 5);
+  EXPECT_GT(s_with.num_events, 0u);
+  EXPECT_GT(s_without.num_events, 0u);
+}
+
+TEST_F(FullFlowTest, SameSeedSameStats) {
+  const auto box = qos_ranges(*flow_);
+  const auto a = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 0.5), 6);
+  const auto b = evaluate_policy(*app_, flow_->red, box, eval_params(PolicyKind::Ura, 0.5), 6);
+  EXPECT_DOUBLE_EQ(a.avg_energy, b.avg_energy);
+  EXPECT_EQ(a.num_reconfigs, b.num_reconfigs);
+  EXPECT_DOUBLE_EQ(a.total_reconfig_cost, b.total_reconfig_cost);
+}
+
+TEST_F(FullFlowTest, CspModeFlowAlsoWorks) {
+  // Table 4 uses the constraint-satisfaction variant (R = 0).
+  FlowParams params;
+  params.mode = dse::ObjectiveMode::CspQos;
+  params.dse.base_ga.population = 32;
+  params.dse.base_ga.generations = 25;
+  params.dse.red_ga.population = 16;
+  params.dse.red_ga.generations = 12;
+  params.dse.max_red_seeds = 4;
+  util::Rng rng(12);
+  const auto flow = run_design_flow(*app_, params, rng);
+  EXPECT_FALSE(flow.based.empty());
+  EXPECT_GE(flow.red.size(), flow.based.size());
+}
+
+}  // namespace
+}  // namespace clr::exp

@@ -1,0 +1,129 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::io {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.5).as_number(), 3.5);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  EXPECT_EQ(Json(42).as_int(), 42);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json(true).as_array(), JsonError);
+  EXPECT_THROW(Json(1.5).as_int(), JsonError);  // non-integral
+}
+
+TEST(Json, ObjectLookup) {
+  Json obj(JsonObject{{"a", Json(1)}, {"b", Json("two")}});
+  EXPECT_EQ(obj.at("a").as_int(), 1);
+  EXPECT_EQ(obj.at("b").as_string(), "two");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), JsonError);
+}
+
+TEST(Json, DumpCompact) {
+  Json v(JsonObject{{"n", Json(1)},
+                    {"s", Json("x")},
+                    {"a", Json(JsonArray{Json(true), Json(nullptr)})}});
+  EXPECT_EQ(v.dump(), R"({"n":1,"s":"x","a":[true,null]})");
+}
+
+TEST(Json, DumpPreservesKeyOrder) {
+  Json v(JsonObject{{"z", Json(1)}, {"a", Json(2)}});
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2})");
+}
+
+TEST(Json, DumpPrettyIndents) {
+  Json v(JsonObject{{"a", Json(JsonArray{Json(1)})}});
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, DumpEscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n").dump(), R"("a\"b\\c\n")");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, DumpNumbersIntegralAndReal) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e3").as_number(), -1000.0);
+  EXPECT_EQ(Json::parse(R"("hello")").as_string(), "hello");
+}
+
+TEST(Json, ParseNested) {
+  const auto v = Json::parse(R"({"a": [1, {"b": "c"}, null], "d": true})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[1].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").as_bool());
+}
+
+TEST(Json, ParseStringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+  EXPECT_EQ(Json::parse(R"("\t\/\\")").as_string(), "\t/\\");
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const auto v = Json::parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);        // trailing junk
+  EXPECT_THROW(Json::parse("01a"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), JsonError);
+  EXPECT_THROW(Json::parse("1."), JsonError);
+  EXPECT_THROW(Json::parse("1e"), JsonError);
+}
+
+TEST(Json, ErrorsCarryOffsets) {
+  try {
+    Json::parse("{\"a\": xyz}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_GE(e.offset(), 6u);
+  }
+}
+
+TEST(Json, RoundTripIsStable) {
+  const std::string doc =
+      R"({"name":"test","values":[1,2.5,-3],"nested":{"flag":false,"none":null},"s":"q\"uote"})";
+  const auto v = Json::parse(doc);
+  const auto v2 = Json::parse(v.dump());
+  EXPECT_EQ(v.dump(), v2.dump());
+}
+
+TEST(Json, LargeArrayRoundTrip) {
+  JsonArray a;
+  for (int i = 0; i < 1000; ++i) a.push_back(Json(i * 0.25));
+  const Json v(std::move(a));
+  const auto parsed = Json::parse(v.dump());
+  ASSERT_EQ(parsed.as_array().size(), 1000u);
+  EXPECT_DOUBLE_EQ(parsed.as_array()[999].as_number(), 999 * 0.25);
+}
+
+}  // namespace
+}  // namespace clr::io

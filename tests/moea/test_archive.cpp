@@ -1,0 +1,92 @@
+#include "moea/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace clr::moea {
+namespace {
+
+Individual make(std::vector<int> genes, std::vector<double> objs, double violation = 0.0) {
+  Individual ind;
+  ind.genes = std::move(genes);
+  ind.eval.objectives = std::move(objs);
+  ind.eval.violation = violation;
+  return ind;
+}
+
+TEST(ParetoArchive, InsertsNonDominated) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert(make({0}, {1.0, 3.0})));
+  EXPECT_TRUE(a.insert(make({1}, {3.0, 1.0})));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(ParetoArchive, RejectsDominatedCandidate) {
+  ParetoArchive a;
+  a.insert(make({0}, {1.0, 1.0}));
+  EXPECT_FALSE(a.insert(make({1}, {2.0, 2.0})));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ParetoArchive, EvictsDominatedMembers) {
+  ParetoArchive a;
+  a.insert(make({0}, {2.0, 2.0}));
+  a.insert(make({1}, {3.0, 1.0}));
+  EXPECT_TRUE(a.insert(make({2}, {1.0, 1.0})));  // dominates both
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.members().front().genes, std::vector<int>{2});
+}
+
+TEST(ParetoArchive, RejectsInfeasible) {
+  ParetoArchive a;
+  EXPECT_FALSE(a.insert(make({0}, {0.0, 0.0}, 1.0)));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ParetoArchive, RejectsDuplicateGenes) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert(make({1, 2}, {1.0, 2.0})));
+  EXPECT_FALSE(a.insert(make({1, 2}, {1.0, 2.0})));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ParetoArchive, RejectsDuplicateObjectivePoint) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert(make({0}, {1.0, 2.0})));
+  // Different genes, identical objective vector: adds no front value.
+  EXPECT_FALSE(a.insert(make({1}, {1.0, 2.0})));
+}
+
+TEST(ParetoArchive, NonDominatedQuery) {
+  ParetoArchive a;
+  a.insert(make({0}, {1.0, 1.0}));
+  EXPECT_FALSE(a.non_dominated(Evaluation{{2.0, 2.0}, 0.0}));
+  EXPECT_TRUE(a.non_dominated(Evaluation{{0.5, 2.0}, 0.0}));
+  EXPECT_TRUE(a.non_dominated(Evaluation{{1.0, 1.0}, 0.0}));  // ties allowed
+}
+
+TEST(ParetoArchive, MembersAreMutuallyNonDominated) {
+  ParetoArchive a;
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    a.insert(make({i}, {rng.uniform(), rng.uniform()}));
+  }
+  const auto& m = a.members();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(m[i].eval.objectives, m[j].eval.objectives));
+    }
+  }
+}
+
+TEST(ParetoArchive, ClearEmpties) {
+  ParetoArchive a;
+  a.insert(make({0}, {1.0, 1.0}));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+}  // namespace
+}  // namespace clr::moea

@@ -1,0 +1,124 @@
+#include "moea/hvga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clr::moea {
+namespace {
+
+/// Bi-objective problem with front f1 + f2 = 9 (gene x in [0,9]):
+/// objectives (x, 9-x); infeasible beyond the reference handled by HvGa.
+class LineProblem : public Problem {
+ public:
+  std::size_t num_genes() const override { return 1; }
+  int domain_size(std::size_t) const override { return 10; }
+  std::size_t num_objectives() const override { return 2; }
+  Evaluation evaluate(const std::vector<int>& genes) const override {
+    const double x = genes[0];
+    return Evaluation{{x, 9.0 - x}, 0.0};
+  }
+};
+
+/// Two-gene problem where the second gene is pure waste (adds to both
+/// objectives): the GA must drive it to zero.
+class WasteProblem : public Problem {
+ public:
+  std::size_t num_genes() const override { return 2; }
+  int domain_size(std::size_t) const override { return 10; }
+  std::size_t num_objectives() const override { return 2; }
+  Evaluation evaluate(const std::vector<int>& genes) const override {
+    const double x = genes[0];
+    const double waste = genes[1];
+    return Evaluation{{x + waste, 9.0 - x + waste}, 0.0};
+  }
+};
+
+TEST(HvGa, MaximizesPointHypervolume) {
+  // Reference (10, 10): the max-HV point on the line is x = 4 or 5
+  // ((10-4)*(10-5) = 30 = (10-5)*(10-4)).
+  LineProblem prob;
+  GaParams params;
+  params.population = 16;
+  params.generations = 20;
+  HvGa ga(params, {10.0, 10.0}, {1.0, 1.0});
+  util::Rng rng(5);
+  const auto result = ga.run(prob, rng);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 30.0);
+}
+
+TEST(HvGa, ArchiveHoldsTheWholeFront) {
+  LineProblem prob;
+  GaParams params;
+  params.population = 40;
+  params.generations = 30;
+  HvGa ga(params, {10.0, 10.0}, {1.0, 1.0});
+  util::Rng rng(6);
+  const auto result = ga.run(prob, rng);
+  // All 10 points of the line are mutually non-dominated; a healthy run
+  // discovers nearly all of them.
+  EXPECT_GE(result.archive.size(), 8u);
+}
+
+TEST(HvGa, EliminatesWaste) {
+  WasteProblem prob;
+  GaParams params;
+  params.population = 30;
+  params.generations = 40;
+  HvGa ga(params, {20.0, 20.0}, {1.0, 1.0});
+  util::Rng rng(7);
+  const auto result = ga.run(prob, rng);
+  // The best individual should carry no waste.
+  EXPECT_EQ(result.population.front().genes[1], 0);
+}
+
+TEST(HvGa, ReferenceOutsideSpaceYieldsNegativeFitness) {
+  // With ref (5,5), points with x > 5 (or 9-x > 5) are "infeasible" in the
+  // Fig. 4a sense and receive negative fitness; the GA should still settle
+  // on a feasible point.
+  LineProblem prob;
+  GaParams params;
+  params.population = 16;
+  params.generations = 20;
+  HvGa ga(params, {5.5, 5.5}, {1.0, 1.0});
+  util::Rng rng(8);
+  const auto result = ga.run(prob, rng);
+  // Only x in [4,5] satisfies both (x <= 5.5 and 9-x <= 5.5), each sweeping
+  // hypervolume 1.5 * 0.5 = 0.75 toward the reference.
+  EXPECT_GE(result.population.front().genes[0], 4);
+  EXPECT_LE(result.population.front().genes[0], 5);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 0.75);
+}
+
+TEST(HvGa, SeededRunIsDeterministic) {
+  LineProblem prob;
+  GaParams params;
+  params.population = 12;
+  params.generations = 8;
+  HvGa ga(params, {10.0, 10.0}, {1.0, 1.0});
+  util::Rng a(9), b(9);
+  const auto ra = ga.run(prob, a);
+  const auto rb = ga.run(prob, b);
+  EXPECT_DOUBLE_EQ(ra.best_fitness, rb.best_fitness);
+  ASSERT_EQ(ra.archive.size(), rb.archive.size());
+}
+
+TEST(HvGa, DimensionMismatchThrows) {
+  LineProblem prob;
+  GaParams params;
+  HvGa ga(params, {10.0}, {1.0});  // 1-D reference for a 2-D problem
+  util::Rng rng(10);
+  EXPECT_THROW(ga.run(prob, rng), std::invalid_argument);
+}
+
+TEST(HvGa, RejectsTinyPopulation) {
+  LineProblem prob;
+  GaParams params;
+  params.population = 1;
+  HvGa ga(params, {10.0, 10.0}, {1.0, 1.0});
+  util::Rng rng(11);
+  EXPECT_THROW(ga.run(prob, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clr::moea

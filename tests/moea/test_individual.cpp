@@ -1,0 +1,55 @@
+#include "moea/individual.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::moea {
+namespace {
+
+TEST(Dominates, StrictDominance) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));  // better in one, equal other
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // trade-off
+  EXPECT_FALSE(dominates({2.0, 2.0}, {2.0, 2.0}));  // equal does not dominate
+  EXPECT_FALSE(dominates({3.0, 3.0}, {2.0, 2.0}));
+}
+
+TEST(Dominates, DimensionMismatchThrows) {
+  EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Dominates, SingleObjective) {
+  EXPECT_TRUE(dominates({1.0}, {2.0}));
+  EXPECT_FALSE(dominates({2.0}, {1.0}));
+}
+
+TEST(ConstrainedDominates, FeasibleBeatsInfeasible) {
+  Evaluation feasible{{10.0, 10.0}, 0.0};
+  Evaluation infeasible{{1.0, 1.0}, 0.5};
+  EXPECT_TRUE(constrained_dominates(feasible, infeasible));
+  EXPECT_FALSE(constrained_dominates(infeasible, feasible));
+}
+
+TEST(ConstrainedDominates, InfeasiblesCompareByViolation) {
+  Evaluation worse{{1.0, 1.0}, 0.9};
+  Evaluation better{{9.0, 9.0}, 0.1};
+  EXPECT_TRUE(constrained_dominates(better, worse));
+  EXPECT_FALSE(constrained_dominates(worse, better));
+}
+
+TEST(ConstrainedDominates, FeasiblesCompareByPareto) {
+  Evaluation a{{1.0, 2.0}, 0.0};
+  Evaluation b{{2.0, 3.0}, 0.0};
+  Evaluation c{{0.5, 4.0}, 0.0};
+  EXPECT_TRUE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(a, c));
+  EXPECT_FALSE(constrained_dominates(c, a));
+}
+
+TEST(Evaluation, FeasibleThreshold) {
+  EXPECT_TRUE((Evaluation{{}, 0.0}).feasible());
+  EXPECT_TRUE((Evaluation{{}, -1.0}).feasible());
+  EXPECT_FALSE((Evaluation{{}, 1e-9}).feasible());
+}
+
+}  // namespace
+}  // namespace clr::moea

@@ -1,0 +1,157 @@
+// Mesh-NoC topology tests: hop geometry, communication-factor semantics, and
+// their effect on schedules and reconfiguration costs.
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hpp"
+#include "reconfig/reconfig.hpp"
+#include "schedule/scheduler.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/implementation.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::plat {
+namespace {
+
+Platform make_grid(std::size_t pes, std::size_t columns, Topology topology) {
+  Platform hw;
+  PeType t;
+  const auto tid = hw.add_pe_type(t);
+  for (std::size_t i = 0; i < pes; ++i) hw.add_pe(tid);
+  Interconnect ic;
+  ic.topology = topology;
+  ic.mesh_columns = columns;
+  hw.set_interconnect(ic);
+  return hw;
+}
+
+TEST(NocTopology, BusHopsAreUniform) {
+  const auto hw = make_grid(6, 3, Topology::Bus);
+  EXPECT_EQ(hw.hop_count(0, 0), 0u);
+  EXPECT_EQ(hw.hop_count(0, 1), 1u);
+  EXPECT_EQ(hw.hop_count(0, 5), 1u);
+  EXPECT_DOUBLE_EQ(hw.comm_factor(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(hw.comm_factor(2, 2), 1.0);
+}
+
+TEST(NocTopology, MeshManhattanDistance) {
+  // 3-column mesh of 6 PEs:
+  //   0 1 2
+  //   3 4 5
+  const auto hw = make_grid(6, 3, Topology::Mesh2D);
+  EXPECT_EQ(hw.hop_count(0, 1), 1u);
+  EXPECT_EQ(hw.hop_count(0, 2), 2u);
+  EXPECT_EQ(hw.hop_count(0, 3), 1u);
+  EXPECT_EQ(hw.hop_count(0, 4), 2u);
+  EXPECT_EQ(hw.hop_count(0, 5), 3u);
+  EXPECT_EQ(hw.hop_count(2, 3), 3u);
+  EXPECT_EQ(hw.hop_count(4, 4), 0u);
+  EXPECT_DOUBLE_EQ(hw.comm_factor(0, 5), 3.0);
+}
+
+TEST(NocTopology, HopCountIsSymmetric) {
+  const auto hw = make_grid(8, 4, Topology::Mesh2D);
+  for (PeId a = 0; a < 8; ++a) {
+    for (PeId b = 0; b < 8; ++b) {
+      EXPECT_EQ(hw.hop_count(a, b), hw.hop_count(b, a));
+    }
+  }
+}
+
+TEST(NocTopology, UnknownPeThrows) {
+  const auto hw = make_grid(4, 2, Topology::Mesh2D);
+  EXPECT_THROW(hw.hop_count(0, 9), std::out_of_range);
+}
+
+/// Two-task chain: cross-PE communication must scale with hop distance on a
+/// mesh but not on a bus.
+class NocScheduleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_.add_task(0);
+    graph_.add_task(0);
+    graph_.add_edge(0, 1, /*comm_time=*/5.0, 128);
+
+    impls_.resize(2);
+    rel::Implementation impl;
+    impl.pe_type = 0;
+    impl.base_time = 10.0;
+    impls_.add(0, impl);
+    impls_.add(1, impl);
+  }
+
+  sched::ScheduleResult run_on(const Platform& hw, PeId src, PeId dst) {
+    sched::EvalContext ctx;
+    ctx.graph = &graph_;
+    ctx.platform = &hw;
+    ctx.impls = &impls_;
+    ctx.clr_space = &clr_;
+    ctx.metrics = rel::MetricsModel(rel::FaultModel{0.0});
+    sched::Configuration cfg;
+    cfg.tasks = {{src, 0, 0, 0}, {dst, 0, 0, 0}};
+    return sched::ListScheduler{}.run(ctx, cfg);
+  }
+
+  tg::TaskGraph graph_;
+  rel::ImplementationSet impls_;
+  rel::ClrSpace clr_{rel::ClrGranularity::HwOnly};
+};
+
+TEST_F(NocScheduleTest, MeshCommunicationScalesWithHops) {
+  const auto mesh = make_grid(6, 3, Topology::Mesh2D);
+  EXPECT_DOUBLE_EQ(run_on(mesh, 0, 1).makespan, 10.0 + 1 * 5.0 + 10.0);
+  EXPECT_DOUBLE_EQ(run_on(mesh, 0, 5).makespan, 10.0 + 3 * 5.0 + 10.0);
+  EXPECT_DOUBLE_EQ(run_on(mesh, 0, 0).makespan, 20.0);  // same PE: free
+}
+
+TEST_F(NocScheduleTest, BusCommunicationIsUniform) {
+  const auto bus = make_grid(6, 3, Topology::Bus);
+  EXPECT_DOUBLE_EQ(run_on(bus, 0, 1).makespan, 25.0);
+  EXPECT_DOUBLE_EQ(run_on(bus, 0, 5).makespan, 25.0);
+}
+
+TEST(NocReconfig, MigrationCostScalesWithHops) {
+  auto hw = make_grid(6, 3, Topology::Mesh2D);
+  tg::TaskGraph g;
+  g.add_task(0);
+  rel::ImplementationSet impls;
+  impls.resize(1);
+  rel::Implementation impl;
+  impl.pe_type = 0;
+  impl.binary_bytes = 4096;
+  impls.add(0, impl);
+  recfg::ReconfigModel model(hw, impls);
+
+  sched::Configuration at0, at1, at5;
+  at0.tasks = {{0, 0, 0, 0}};
+  at1.tasks = {{1, 0, 0, 0}};
+  at5.tasks = {{5, 0, 0, 0}};
+  const double near = model.drc(at0, at1);
+  const double far = model.drc(at0, at5);
+  const double transfer = 4096.0 / hw.interconnect().binary_bandwidth;
+  const double overhead = hw.interconnect().per_migration_overhead;
+  EXPECT_DOUBLE_EQ(near, 1 * transfer + overhead);
+  EXPECT_DOUBLE_EQ(far, 3 * transfer + overhead);
+  EXPECT_GT(far, near);
+}
+
+TEST(NocReconfig, BusMigrationIsDistanceBlind) {
+  auto hw = make_grid(6, 3, Topology::Bus);
+  tg::TaskGraph g;
+  g.add_task(0);
+  rel::ImplementationSet impls;
+  impls.resize(1);
+  rel::Implementation impl;
+  impl.pe_type = 0;
+  impl.binary_bytes = 4096;
+  impls.add(0, impl);
+  recfg::ReconfigModel model(hw, impls);
+  sched::Configuration at0, at1, at5;
+  at0.tasks = {{0, 0, 0, 0}};
+  at1.tasks = {{1, 0, 0, 0}};
+  at5.tasks = {{5, 0, 0, 0}};
+  EXPECT_DOUBLE_EQ(model.drc(at0, at1), model.drc(at0, at5));
+}
+
+}  // namespace
+}  // namespace clr::plat

@@ -1,0 +1,102 @@
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::plat {
+namespace {
+
+TEST(Platform, AddPeTypeValidation) {
+  Platform hw;
+  PeType t;
+  t.perf_factor = 0.0;
+  EXPECT_THROW(hw.add_pe_type(t), std::invalid_argument);
+  t.perf_factor = 1.0;
+  t.power_factor = -1.0;
+  EXPECT_THROW(hw.add_pe_type(t), std::invalid_argument);
+  t.power_factor = 1.0;
+  t.avf = 1.5;
+  EXPECT_THROW(hw.add_pe_type(t), std::invalid_argument);
+  t.avf = 0.5;
+  t.beta_aging = 0.0;
+  EXPECT_THROW(hw.add_pe_type(t), std::invalid_argument);
+  t.beta_aging = 2.0;
+  EXPECT_EQ(hw.add_pe_type(t), 0u);
+}
+
+TEST(Platform, AddPeValidation) {
+  Platform hw;
+  EXPECT_THROW(hw.add_pe(0), std::out_of_range);  // no types yet
+  PeType t;
+  const PeTypeId tid = hw.add_pe_type(t);
+  EXPECT_THROW(hw.add_pe(tid, 1024, 0), std::out_of_range);  // no PRR yet
+  const PrrId prr = hw.add_prr(1024);
+  EXPECT_NO_THROW(hw.add_pe(tid, 1024, prr));
+}
+
+TEST(Platform, TypeOfResolvesThroughPe) {
+  Platform hw;
+  PeType t;
+  t.name = "x";
+  const PeTypeId tid = hw.add_pe_type(t);
+  const PeId pe = hw.add_pe(tid);
+  EXPECT_EQ(hw.type_of(pe).name, "x");
+}
+
+TEST(Platform, IsReconfigurable) {
+  Platform hw;
+  PeType t;
+  const PeTypeId tid = hw.add_pe_type(t);
+  const PeId fixed = hw.add_pe(tid);
+  const PrrId prr = hw.add_prr(2048);
+  const PeId accel = hw.add_pe(tid, 1024, prr);
+  EXPECT_FALSE(hw.is_reconfigurable(fixed));
+  EXPECT_TRUE(hw.is_reconfigurable(accel));
+}
+
+TEST(DefaultHmpsoc, MatchesPaperSetup) {
+  const Platform hw = make_default_hmpsoc();
+  // §5.1: 5 fixed PEs of 3 types + 3 PRR accelerator slots.
+  EXPECT_EQ(hw.num_prrs(), 3u);
+  EXPECT_EQ(hw.num_pes(), 8u);  // 5 fixed + 3 PRR-hosted
+  EXPECT_EQ(hw.pes_of_kind(PeKind::Accelerator).size(), 3u);
+  EXPECT_EQ(hw.num_pes() - hw.pes_of_kind(PeKind::Accelerator).size(), 5u);
+  // 3 non-accelerator types that differ in masking factor.
+  std::size_t fixed_types = 0;
+  for (const auto& t : hw.pe_types()) {
+    if (t.kind != PeKind::Accelerator) ++fixed_types;
+  }
+  EXPECT_EQ(fixed_types, 3u);
+}
+
+TEST(DefaultHmpsoc, TypesDifferInMaskingFactor) {
+  const Platform hw = make_default_hmpsoc();
+  std::vector<double> avfs;
+  for (const auto& t : hw.pe_types()) {
+    if (t.kind != PeKind::Accelerator) avfs.push_back(t.avf);
+  }
+  ASSERT_EQ(avfs.size(), 3u);
+  EXPECT_NE(avfs[0], avfs[1]);
+  EXPECT_NE(avfs[1], avfs[2]);
+  EXPECT_NE(avfs[0], avfs[2]);
+}
+
+TEST(DefaultHmpsoc, AcceleratorPesSitInDistinctPrrs) {
+  const Platform hw = make_default_hmpsoc();
+  std::vector<std::uint32_t> prrs;
+  for (PeId id : hw.pes_of_kind(PeKind::Accelerator)) {
+    EXPECT_TRUE(hw.is_reconfigurable(id));
+    prrs.push_back(hw.pe(id).prr);
+  }
+  std::sort(prrs.begin(), prrs.end());
+  EXPECT_EQ(prrs, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(DefaultHmpsoc, InterconnectIsConfigured) {
+  const Platform hw = make_default_hmpsoc();
+  EXPECT_GT(hw.interconnect().binary_bandwidth, 0.0);
+  EXPECT_GT(hw.interconnect().icap_bandwidth, 0.0);
+  EXPECT_GE(hw.interconnect().per_migration_overhead, 0.0);
+}
+
+}  // namespace
+}  // namespace clr::plat

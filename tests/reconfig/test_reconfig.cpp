@@ -1,0 +1,174 @@
+#include "reconfig/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hpp"
+#include "taskgraph/generator.hpp"
+
+namespace clr::recfg {
+namespace {
+
+class ReconfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plat::PeType gp;
+    gp.kind = plat::PeKind::GeneralPurpose;
+    const auto t_gp = hw_.add_pe_type(gp);
+    plat::PeType accel;
+    accel.kind = plat::PeKind::Accelerator;
+    const auto t_ac = hw_.add_pe_type(accel);
+
+    pe0_ = hw_.add_pe(t_gp);
+    pe1_ = hw_.add_pe(t_gp);
+    const auto prr = hw_.add_prr(4096);  // bitstream: 4096 bytes
+    pe_accel_ = hw_.add_pe(t_ac, 1024, prr);
+
+    plat::Interconnect ic;
+    ic.binary_bandwidth = 1024.0;  // bytes per time unit
+    ic.icap_bandwidth = 512.0;
+    ic.per_migration_overhead = 2.0;
+    hw_.set_interconnect(ic);
+
+    impls_.resize(2);
+    rel::Implementation cpu_impl;
+    cpu_impl.pe_type = t_gp;
+    cpu_impl.binary_bytes = 2048;
+    rel::Implementation accel_impl;
+    accel_impl.pe_type = t_ac;
+    accel_impl.binary_bytes = 1024;
+    impls_.add(0, cpu_impl);    // task 0 impl 0: CPU
+    impls_.add(0, accel_impl);  // task 0 impl 1: accelerator
+    impls_.add(1, cpu_impl);    // task 1 impl 0: CPU
+  }
+
+  sched::Configuration base_config() const {
+    sched::Configuration cfg;
+    cfg.tasks = {sched::TaskAssignment{pe0_, 0, 0, 0}, sched::TaskAssignment{pe1_, 0, 0, 0}};
+    return cfg;
+  }
+
+  plat::Platform hw_;
+  rel::ImplementationSet impls_;
+  plat::PeId pe0_ = 0, pe1_ = 0, pe_accel_ = 0;
+};
+
+TEST_F(ReconfigTest, IdenticalConfigurationsCostNothing) {
+  ReconfigModel model(hw_, impls_);
+  const auto cfg = base_config();
+  EXPECT_DOUBLE_EQ(model.drc(cfg, cfg), 0.0);
+}
+
+TEST_F(ReconfigTest, ClrAndPriorityChangesAreFree) {
+  // §3.5 modes (1) and (2): re-ordering and CLR changes incur no cost.
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto to = from;
+  to[0].clr_index = 5;
+  to[1].priority = 9;
+  EXPECT_DOUBLE_EQ(model.drc(from, to), 0.0);
+}
+
+TEST_F(ReconfigTest, PeMigrationPaysBinaryCopyPlusOverhead) {
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto to = from;
+  to[0].pe = pe1_;  // move task 0 (binary 2048 bytes) to the other CPU
+  const auto cost = model.cost(from, to);
+  EXPECT_EQ(cost.migrated_tasks, 1u);
+  EXPECT_EQ(cost.prr_loads, 0u);
+  EXPECT_DOUBLE_EQ(cost.migration, 2048.0 / 1024.0 + 2.0);
+  EXPECT_DOUBLE_EQ(cost.bitstream, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total(), 4.0);
+}
+
+TEST_F(ReconfigTest, ImplementationChangeAloneAlsoPays) {
+  // §3.5 mode (3): changing the implementation copies the new binary even on
+  // the same... no — impl change to accelerator moves PE too; here change CPU
+  // impl binary on the same PE (simulated via distinct impl on same type).
+  rel::Implementation alt;
+  alt.pe_type = hw_.pe(pe0_).type;
+  alt.binary_bytes = 512;
+  impls_.add(1, alt);  // task 1 gets a second CPU implementation
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto to = from;
+  to[1].impl_index = 1;
+  const auto cost = model.cost(from, to);
+  EXPECT_EQ(cost.migrated_tasks, 1u);
+  EXPECT_DOUBLE_EQ(cost.migration, 512.0 / 1024.0 + 2.0);
+}
+
+TEST_F(ReconfigTest, AcceleratorTargetAddsBitstream) {
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto to = from;
+  to[0].pe = pe_accel_;
+  to[0].impl_index = 1;  // accelerator implementation (1024-byte binary)
+  const auto cost = model.cost(from, to);
+  EXPECT_EQ(cost.migrated_tasks, 1u);
+  EXPECT_EQ(cost.prr_loads, 1u);
+  EXPECT_DOUBLE_EQ(cost.migration, 1024.0 / 1024.0 + 2.0);
+  EXPECT_DOUBLE_EQ(cost.bitstream, 4096.0 / 512.0);
+  EXPECT_DOUBLE_EQ(cost.total(), 3.0 + 8.0);
+}
+
+TEST_F(ReconfigTest, CostGrowsWithNumberOfMigratedTasks) {
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto one = from;
+  one[0].pe = pe1_;
+  auto two = one;
+  two[1].pe = pe0_;
+  EXPECT_GT(model.drc(from, two), model.drc(from, one));
+}
+
+TEST_F(ReconfigTest, SizeMismatchThrows) {
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  sched::Configuration to;
+  to.tasks.resize(1);
+  EXPECT_THROW(model.drc(from, to), std::invalid_argument);
+}
+
+TEST_F(ReconfigTest, AverageDrcOverTargets) {
+  ReconfigModel model(hw_, impls_);
+  const auto from = base_config();
+  auto moved = from;
+  moved[0].pe = pe1_;  // costs 4.0 from `from`
+  EXPECT_DOUBLE_EQ(model.average_drc(from, {from, moved}), 2.0);
+  EXPECT_DOUBLE_EQ(model.average_drc(from, {}), 0.0);
+}
+
+TEST(ReconfigProperty, DrcIsNonNegativeAndZeroOnDiagonal) {
+  tg::GeneratorParams gp;
+  gp.num_tasks = 25;
+  util::Rng rng(404);
+  const auto graph = tg::TgffGenerator(gp).generate(rng);
+  const auto hw = plat::make_default_hmpsoc();
+  const auto impls = rel::generate_implementations(graph, hw, rel::ImplGenParams{}, rng);
+  ReconfigModel model(hw, impls);
+
+  auto random_config = [&]() {
+    sched::Configuration cfg;
+    cfg.tasks.resize(graph.num_tasks());
+    for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+      std::vector<std::pair<plat::PeId, std::size_t>> choices;
+      for (const auto& pe : hw.pes()) {
+        for (std::size_t i : impls.compatible_with(t, pe.type)) choices.emplace_back(pe.id, i);
+      }
+      const auto [pe, impl] = choices[rng.index(choices.size())];
+      cfg[t] = sched::TaskAssignment{pe, static_cast<std::uint32_t>(impl), 0, 0};
+    }
+    return cfg;
+  };
+
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_config();
+    const auto b = random_config();
+    EXPECT_DOUBLE_EQ(model.drc(a, a), 0.0);
+    EXPECT_GE(model.drc(a, b), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace clr::recfg

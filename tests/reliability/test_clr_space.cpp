@@ -1,0 +1,88 @@
+#include "reliability/clr_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace clr::rel {
+namespace {
+
+TEST(ClrSpace, IndexZeroIsUnprotectedForAllGranularities) {
+  for (ClrGranularity g : {ClrGranularity::HwOnly, ClrGranularity::Coarse, ClrGranularity::Full}) {
+    const ClrSpace space(g);
+    const ClrConfig& c = space.config(ClrSpace::kUnprotected);
+    EXPECT_EQ(c.hw, HwTechnique::None);
+    EXPECT_EQ(c.ssw, SswTechnique::None);
+    EXPECT_EQ(c.asw, AswTechnique::None);
+  }
+}
+
+TEST(ClrSpace, HwOnlyContainsOnlyHardwareTechniques) {
+  const ClrSpace space(ClrGranularity::HwOnly);
+  EXPECT_EQ(space.size(), 3u);  // none, hardening, partial TMR
+  for (const auto& c : space.configs()) {
+    EXPECT_EQ(c.ssw, SswTechnique::None);
+    EXPECT_EQ(c.asw, AswTechnique::None);
+  }
+}
+
+TEST(ClrSpace, GranularityOrderingMatchesFig1) {
+  // Fig. 1: CLR2 has more design points than CLR1, which has more than
+  // HW-only. The configuration spaces must reflect that granularity order.
+  const ClrSpace hw(ClrGranularity::HwOnly);
+  const ClrSpace clr1(ClrGranularity::Coarse);
+  const ClrSpace clr2(ClrGranularity::Full);
+  EXPECT_LT(hw.size(), clr1.size());
+  EXPECT_LT(clr1.size(), clr2.size());
+}
+
+TEST(ClrSpace, CoarseIsCrossLayer) {
+  const ClrSpace space(ClrGranularity::Coarse);
+  bool has_ssw = false, has_asw = false, has_hw = false;
+  for (const auto& c : space.configs()) {
+    has_ssw |= c.ssw != SswTechnique::None;
+    has_asw |= c.asw != AswTechnique::None;
+    has_hw |= c.hw != HwTechnique::None;
+  }
+  EXPECT_TRUE(has_ssw);
+  EXPECT_TRUE(has_asw);
+  EXPECT_TRUE(has_hw);
+}
+
+TEST(ClrSpace, FullSpaceHasNoDuplicates) {
+  const ClrSpace space(ClrGranularity::Full);
+  std::set<std::string> seen;
+  for (const auto& c : space.configs()) {
+    EXPECT_TRUE(seen.insert(to_string(c)).second) << "duplicate: " << to_string(c);
+  }
+}
+
+TEST(ClrSpace, FullSpaceRetryParamsAreMeaningful) {
+  const ClrSpace space(ClrGranularity::Full);
+  for (const auto& c : space.configs()) {
+    if (c.ssw == SswTechnique::Retry) {
+      EXPECT_GE(c.ssw_param, 1);
+      EXPECT_LE(c.ssw_param, 3);
+      // Retry only pairs with a detecting ASW layer (it acts on detected
+      // errors).
+      EXPECT_NE(c.asw, AswTechnique::None);
+    }
+    if (c.ssw == SswTechnique::Checkpoint) {
+      EXPECT_TRUE(c.ssw_param == 2 || c.ssw_param == 4);
+    }
+  }
+}
+
+TEST(ClrConfig, EqualityAndToString) {
+  ClrConfig a{HwTechnique::PartialTmr, SswTechnique::Retry, AswTechnique::Checksum, 2};
+  ClrConfig b = a;
+  EXPECT_EQ(a, b);
+  b.ssw_param = 3;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(to_string(a), "hw:ptmr+ssw:retry(2)+asw:crc");
+  ClrConfig plain{};
+  EXPECT_EQ(to_string(plain), "hw:none+ssw:none+asw:none");
+}
+
+}  // namespace
+}  // namespace clr::rel

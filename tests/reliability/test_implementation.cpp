@@ -1,0 +1,144 @@
+#include "reliability/implementation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hpp"
+#include "taskgraph/generator.hpp"
+
+namespace clr::rel {
+namespace {
+
+tg::TaskGraph make_graph(std::size_t n, std::uint64_t seed) {
+  tg::GeneratorParams p;
+  p.num_tasks = n;
+  util::Rng rng(seed);
+  return tg::TgffGenerator(p).generate(rng);
+}
+
+TEST(ImplementationSet, AddValidation) {
+  ImplementationSet set;
+  set.resize(2);
+  Implementation good;
+  EXPECT_NO_THROW(set.add(0, good));
+  EXPECT_THROW(set.add(5, good), std::out_of_range);
+  Implementation bad_time = good;
+  bad_time.base_time = 0.0;
+  EXPECT_THROW(set.add(0, bad_time), std::invalid_argument);
+  Implementation bad_power = good;
+  bad_power.base_power = -1.0;
+  EXPECT_THROW(set.add(0, bad_power), std::invalid_argument);
+}
+
+TEST(ImplementationSet, CompatibleWithFilters) {
+  ImplementationSet set;
+  set.resize(1);
+  Implementation a;
+  a.pe_type = 0;
+  Implementation b;
+  b.pe_type = 1;
+  Implementation c;
+  c.pe_type = 0;
+  set.add(0, a);
+  set.add(0, b);
+  set.add(0, c);
+  EXPECT_EQ(set.compatible_with(0, 0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(set.compatible_with(0, 1), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(set.compatible_with(0, 7).empty());
+}
+
+class ImplGenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ImplGenSweep, EveryTaskRunsOnEveryFixedPeType) {
+  const auto graph = make_graph(GetParam(), 11);
+  const auto hw = plat::make_default_hmpsoc();
+  util::Rng rng(5);
+  const auto set = generate_implementations(graph, hw, ImplGenParams{}, rng);
+  ASSERT_EQ(set.num_tasks(), graph.num_tasks());
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    for (const auto& pt : hw.pe_types()) {
+      if (pt.kind == plat::PeKind::Accelerator) continue;
+      EXPECT_FALSE(set.compatible_with(t, pt.id).empty())
+          << "task " << t << " lacks an implementation for PE type " << pt.name;
+    }
+  }
+}
+
+TEST_P(ImplGenSweep, SameTaskTypeSharesCostTables) {
+  const auto graph = make_graph(GetParam(), 13);
+  const auto hw = plat::make_default_hmpsoc();
+  util::Rng rng(5);
+  const auto set = generate_implementations(graph, hw, ImplGenParams{}, rng);
+  // TGFF semantics: two tasks of the same type have identical implementation
+  // characteristics per PE type.
+  for (tg::TaskId a = 0; a < graph.num_tasks(); ++a) {
+    for (tg::TaskId b = a + 1; b < graph.num_tasks(); ++b) {
+      if (graph.task(a).type != graph.task(b).type) continue;
+      ASSERT_EQ(set.for_task(a).size(), set.for_task(b).size());
+      for (std::size_t i = 0; i < set.for_task(a).size(); ++i) {
+        EXPECT_DOUBLE_EQ(set.for_task(a)[i].base_time, set.for_task(b)[i].base_time);
+        EXPECT_DOUBLE_EQ(set.for_task(a)[i].base_power, set.for_task(b)[i].base_power);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ImplGenSweep, ::testing::Values(5, 10, 25, 50));
+
+TEST(ImplGen, AcceleratorImplsAreFasterWhenPresent) {
+  const auto graph = make_graph(40, 17);
+  const auto hw = plat::make_default_hmpsoc();
+  ImplGenParams p;
+  p.accel_availability = 1.0;  // force accelerators for every task type
+  util::Rng rng(5);
+  const auto set = generate_implementations(graph, hw, p, rng);
+  plat::PeTypeId accel_type = 0;
+  for (const auto& t : hw.pe_types()) {
+    if (t.kind == plat::PeKind::Accelerator) accel_type = t.id;
+  }
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const auto accel_impls = set.compatible_with(t, accel_type);
+    ASSERT_FALSE(accel_impls.empty());
+    // Accelerator base_time is divided by the speedup at the table level:
+    // it must not exceed the slowest fixed implementation.
+    double max_fixed = 0.0;
+    for (const auto& impl : set.for_task(t)) {
+      if (impl.pe_type != accel_type) max_fixed = std::max(max_fixed, impl.base_time);
+    }
+    for (std::size_t i : accel_impls) {
+      EXPECT_LT(set.for_task(t)[i].base_time, max_fixed);
+    }
+  }
+}
+
+TEST(ImplGen, ZeroAccelAvailabilityMeansNoAccelImpls) {
+  const auto graph = make_graph(20, 19);
+  const auto hw = plat::make_default_hmpsoc();
+  ImplGenParams p;
+  p.accel_availability = 0.0;
+  util::Rng rng(5);
+  const auto set = generate_implementations(graph, hw, p, rng);
+  for (const auto& t : hw.pe_types()) {
+    if (t.kind != plat::PeKind::Accelerator) continue;
+    for (tg::TaskId task = 0; task < graph.num_tasks(); ++task) {
+      EXPECT_TRUE(set.compatible_with(task, t.id).empty());
+    }
+  }
+}
+
+TEST(ImplGen, DeterministicPerSeed) {
+  const auto graph = make_graph(15, 23);
+  const auto hw = plat::make_default_hmpsoc();
+  util::Rng a(9), b(9);
+  const auto sa = generate_implementations(graph, hw, ImplGenParams{}, a);
+  const auto sb = generate_implementations(graph, hw, ImplGenParams{}, b);
+  for (tg::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    ASSERT_EQ(sa.for_task(t).size(), sb.for_task(t).size());
+    for (std::size_t i = 0; i < sa.for_task(t).size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa.for_task(t)[i].base_time, sb.for_task(t)[i].base_time);
+      EXPECT_EQ(sa.for_task(t)[i].binary_bytes, sb.for_task(t)[i].binary_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clr::rel

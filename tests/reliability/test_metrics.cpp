@@ -1,0 +1,189 @@
+#include "reliability/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hpp"
+
+namespace clr::rel {
+namespace {
+
+plat::PeType make_pe_type(double avf = 0.4, double perf = 1.0, double power = 1.0) {
+  plat::PeType t;
+  t.id = 0;
+  t.avf = avf;
+  t.perf_factor = perf;
+  t.power_factor = power;
+  t.beta_aging = 2.0;
+  return t;
+}
+
+Implementation make_impl(double time = 10.0, double power = 1.0) {
+  Implementation i;
+  i.pe_type = 0;
+  i.base_time = time;
+  i.base_power = power;
+  return i;
+}
+
+TEST(MetricsModel, RejectsTypeMismatch) {
+  MetricsModel model;
+  auto impl = make_impl();
+  impl.pe_type = 3;
+  EXPECT_THROW(model.evaluate(impl, make_pe_type(), ClrConfig{}), std::invalid_argument);
+}
+
+TEST(MetricsModel, UnprotectedBaseline) {
+  MetricsModel model(FaultModel{0.01});
+  const auto m = model.evaluate(make_impl(), make_pe_type(), ClrConfig{});
+  EXPECT_DOUBLE_EQ(m.min_ext, 10.0);
+  EXPECT_DOUBLE_EQ(m.avg_ext, 10.0);  // no re-execution without temporal redundancy
+  EXPECT_DOUBLE_EQ(m.avg_power, 1.0);
+  // p_raw = 1 - exp(-0.01 * 10 * 0.4); without detection ALL upsets that
+  // survive masking are silent errors.
+  const double p_raw = 1.0 - std::exp(-0.01 * 10.0 * 0.4);
+  EXPECT_NEAR(m.err_prob, p_raw, 1e-12);
+}
+
+TEST(MetricsModel, ZeroFaultRateMeansZeroErrors) {
+  MetricsModel model(FaultModel{0.0});
+  const ClrSpace space(ClrGranularity::Full);
+  for (const auto& cfg : space.configs()) {
+    const auto m = model.evaluate(make_impl(), make_pe_type(), cfg);
+    EXPECT_DOUBLE_EQ(m.err_prob, 0.0) << to_string(cfg);
+    EXPECT_DOUBLE_EQ(m.avg_ext, m.min_ext) << to_string(cfg);
+  }
+}
+
+TEST(MetricsModel, PerfFactorScalesTime) {
+  MetricsModel model;
+  const auto fast = model.evaluate(make_impl(), make_pe_type(0.4, 0.5), ClrConfig{});
+  const auto slow = model.evaluate(make_impl(), make_pe_type(0.4, 2.0), ClrConfig{});
+  EXPECT_DOUBLE_EQ(fast.min_ext * 4.0, slow.min_ext);
+}
+
+TEST(MetricsModel, AvfScalesErrorProbability) {
+  MetricsModel model(FaultModel{0.01});
+  const auto masked = model.evaluate(make_impl(), make_pe_type(0.1), ClrConfig{});
+  const auto exposed = model.evaluate(make_impl(), make_pe_type(0.9), ClrConfig{});
+  EXPECT_LT(masked.err_prob, exposed.err_prob);
+}
+
+/// Property sweep: every configuration of the full CLR space.
+class AllConfigsTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const ClrSpace& space() {
+    static const ClrSpace s(ClrGranularity::Full);
+    return s;
+  }
+};
+
+TEST_P(AllConfigsTest, InvariantsHold) {
+  MetricsModel model(FaultModel{0.02});
+  const ClrConfig& cfg = space().config(GetParam());
+  const auto m = model.evaluate(make_impl(), make_pe_type(), cfg);
+
+  EXPECT_GT(m.min_ext, 0.0);
+  EXPECT_GE(m.avg_ext, m.min_ext);           // re-execution only adds time
+  EXPECT_GE(m.err_prob, 0.0);
+  EXPECT_LE(m.err_prob, 1.0);
+  EXPECT_GT(m.avg_power, 0.0);
+  EXPECT_GT(m.mttf, 0.0);
+  EXPECT_GT(m.eta, 0.0);
+  EXPECT_NEAR(m.energy(), m.avg_ext * m.avg_power, 1e-12);
+}
+
+TEST_P(AllConfigsTest, ProtectionNeverWorseThanUnprotectedAtEqualExposure) {
+  // With the same base implementation, any CLR technique must not *increase*
+  // the silent+unrecovered error probability beyond the raw probability of
+  // its own (longer) execution window.
+  MetricsModel model(FaultModel{0.02});
+  const ClrConfig& cfg = space().config(GetParam());
+  const auto m = model.evaluate(make_impl(), make_pe_type(), cfg);
+  const double p_raw_own_window = 1.0 - std::exp(-0.02 * m.min_ext * 0.4);
+  EXPECT_LE(m.err_prob, p_raw_own_window + 1e-12) << to_string(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSpace, AllConfigsTest,
+                         ::testing::Range<std::size_t>(0, ClrSpace(ClrGranularity::Full).size()));
+
+TEST(MetricsModel, HardwareLayerReducesErrors) {
+  MetricsModel model(FaultModel{0.02});
+  ClrConfig none{};
+  ClrConfig tmr{HwTechnique::PartialTmr, SswTechnique::None, AswTechnique::None, 0};
+  ClrConfig hard{HwTechnique::Hardening, SswTechnique::None, AswTechnique::None, 0};
+  const auto m_none = model.evaluate(make_impl(), make_pe_type(), none);
+  const auto m_tmr = model.evaluate(make_impl(), make_pe_type(), tmr);
+  const auto m_hard = model.evaluate(make_impl(), make_pe_type(), hard);
+  EXPECT_LT(m_tmr.err_prob, m_hard.err_prob);
+  EXPECT_LT(m_hard.err_prob, m_none.err_prob);
+  // ... at a power premium.
+  EXPECT_GT(m_tmr.avg_power, m_hard.avg_power);
+  EXPECT_GT(m_hard.avg_power, m_none.avg_power);
+}
+
+TEST(MetricsModel, RetryReducesErrorsAndAddsAverageTime) {
+  MetricsModel model(FaultModel{0.05});
+  ClrConfig detect_only{HwTechnique::None, SswTechnique::None, AswTechnique::Checksum, 0};
+  ClrConfig retry1{HwTechnique::None, SswTechnique::Retry, AswTechnique::Checksum, 1};
+  ClrConfig retry3{HwTechnique::None, SswTechnique::Retry, AswTechnique::Checksum, 3};
+  const auto m0 = model.evaluate(make_impl(), make_pe_type(), detect_only);
+  const auto m1 = model.evaluate(make_impl(), make_pe_type(), retry1);
+  const auto m3 = model.evaluate(make_impl(), make_pe_type(), retry3);
+  EXPECT_LT(m1.err_prob, m0.err_prob);
+  EXPECT_LE(m3.err_prob, m1.err_prob);  // more retries, fewer residual errors
+  EXPECT_GT(m1.avg_ext, m1.min_ext);    // expected re-execution time
+  EXPECT_GE(m3.avg_ext, m1.avg_ext - 1e-12);
+}
+
+TEST(MetricsModel, CheckpointRollbackCheaperThanFullRetryReexecution) {
+  MetricsModel model(FaultModel{0.05});
+  ClrConfig retry{HwTechnique::None, SswTechnique::Retry, AswTechnique::Checksum, 1};
+  ClrConfig ckpt{HwTechnique::None, SswTechnique::Checkpoint, AswTechnique::Checksum, 4};
+  const auto m_retry = model.evaluate(make_impl(), make_pe_type(), retry);
+  const auto m_ckpt = model.evaluate(make_impl(), make_pe_type(), ckpt);
+  // Expected *re-execution* time (beyond the error-free run) is smaller for
+  // checkpointing: it rolls back one of 4 segments instead of the whole task.
+  EXPECT_LT(m_ckpt.avg_ext - m_ckpt.min_ext, m_retry.avg_ext - m_retry.min_ext);
+}
+
+TEST(MetricsModel, CorrectionBeatsDetectionOnly) {
+  MetricsModel model(FaultModel{0.05});
+  ClrConfig crc{HwTechnique::None, SswTechnique::None, AswTechnique::Checksum, 0};
+  ClrConfig hamming{HwTechnique::None, SswTechnique::None, AswTechnique::Hamming, 0};
+  ClrConfig triple{HwTechnique::None, SswTechnique::None, AswTechnique::CodeTripling, 0};
+  const auto m_crc = model.evaluate(make_impl(), make_pe_type(), crc);
+  const auto m_ham = model.evaluate(make_impl(), make_pe_type(), hamming);
+  const auto m_tri = model.evaluate(make_impl(), make_pe_type(), triple);
+  EXPECT_LT(m_ham.err_prob, m_crc.err_prob);
+  EXPECT_LT(m_tri.err_prob, m_crc.err_prob);
+}
+
+TEST(MetricsModel, AgingScaleDecreasesWithPower) {
+  MetricsModel model;
+  const auto low = model.evaluate(make_impl(10.0, 0.5), make_pe_type(), ClrConfig{});
+  const auto high = model.evaluate(make_impl(10.0, 2.0), make_pe_type(), ClrConfig{});
+  EXPECT_GT(low.eta, high.eta);
+  EXPECT_GT(low.mttf, high.mttf);
+}
+
+TEST(MetricsModel, MttfScalesWithWeibullShape) {
+  MetricsModel model;
+  auto t1 = make_pe_type();
+  t1.beta_aging = 1.0;  // MTTF = eta * gamma(2) = eta
+  auto t2 = make_pe_type();
+  t2.beta_aging = 2.0;  // MTTF = eta * gamma(1.5) ~ 0.886 eta
+  const auto m1 = model.evaluate(make_impl(), t1, ClrConfig{});
+  const auto m2 = model.evaluate(make_impl(), t2, ClrConfig{});
+  EXPECT_NEAR(m1.mttf, m1.eta, 1e-9);
+  EXPECT_NEAR(m2.mttf / m2.eta, std::tgamma(1.5), 1e-9);
+}
+
+TEST(MetricsModel, LongerTasksAreMoreExposed) {
+  MetricsModel model(FaultModel{0.01});
+  const auto short_task = model.evaluate(make_impl(5.0), make_pe_type(), ClrConfig{});
+  const auto long_task = model.evaluate(make_impl(50.0), make_pe_type(), ClrConfig{});
+  EXPECT_LT(short_task.err_prob, long_task.err_prob);
+}
+
+}  // namespace
+}  // namespace clr::rel

@@ -1,0 +1,85 @@
+#include "reliability/techniques.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::rel {
+namespace {
+
+TEST(HwTraits, NoneIsIdentity) {
+  const auto& t = hw_traits(HwTechnique::None);
+  EXPECT_DOUBLE_EQ(t.time_factor, 1.0);
+  EXPECT_DOUBLE_EQ(t.power_factor, 1.0);
+  EXPECT_DOUBLE_EQ(t.residual, 1.0);
+}
+
+TEST(HwTraits, ProtectionCostsAndMasks) {
+  for (HwTechnique tech : {HwTechnique::Hardening, HwTechnique::PartialTmr}) {
+    const auto& t = hw_traits(tech);
+    EXPECT_GE(t.time_factor, 1.0) << to_string(tech);
+    EXPECT_GT(t.power_factor, 1.0) << to_string(tech);
+    EXPECT_GT(t.residual, 0.0) << to_string(tech);
+    EXPECT_LT(t.residual, 1.0) << to_string(tech);
+  }
+}
+
+TEST(HwTraits, TmrMasksMoreThanHardeningButCostsMorePower) {
+  const auto& tmr = hw_traits(HwTechnique::PartialTmr);
+  const auto& hard = hw_traits(HwTechnique::Hardening);
+  EXPECT_LT(tmr.residual, hard.residual);
+  EXPECT_GT(tmr.power_factor, hard.power_factor);
+}
+
+TEST(SswTraits, NoneIsIdentity) {
+  const auto& t = ssw_traits(SswTechnique::None);
+  EXPECT_DOUBLE_EQ(t.base_time_factor, 1.0);
+  EXPECT_DOUBLE_EQ(t.per_unit_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(t.power_factor, 1.0);
+}
+
+TEST(SswTraits, TemporalRedundancyHasOverheads) {
+  EXPECT_GT(ssw_traits(SswTechnique::Retry).base_time_factor, 1.0);
+  EXPECT_GT(ssw_traits(SswTechnique::Checkpoint).base_time_factor, 1.0);
+  EXPECT_GT(ssw_traits(SswTechnique::Checkpoint).per_unit_overhead, 0.0);
+}
+
+TEST(AswTraits, CoverageAlgebraIsSane) {
+  for (AswTechnique tech : {AswTechnique::None, AswTechnique::Checksum, AswTechnique::Hamming,
+                            AswTechnique::CodeTripling}) {
+    const auto& t = asw_traits(tech);
+    EXPECT_GE(t.detect_coverage, 0.0) << to_string(tech);
+    EXPECT_LE(t.detect_coverage, 1.0) << to_string(tech);
+    EXPECT_GE(t.correct_coverage, 0.0) << to_string(tech);
+    // Correction implies detection.
+    EXPECT_LE(t.correct_coverage, t.detect_coverage) << to_string(tech);
+    EXPECT_GE(t.time_factor, 1.0) << to_string(tech);
+    EXPECT_GE(t.power_factor, 1.0) << to_string(tech);
+  }
+}
+
+TEST(AswTraits, ChecksumDetectsButDoesNotCorrect) {
+  const auto& t = asw_traits(AswTechnique::Checksum);
+  EXPECT_GT(t.detect_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(t.correct_coverage, 0.0);
+}
+
+TEST(AswTraits, TriplingIsStrongestAndSlowest) {
+  const auto& tri = asw_traits(AswTechnique::CodeTripling);
+  const auto& ham = asw_traits(AswTechnique::Hamming);
+  const auto& crc = asw_traits(AswTechnique::Checksum);
+  EXPECT_GT(tri.correct_coverage, ham.correct_coverage);
+  EXPECT_GT(tri.time_factor, ham.time_factor);
+  EXPECT_GT(ham.time_factor, crc.time_factor);
+}
+
+TEST(ToString, AllValuesHaveNames) {
+  EXPECT_EQ(to_string(HwTechnique::None), "hw:none");
+  EXPECT_EQ(to_string(HwTechnique::PartialTmr), "hw:ptmr");
+  EXPECT_EQ(to_string(HwTechnique::Hardening), "hw:harden");
+  EXPECT_EQ(to_string(SswTechnique::Retry), "ssw:retry");
+  EXPECT_EQ(to_string(SswTechnique::Checkpoint), "ssw:ckpt");
+  EXPECT_EQ(to_string(AswTechnique::Hamming), "asw:hamming");
+  EXPECT_EQ(to_string(AswTechnique::CodeTripling), "asw:triple");
+}
+
+}  // namespace
+}  // namespace clr::rel

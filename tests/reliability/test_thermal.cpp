@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "reliability/metrics.hpp"
+
+namespace clr::rel {
+namespace {
+
+TEST(ThermalModel, JunctionTemperatureRisesLinearlyWithPower) {
+  ThermalModel tm;
+  EXPECT_DOUBLE_EQ(tm.junction_k(0.0), tm.ambient_k);
+  EXPECT_DOUBLE_EQ(tm.junction_k(2.0), tm.ambient_k + 2.0 * tm.rth_k_per_w);
+}
+
+TEST(ThermalModel, EtaAtReferenceTemperatureIsEtaRef) {
+  ThermalModel tm;
+  // Power that exactly reaches T_ref.
+  const double w_ref = (tm.t_ref_k - tm.ambient_k) / tm.rth_k_per_w;
+  EXPECT_NEAR(tm.eta(w_ref), tm.eta_ref, 1e-6 * tm.eta_ref);
+}
+
+TEST(ThermalModel, HotterMeansShorterLife) {
+  ThermalModel tm;
+  EXPECT_GT(tm.eta(0.5), tm.eta(1.0));
+  EXPECT_GT(tm.eta(1.0), tm.eta(3.0));
+}
+
+TEST(ThermalModel, ArrheniusAccelerationFactorIsPhysical) {
+  // Rule of thumb: every ~10 K of junction temperature roughly halves the
+  // electromigration lifetime around typical operating points (Ea ~ 0.7 eV).
+  ThermalModel tm;
+  const double w1 = 1.0;
+  const double w2 = w1 + 10.0 / tm.rth_k_per_w;  // +10 K
+  const double factor = tm.eta(w1) / tm.eta(w2);
+  EXPECT_GT(factor, 1.5);
+  EXPECT_LT(factor, 3.0);
+}
+
+TEST(ThermalModel, ColdAmbientExtendsLife) {
+  ThermalModel hot;
+  ThermalModel cold = hot;
+  cold.ambient_k = 273.0;
+  EXPECT_GT(cold.eta(1.0), hot.eta(1.0));
+}
+
+TEST(ThermalModel, FlowsThroughTaskMetrics) {
+  plat::PeType pe;
+  pe.id = 0;
+  pe.beta_aging = 2.0;
+  Implementation impl;
+  impl.pe_type = 0;
+  impl.base_time = 10.0;
+  impl.base_power = 1.0;
+
+  ThermalModel cool;
+  cool.ambient_k = 300.0;
+  ThermalModel hot;
+  hot.ambient_k = 340.0;
+  MetricsModel cool_model(FaultModel{}, cool);
+  MetricsModel hot_model(FaultModel{}, hot);
+  const auto m_cool = cool_model.evaluate(impl, pe, ClrConfig{});
+  const auto m_hot = hot_model.evaluate(impl, pe, ClrConfig{});
+  EXPECT_GT(m_cool.eta, m_hot.eta);
+  EXPECT_GT(m_cool.mttf, m_hot.mttf);
+  // MTTF = eta * Gamma(1 + 1/beta) in both.
+  EXPECT_NEAR(m_cool.mttf / m_cool.eta, std::tgamma(1.5), 1e-9);
+}
+
+TEST(ThermalModel, PowerHungryRedundancyAgesFaster) {
+  plat::PeType pe;
+  pe.id = 0;
+  Implementation impl;
+  impl.pe_type = 0;
+  MetricsModel model;
+  const auto plain = model.evaluate(impl, pe, ClrConfig{});
+  const auto tmr = model.evaluate(
+      impl, pe, ClrConfig{HwTechnique::PartialTmr, SswTechnique::None, AswTechnique::None, 0});
+  EXPECT_LT(tmr.eta, plain.eta);  // 2.2x power -> hotter -> shorter life
+}
+
+}  // namespace
+}  // namespace clr::rel

@@ -1,0 +1,215 @@
+// Tests for the run-time extensions: AR(1) QoS drift, AuRA's guarded
+// lookahead / visit accounting / unvisited-state neutralization, and the
+// dRC-matrix scale accessor.
+
+#include <gtest/gtest.h>
+
+#include "runtime/policy.hpp"
+#include "runtime/qos_process.hpp"
+#include "runtime/simulator.hpp"
+
+namespace clr::rt {
+namespace {
+
+dse::MetricRanges make_ranges() {
+  dse::MetricRanges r;
+  r.makespan_min = 100.0;
+  r.makespan_max = 200.0;
+  r.func_rel_min = 0.90;
+  r.func_rel_max = 0.99;
+  r.energy_min = 10.0;
+  r.energy_max = 20.0;
+  return r;
+}
+
+TEST(QosDrift, PhiZeroMatchesStationarySampling) {
+  QosProcessParams p;
+  p.ar1_phi = 0.0;
+  QosProcess qos(make_ranges(), p);
+  util::Rng a(1), b(1);
+  const dse::QosSpec prev{150.0, 0.95};
+  for (int i = 0; i < 50; ++i) {
+    const auto from_next = qos.next_spec(prev, a);
+    const auto from_sample = qos.sample_spec(b);
+    EXPECT_DOUBLE_EQ(from_next.max_makespan, from_sample.max_makespan);
+    EXPECT_DOUBLE_EQ(from_next.min_func_rel, from_sample.min_func_rel);
+  }
+}
+
+TEST(QosDrift, NextSpecStaysInBox) {
+  QosProcessParams p;
+  p.ar1_phi = 0.9;
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(2);
+  dse::QosSpec spec = qos.sample_spec(rng);
+  for (int i = 0; i < 2000; ++i) {
+    spec = qos.next_spec(spec, rng);
+    EXPECT_GE(spec.max_makespan, 100.0);
+    EXPECT_LE(spec.max_makespan, 200.0);
+    EXPECT_GE(spec.min_func_rel, 0.90);
+    EXPECT_LE(spec.min_func_rel, 0.99);
+  }
+}
+
+TEST(QosDrift, HighPhiProducesAutocorrelatedSequence) {
+  QosProcessParams drifty;
+  drifty.ar1_phi = 0.9;
+  QosProcessParams jumpy;
+  jumpy.ar1_phi = 0.0;
+  QosProcess qd(make_ranges(), drifty);
+  QosProcess qj(make_ranges(), jumpy);
+  auto mean_abs_step = [](QosProcess& q, util::Rng rng) {
+    dse::QosSpec spec = q.sample_spec(rng);
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      const auto next = q.next_spec(spec, rng);
+      sum += std::abs(next.max_makespan - spec.max_makespan);
+      spec = next;
+    }
+    return sum / n;
+  };
+  // Drifting sequences take much smaller steps than independent draws.
+  EXPECT_LT(mean_abs_step(qd, util::Rng(3)), 0.6 * mean_abs_step(qj, util::Rng(3)));
+}
+
+TEST(QosDrift, StationaryMarginalIsPreserved) {
+  QosProcessParams p;
+  p.ar1_phi = 0.7;
+  p.makespan_sd_frac = 0.10;  // little clamping
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(4);
+  dse::QosSpec spec = qos.sample_spec(rng);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    spec = qos.next_spec(spec, rng);
+    sum += spec.max_makespan;
+    sum2 += spec.max_makespan * spec.max_makespan;
+  }
+  const double mean = sum / n;
+  // Stationary mean = makespan_min + 0.45 * range = 145 (default mean frac).
+  EXPECT_NEAR(mean, 145.0, 1.0);
+  // Stationary sd should approximate the marginal sd (10), not be inflated.
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 10.0, 1.0);
+}
+
+// --- AuRA mechanics -------------------------------------------------------
+
+dse::DesignDb small_db() {
+  dse::DesignDb db;
+  auto add = [&](double s, double f, double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = s;
+    p.func_rel = f;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(100, 0.95, 50, 0);
+  add(120, 0.99, 80, 1);
+  add(80, 0.92, 30, 2);
+  return db;
+}
+
+DrcMatrix small_drc() {
+  return DrcMatrix(3, {0, 10, 2, 10, 0, 10, 2, 10, 0});
+}
+
+TEST(DrcMatrixExt, MaxDrc) {
+  EXPECT_DOUBLE_EQ(small_drc().max_drc(), 10.0);
+  EXPECT_DOUBLE_EQ(DrcMatrix(1, {0.0}).max_drc(), 0.0);
+}
+
+TEST(AuraGuard, DefaultGuardNeverDegradesImmediateChoice) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  AuraPolicy aura(db, drc, 0.0);  // default guard 0: tie-breaking only
+  aura.set_values({0.0, 100.0, 0.0});
+  // Current point 0 is feasible: staying (dRC 0) strictly beats any move;
+  // even an enormous V(1) cannot pull the agent off it.
+  const auto d = aura.select(0, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(d.point, 0u);
+}
+
+TEST(AuraGuard, WideGuardAllowsValueOverride) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  AuraPolicy::Params params;
+  params.gamma = 0.9;
+  params.guard = 10.0;
+  AuraPolicy aura(db, drc, 0.0, params);
+  aura.set_values({0.0, 100.0, 0.0});
+  const auto d = aura.select(0, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(d.point, 1u);  // pays the move because V says so
+}
+
+TEST(AuraVisits, CountedPerEpisodeUpdate) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  AuraPolicy aura(db, drc, 1.0);
+  aura.select(0, dse::QosSpec{200.0, 0.0});  // picks 2 (min energy)
+  aura.select(2, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(aura.visit_counts()[2], 0u);  // not yet: updates land at episode end
+  aura.end_episode();
+  EXPECT_EQ(aura.visit_counts()[2], 2u);
+  EXPECT_EQ(aura.visit_counts()[0], 0u);
+}
+
+TEST(AuraNeutralize, UnvisitedGetMeanOfVisited) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  AuraPolicy::Params params;
+  params.alpha = 1.0;
+  params.gamma = 0.5;
+  AuraPolicy aura(db, drc, 1.0, params);
+  aura.select(0, dse::QosSpec{200.0, 0.0});  // reward 1 at point 2
+  aura.end_episode();                        // V[2] = 1
+  aura.neutralize_unvisited();
+  EXPECT_DOUBLE_EQ(aura.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(aura.values()[1], 1.0);
+  EXPECT_DOUBLE_EQ(aura.values()[2], 1.0);
+}
+
+TEST(AuraNeutralize, NoOpWhenNothingVisited) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  AuraPolicy aura(db, drc, 0.5);
+  aura.neutralize_unvisited();
+  for (double v : aura.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AuraReward, GlobalScaleIsStationary) {
+  // The reward for picking the same point with the same paid cost must not
+  // depend on which other points happen to be feasible.
+  const auto db = small_db();
+  const auto drc = small_drc();
+  UraPolicy policy(db, drc, 1.0);
+  // Loose spec (3 candidates) and tight spec (only point 1 feasible): point 1
+  // selected in the tight case gets its global normalized reward, not 1.0.
+  const auto tight = policy.select(1, dse::QosSpec{200.0, 0.99});
+  EXPECT_EQ(tight.point, 1u);
+  // Point 1 has max energy: global norm R = 0; staying costs nothing.
+  EXPECT_DOUBLE_EQ(tight.reward, 0.0);
+}
+
+TEST(SimulatorDrift, AutocorrelatedRunsAreDeterministic) {
+  const auto db = small_db();
+  const auto drc = small_drc();
+  QosProcessParams p;
+  p.ar1_phi = 0.8;
+  QosProcess qos(make_ranges(), p);
+  SimulationParams sp;
+  sp.total_cycles = 3e4;
+  RuntimeSimulator sim(sp);
+  UraPolicy p1(db, drc, 0.5), p2(db, drc, 0.5);
+  util::Rng a(9), b(9);
+  const auto sa = sim.run(db, p1, qos, a);
+  const auto sb = sim.run(db, p2, qos, b);
+  EXPECT_EQ(sa.num_reconfigs, sb.num_reconfigs);
+  EXPECT_DOUBLE_EQ(sa.avg_energy, sb.avg_energy);
+}
+
+}  // namespace
+}  // namespace clr::rt

@@ -1,0 +1,117 @@
+#include "runtime/qos_process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::rt {
+namespace {
+
+dse::MetricRanges make_ranges() {
+  dse::MetricRanges r;
+  r.makespan_min = 100.0;
+  r.makespan_max = 200.0;
+  r.func_rel_min = 0.90;
+  r.func_rel_max = 0.99;
+  r.energy_min = 10.0;
+  r.energy_max = 20.0;
+  return r;
+}
+
+TEST(QosProcess, SpecsStayWithinTheAchievableBox) {
+  QosProcess qos(make_ranges());
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto spec = qos.sample_spec(rng);
+    EXPECT_GE(spec.max_makespan, 100.0);
+    EXPECT_LE(spec.max_makespan, 200.0);
+    EXPECT_GE(spec.min_func_rel, 0.90);
+    EXPECT_LE(spec.min_func_rel, 0.99);
+  }
+}
+
+TEST(QosProcess, MeansFollowTheFractionParameters) {
+  QosProcessParams p;
+  p.makespan_mean_frac = 0.5;
+  p.func_rel_mean_frac = 0.5;
+  p.makespan_sd_frac = 0.05;  // tight: clamping negligible
+  p.func_rel_sd_frac = 0.05;
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(2);
+  double s_sum = 0.0, f_sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto spec = qos.sample_spec(rng);
+    s_sum += spec.max_makespan;
+    f_sum += spec.min_func_rel;
+  }
+  EXPECT_NEAR(s_sum / n, 150.0, 0.5);
+  EXPECT_NEAR(f_sum / n, 0.945, 0.001);
+}
+
+TEST(QosProcess, GapsAreExponentialWithConfiguredMean) {
+  QosProcessParams p;
+  p.mean_event_gap = 100.0;  // the paper's rate of 100 cycles
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double gap = qos.sample_gap(rng);
+    EXPECT_GE(gap, 0.0);
+    sum += gap;
+  }
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(QosProcess, DeterministicPerSeed) {
+  QosProcess qos(make_ranges());
+  util::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto sa = qos.sample_spec(a);
+    const auto sb = qos.sample_spec(b);
+    EXPECT_DOUBLE_EQ(sa.max_makespan, sb.max_makespan);
+    EXPECT_DOUBLE_EQ(sa.min_func_rel, sb.min_func_rel);
+  }
+}
+
+TEST(QosProcess, RejectsNonPositiveGap) {
+  QosProcessParams p;
+  p.mean_event_gap = 0.0;
+  EXPECT_THROW(QosProcess(make_ranges(), p), std::invalid_argument);
+}
+
+TEST(QosProcess, DegenerateRangesStillWork) {
+  dse::MetricRanges r = make_ranges();
+  r.makespan_min = r.makespan_max = 150.0;
+  r.func_rel_min = r.func_rel_max = 0.95;
+  QosProcess qos(r);
+  util::Rng rng(9);
+  const auto spec = qos.sample_spec(rng);
+  EXPECT_DOUBLE_EQ(spec.max_makespan, 150.0);
+  EXPECT_DOUBLE_EQ(spec.min_func_rel, 0.95);
+}
+
+TEST(QosProcess, CorrelationPropagates) {
+  QosProcessParams p;
+  p.rho = 0.9;
+  p.makespan_sd_frac = 0.10;
+  p.func_rel_sd_frac = 0.10;
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(11);
+  double sx = 0, sy = 0, sxy = 0, sx2 = 0, sy2 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const auto spec = qos.sample_spec(rng);
+    sx += spec.max_makespan;
+    sy += spec.min_func_rel;
+    sxy += spec.max_makespan * spec.min_func_rel;
+    sx2 += spec.max_makespan * spec.max_makespan;
+    sy2 += spec.min_func_rel * spec.min_func_rel;
+  }
+  const double mx = sx / n, my = sy / n;
+  const double corr = (sxy / n - mx * my) /
+                      std::sqrt((sx2 / n - mx * mx) * (sy2 / n - my * my));
+  EXPECT_GT(corr, 0.7);  // clamping attenuates, but the sign/strength remains
+}
+
+}  // namespace
+}  // namespace clr::rt

@@ -1,0 +1,226 @@
+#include "runtime/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace clr::rt {
+namespace {
+
+dse::DesignDb make_db() {
+  dse::DesignDb db;
+  auto add = [&](double s, double f, double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = s;
+    p.func_rel = f;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(100, 0.95, 50, 0);
+  add(120, 0.99, 80, 1);
+  add(80, 0.92, 30, 2);
+  return db;
+}
+
+DrcMatrix make_drc() {
+  return DrcMatrix(3, {0, 10, 2,
+                       10, 0, 10,
+                       2, 10, 0});
+}
+
+dse::MetricRanges make_ranges() {
+  dse::MetricRanges r;
+  r.makespan_min = 80.0;
+  r.makespan_max = 120.0;
+  r.func_rel_min = 0.92;
+  r.func_rel_max = 0.99;
+  r.energy_min = 30.0;
+  r.energy_max = 80.0;
+  return r;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  dse::DesignDb db_ = make_db();
+  DrcMatrix drc_ = make_drc();
+  dse::MetricRanges ranges_ = make_ranges();
+};
+
+TEST_F(SimulatorTest, EnergyIsWithinDatabaseBounds) {
+  QosProcess qos(ranges_);
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 5e4;
+  RuntimeSimulator sim(params);
+  util::Rng rng(1);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  EXPECT_GE(stats.avg_energy, 30.0);
+  EXPECT_LE(stats.avg_energy, 80.0);
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 5e4);
+}
+
+TEST_F(SimulatorTest, EventCountMatchesExponentialRate) {
+  QosProcess qos(ranges_);  // mean gap 100
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 2e5;
+  RuntimeSimulator sim(params);
+  util::Rng rng(2);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  // ~2000 events expected; Poisson sd ~45.
+  EXPECT_GT(stats.num_events, 1800u);
+  EXPECT_LT(stats.num_events, 2200u);
+}
+
+TEST_F(SimulatorTest, DeterministicPerSeed) {
+  QosProcess qos(ranges_);
+  SimulationParams params;
+  params.total_cycles = 3e4;
+  RuntimeSimulator sim(params);
+  UraPolicy p1(db_, drc_, 0.5);
+  UraPolicy p2(db_, drc_, 0.5);
+  util::Rng a(3), b(3);
+  const auto sa = sim.run(db_, p1, qos, a);
+  const auto sb = sim.run(db_, p2, qos, b);
+  EXPECT_EQ(sa.num_events, sb.num_events);
+  EXPECT_EQ(sa.num_reconfigs, sb.num_reconfigs);
+  EXPECT_DOUBLE_EQ(sa.avg_energy, sb.avg_energy);
+  EXPECT_DOUBLE_EQ(sa.total_reconfig_cost, sb.total_reconfig_cost);
+}
+
+TEST_F(SimulatorTest, TraceRecordsFirstEvents) {
+  QosProcess qos(ranges_);
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 5e4;
+  params.trace_events = 50;
+  RuntimeSimulator sim(params);
+  util::Rng rng(4);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  ASSERT_EQ(stats.trace.size(), 50u);
+  double prev = -1.0;
+  for (const auto& ev : stats.trace) {
+    EXPECT_GT(ev.time, prev);
+    prev = ev.time;
+    EXPECT_LT(ev.point, db_.size());
+    if (!ev.reconfigured) EXPECT_DOUBLE_EQ(ev.drc, 0.0);
+  }
+}
+
+TEST_F(SimulatorTest, AccountingIdentitiesHold) {
+  QosProcess qos(ranges_);
+  UraPolicy policy(db_, drc_, 1.0);
+  SimulationParams params;
+  params.total_cycles = 5e4;
+  params.trace_events = 1000000;  // trace everything
+  RuntimeSimulator sim(params);
+  util::Rng rng(5);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  ASSERT_EQ(stats.trace.size(), stats.num_events);
+  double total_cost = 0.0;
+  std::size_t reconfigs = 0;
+  double max_drc = 0.0;
+  for (const auto& ev : stats.trace) {
+    total_cost += ev.drc;
+    if (ev.reconfigured) ++reconfigs;
+    max_drc = std::max(max_drc, ev.drc);
+  }
+  EXPECT_DOUBLE_EQ(total_cost, stats.total_reconfig_cost);
+  EXPECT_EQ(reconfigs, stats.num_reconfigs);
+  EXPECT_DOUBLE_EQ(max_drc, stats.max_drc);
+  EXPECT_NEAR(stats.avg_reconfig_cost,
+              stats.total_reconfig_cost / static_cast<double>(stats.num_events), 1e-12);
+}
+
+TEST_F(SimulatorTest, PrcZeroReconfiguresLessThanPrcOne) {
+  QosProcess qos(ranges_);
+  SimulationParams params;
+  params.total_cycles = 1e5;
+  RuntimeSimulator sim(params);
+  UraPolicy sticky(db_, drc_, 0.0);
+  UraPolicy greedy(db_, drc_, 1.0);
+  util::Rng a(6), b(6);
+  const auto s_sticky = sim.run(db_, sticky, qos, a);
+  const auto s_greedy = sim.run(db_, greedy, qos, b);
+  EXPECT_LE(s_sticky.total_reconfig_cost, s_greedy.total_reconfig_cost);
+  // And the greedy policy buys at-least-as-good energy.
+  EXPECT_LE(s_greedy.avg_energy, s_sticky.avg_energy + 1e-9);
+}
+
+TEST_F(SimulatorTest, AuraLearnsDuringSimulation) {
+  QosProcess qos(ranges_);
+  AuraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 5e4;
+  RuntimeSimulator sim(params);
+  util::Rng rng(7);
+  sim.run(db_, policy, qos, rng);
+  bool any_nonzero = false;
+  for (double v : policy.values()) any_nonzero |= v != 0.0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(SimulatorTest, PretrainFreezesLearning) {
+  QosProcess qos(ranges_);
+  AuraPolicy policy(db_, drc_, 0.5);
+  util::Rng rng(8);
+  const auto values = pretrain_aura(policy, db_, qos, 1e4, 3, rng);
+  EXPECT_EQ(values, policy.values());
+  // Further simulation must not change values any more.
+  SimulationParams params;
+  params.total_cycles = 1e4;
+  RuntimeSimulator sim(params);
+  sim.run(db_, policy, qos, rng);
+  EXPECT_EQ(policy.values(), values);
+}
+
+TEST_F(SimulatorTest, RejectsBadInputs) {
+  QosProcess qos(ranges_);
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 0.0;
+  RuntimeSimulator sim(params);
+  util::Rng rng(9);
+  EXPECT_THROW(sim.run(db_, policy, qos, rng), std::invalid_argument);
+  dse::DesignDb empty;
+  RuntimeSimulator ok{};
+  EXPECT_THROW(ok.run(empty, policy, qos, rng), std::invalid_argument);
+}
+
+TEST_F(SimulatorTest, InfeasibleEventsAreCounted) {
+  // Shrink the feasible region: a QoS process biased to demand F near the
+  // top of a range that only point 1 (sometimes nobody) satisfies.
+  dse::MetricRanges tight = ranges_;
+  tight.func_rel_min = 0.995;  // above every stored point
+  tight.func_rel_max = 0.999;
+  QosProcess qos(tight);
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 2e4;
+  RuntimeSimulator sim(params);
+  util::Rng rng(10);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  EXPECT_EQ(stats.num_infeasible_events, stats.num_events);
+  EXPECT_GT(stats.num_events, 0u);
+}
+
+TEST_F(SimulatorTest, TraceExportsToCsv) {
+  QosProcess qos(ranges_);
+  UraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 1e4;
+  params.trace_events = 10;
+  RuntimeSimulator sim(params);
+  util::Rng rng(11);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  const std::string csv = rt::trace_to_csv(stats.trace);
+  EXPECT_EQ(csv.rfind("time,point,drc,reconfigured,infeasible\n", 0), 0u);
+  // Header + one line per traced event.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), stats.trace.size() + 1);
+}
+
+}  // namespace
+}  // namespace clr::rt

@@ -1,0 +1,89 @@
+#include "schedule/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dse/mapping_problem.hpp"
+#include "experiments/app.hpp"
+
+namespace clr::sched {
+namespace {
+
+TEST(Gantt, RendersEveryUsedPeRow) {
+  const auto app = exp::make_synthetic_app(8, 42);
+  dse::MappingProblem problem(app->context(), dse::QosSpec{1e9, 0.0},
+                              dse::ObjectiveMode::EnergyQos);
+  util::Rng rng(1);
+  const auto cfg = problem.decode(problem.random_genes(rng));
+  const auto res = ListScheduler{}.run(app->context(), cfg);
+  const std::string gantt = render_gantt(app->context(), cfg, res);
+
+  std::set<plat::PeId> used;
+  for (const auto& a : cfg.tasks) used.insert(a.pe);
+  for (plat::PeId pe : used) {
+    EXPECT_NE(gantt.find("PE" + std::to_string(pe) + " "), std::string::npos) << gantt;
+  }
+  EXPECT_NE(gantt.find("legend:"), std::string::npos);
+}
+
+TEST(Gantt, SerialTasksDoNotOverlapInTheRow) {
+  // Two 10-unit tasks on one PE: the row should show two distinct labels,
+  // each occupying about half of the axis.
+  const auto app = exp::make_synthetic_app(2, 7);
+  dse::MappingProblem problem(app->context(), dse::QosSpec{1e9, 0.0},
+                              dse::ObjectiveMode::EnergyQos);
+  // All-zero genes bind both tasks to their first allowed PE — the same
+  // general-purpose core on the default platform — so they serialize.
+  const auto cfg = problem.decode(std::vector<int>(problem.num_genes(), 0));
+  ASSERT_EQ(cfg[0].pe, cfg[1].pe);
+  const auto res = ListScheduler{}.run(app->context(), cfg);
+  GanttOptions opt;
+  opt.width = 40;
+  const std::string gantt = render_gantt(app->context(), cfg, res, opt);
+  const auto zero = std::count(gantt.begin(), gantt.end(), '0');
+  const auto one = std::count(gantt.begin(), gantt.end(), '1');
+  EXPECT_GT(zero, 0);
+  EXPECT_GT(one, 0);
+}
+
+TEST(Gantt, IdlePesHiddenByDefaultShownOnRequest) {
+  const auto app = exp::make_synthetic_app(2, 9);
+  dse::MappingProblem problem(app->context(), dse::QosSpec{1e9, 0.0},
+                              dse::ObjectiveMode::EnergyQos);
+  util::Rng rng(3);
+  const auto cfg = problem.decode(problem.random_genes(rng));
+  const auto res = ListScheduler{}.run(app->context(), cfg);
+
+  const std::string hidden = render_gantt(app->context(), cfg, res);
+  GanttOptions opt;
+  opt.show_idle_pes = true;
+  const std::string shown = render_gantt(app->context(), cfg, res, opt);
+  auto count_rows = [](const std::string& s) {
+    std::size_t rows = 0;
+    for (std::size_t pos = s.find("PE"); pos != std::string::npos; pos = s.find("PE", pos + 2)) {
+      ++rows;
+    }
+    return rows;
+  };
+  EXPECT_LE(count_rows(hidden), 2u);
+  EXPECT_EQ(count_rows(shown), app->platform().num_pes());
+}
+
+TEST(Gantt, RejectsBadInputs) {
+  const auto app = exp::make_synthetic_app(2, 9);
+  dse::MappingProblem problem(app->context(), dse::QosSpec{1e9, 0.0},
+                              dse::ObjectiveMode::EnergyQos);
+  util::Rng rng(4);
+  const auto cfg = problem.decode(problem.random_genes(rng));
+  const auto res = ListScheduler{}.run(app->context(), cfg);
+  GanttOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_gantt(app->context(), cfg, res, tiny), std::invalid_argument);
+  Configuration empty;
+  EXPECT_THROW(render_gantt(app->context(), empty, res), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clr::sched

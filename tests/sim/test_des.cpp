@@ -1,0 +1,100 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clr::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(10); });
+  q.schedule(1.0, [&] { order.push_back(20); });
+  q.schedule(1.0, [&] { order.push_back(30); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  const auto id = q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+  while (q.step()) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.step();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(999));  // unknown id
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  const auto id = q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  q.step();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(q.now());
+    if (times.size() < 5) q.schedule(q.now() + 1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  while (q.step()) {
+  }
+  EXPECT_EQ(times, (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunHonorsUntilBound) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) q.schedule(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(3.0), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.run(), 2u);  // drain the rest
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));  // now() itself is fine
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.run(), 0u);
+}
+
+}  // namespace
+}  // namespace clr::sim

@@ -1,0 +1,140 @@
+#include "taskgraph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "taskgraph/generator.hpp"
+
+namespace clr::tg {
+namespace {
+
+TaskGraph make_diamond() {
+  // 0 -> {1, 2} -> 3
+  TaskGraph g;
+  g.add_task(0, 1.0, "a");
+  g.add_task(1, 1.0, "b");
+  g.add_task(1, 1.0, "c");
+  g.add_task(2, 1.0, "d");
+  g.add_edge(0, 1, 1.0, 100);
+  g.add_edge(0, 2, 2.0, 200);
+  g.add_edge(1, 3, 3.0, 300);
+  g.add_edge(2, 3, 4.0, 400);
+  return g;
+}
+
+TEST(TaskGraph, AddTaskAssignsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(0), 0u);
+  EXPECT_EQ(g.add_task(1), 1u);
+  EXPECT_EQ(g.num_tasks(), 2u);
+}
+
+TEST(TaskGraph, AddEdgeValidation) {
+  TaskGraph g;
+  g.add_task(0);
+  g.add_task(0);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(g.add_edge(0, 1, 0.0));
+}
+
+TEST(TaskGraph, RejectsNegativeCriticality) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(0, -1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, SuccessorsAndPredecessors) {
+  const TaskGraph g = make_diamond();
+  auto succ = g.successors(0);
+  std::sort(succ.begin(), succ.end());
+  EXPECT_EQ(succ, (std::vector<TaskId>{1, 2}));
+  auto pred = g.predecessors(3);
+  std::sort(pred.begin(), pred.end());
+  EXPECT_EQ(pred, (std::vector<TaskId>{1, 2}));
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.successors(3).empty());
+}
+
+TEST(TaskGraph, AcyclicDetection) {
+  TaskGraph g;
+  g.add_task(0);
+  g.add_task(0);
+  g.add_task(0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(2, 0, 1.0);  // close the cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = make_diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(TaskGraph, NormalizedCriticalitySumsToOne) {
+  TaskGraph g;
+  g.add_task(0, 1.0);
+  g.add_task(0, 3.0);
+  g.add_task(0, 4.0);
+  double sum = 0.0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) sum += g.normalized_criticality(t);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(g.normalized_criticality(1), 3.0 / 8.0, 1e-12);
+}
+
+TEST(TaskGraph, NormalizedCriticalityAllZeroFallsBackToUniform) {
+  TaskGraph g;
+  g.add_task(0, 0.0);
+  g.add_task(0, 0.0);
+  EXPECT_NEAR(g.normalized_criticality(0), 0.5, 1e-12);
+}
+
+TEST(TaskGraph, CriticalPathOfChain) {
+  TaskGraph g;
+  g.add_task(0);
+  g.add_task(0);
+  g.add_task(0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(g.critical_path_length({2.0, 3.0, 4.0}), 9.0);
+}
+
+TEST(TaskGraph, CriticalPathOfDiamondTakesLongerBranch) {
+  const TaskGraph g = make_diamond();
+  // branch via 1: 1+5+1 = 7; via 2: 1+2+1 = 4 (costs below).
+  EXPECT_DOUBLE_EQ(g.critical_path_length({1.0, 5.0, 2.0, 1.0}), 7.0);
+}
+
+TEST(TaskGraph, CriticalPathRejectsWrongSize) {
+  const TaskGraph g = make_diamond();
+  EXPECT_THROW(g.critical_path_length({1.0}), std::invalid_argument);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  const TaskGraph g = make_diamond();
+  EXPECT_EQ(g.sources(), std::vector<TaskId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<TaskId>{3});
+}
+
+TEST(JpegGraph, MatchesFig2b) {
+  const TaskGraph g = make_jpeg_encoder_graph();
+  EXPECT_EQ(g.num_tasks(), 11u);  // paper: 11 tasks
+  EXPECT_EQ(g.num_edges(), 13u);  // paper: 13 edges
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.task(g.sources().front()).name, "S");
+  EXPECT_EQ(g.task(g.sinks().front()).name, "Z");
+  EXPECT_GT(g.period(), 0.0);
+}
+
+}  // namespace
+}  // namespace clr::tg

@@ -1,0 +1,255 @@
+// clrtool — command-line front end to the library's main flows.
+//
+//   clrtool generate --tasks N [--seed S] [--graph-out G.json]
+//                    [--platform-out P.json] [--dot-out G.dot]
+//       Generate a synthetic application; optionally save the graph, the
+//       default platform and a Graphviz rendering.
+//
+//   clrtool explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp]
+//                    [--db-out DB.json]
+//       Run the hybrid design-time DSE (BaseD + ReD) and save/print the
+//       design-point database.
+//
+//   clrtool simulate --tasks N [--seed S] --db DB.json [--policy ura|aura|baseline]
+//                    [--prc X] [--cycles C] [--sim-seed S2]
+//       Load a database produced by `explore` for the same (tasks, seed)
+//       application and run the Monte-Carlo run-time adaptation.
+//
+//   clrtool inspect  --db DB.json
+//       Print the stored design points.
+//
+//   clrtool validate --tasks N [--seed S] --db DB.json [--runs R] [--points K]
+//       Fault-inject the first K stored points (Monte-Carlo execution with
+//       sampled SEUs) and compare against the database's analytical metrics.
+//
+// All randomness is seeded; identical invocations produce identical output.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "experiments/flow.hpp"
+#include "io/serialize.hpp"
+#include "schedule/dot.hpp"
+#include "schedule/gantt.hpp"
+#include "schedule/heft.hpp"
+#include "sim/fault_injection.hpp"
+
+namespace {
+
+using namespace clr;
+
+/// Tiny --key value argument scanner.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) throw std::runtime_error("expected --option, got " + key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  long num(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stol(it->second) : fallback;
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: clrtool <generate|explore|simulate|inspect> [options]\n"
+               "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
+               "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--db-out F]\n"
+               "  simulate --tasks N [--seed S] --db F [--policy ura|aura|baseline] [--prc X]\n"
+               "           [--cycles C] [--sim-seed S2]\n"
+               "  inspect  --db F\n"
+               "  validate --tasks N [--seed S] --db F [--runs R] [--points K]\n");
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto app = exp::make_synthetic_app(tasks, seed);
+  std::printf("generated %zu-task application (seed %llu): %zu edges, %zu PEs, CLR space %zu\n",
+              tasks, static_cast<unsigned long long>(seed), app->graph().num_edges(),
+              app->platform().num_pes(), app->clr_space().size());
+  if (args.has("graph-out")) {
+    util::write_file(args.str("graph-out"), io::to_json(app->graph()).dump(2) + "\n");
+    std::printf("graph written to %s\n", args.str("graph-out").c_str());
+  }
+  if (args.has("platform-out")) {
+    util::write_file(args.str("platform-out"), io::to_json(app->platform()).dump(2) + "\n");
+    std::printf("platform written to %s\n", args.str("platform-out").c_str());
+  }
+  if (args.has("dot-out")) {
+    util::write_file(args.str("dot-out"), sched::to_dot(app->graph(), sched::heft_seed(app->context())));
+    std::printf("DOT (HEFT mapping overlay) written to %s\n", args.str("dot-out").c_str());
+  }
+  return 0;
+}
+
+int cmd_explore(const Args& args) {
+  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto app = exp::make_synthetic_app(tasks, seed);
+
+  exp::FlowParams params;
+  params.dse.base_ga.population = static_cast<std::size_t>(args.num("pop", 64));
+  params.dse.base_ga.generations = static_cast<std::size_t>(args.num("gens", 60));
+  if (args.has("csp")) params.mode = dse::ObjectiveMode::CspQos;
+
+  util::Rng rng(seed ^ 0xD5EULL);
+  const auto flow = exp::run_design_flow(*app, params, rng);
+  std::printf("spec: Sapp <= %.2f, Fapp >= %.5f\nBaseD: %s\nReD:   %s\n", flow.spec.max_makespan,
+              flow.spec.min_func_rel, flow.based.summary().c_str(), flow.red.summary().c_str());
+  if (args.has("db-out")) {
+    io::save_design_db(args.str("db-out"), flow.red, app->clr_space());
+    std::printf("database written to %s\n", args.str("db-out").c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (!args.has("db")) {
+    std::fprintf(stderr, "simulate: --db is required\n");
+    return usage();
+  }
+  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto loaded = io::load_design_db(args.str("db"));
+  // Rebuild the identical application (the database stores indices into its
+  // implementation sets, which regenerate deterministically per seed).
+  const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+
+  exp::RuntimeEvalParams params;
+  const std::string policy = args.str("policy", "ura");
+  if (policy == "ura") params.kind = exp::PolicyKind::Ura;
+  else if (policy == "aura") params.kind = exp::PolicyKind::Aura;
+  else if (policy == "baseline") params.kind = exp::PolicyKind::Baseline;
+  else {
+    std::fprintf(stderr, "simulate: unknown policy '%s'\n", policy.c_str());
+    return usage();
+  }
+  params.p_rc = args.real("prc", 0.5);
+  params.sim.total_cycles = args.real("cycles", 2e5);
+
+  // QoS box from the loaded database's own ranges, widened like qos_ranges().
+  const auto r = loaded.db.ranges();
+  dse::MetricRanges box = r;
+  box.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
+  box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
+
+  const auto stats = exp::evaluate_policy(*app, loaded.db, box, params,
+                                          static_cast<std::uint64_t>(args.num("sim-seed", 7)));
+  util::TextTable table("simulation result");
+  table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
+                    "QoS violations"});
+  table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
+                 util::TextTable::fmt(params.sim.total_cycles, 0),
+                 util::TextTable::fmt(stats.avg_energy, 2),
+                 util::TextTable::fmt(stats.avg_reconfig_cost, 2),
+                 std::to_string(stats.num_reconfigs),
+                 std::to_string(stats.num_infeasible_events)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  if (!args.has("db")) {
+    std::fprintf(stderr, "validate: --db is required\n");
+    return usage();
+  }
+  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto loaded = io::load_design_db(args.str("db"));
+  const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+  const auto runs = static_cast<std::size_t>(args.num("runs", 3000));
+  const auto max_points = static_cast<std::size_t>(args.num("points", 5));
+
+  sim::FaultInjector injector(app->context());
+  sched::ListScheduler scheduler;
+  util::Rng rng(static_cast<std::uint64_t>(args.num("sim-seed", 11)));
+
+  util::TextTable table("fault-injection validation (" + std::to_string(runs) + " runs/point)");
+  table.set_header({"#", "S stored", "S empirical", "J stored", "J empirical", "F stored",
+                    "F empirical"});
+  for (std::size_t i = 0; i < std::min(max_points, loaded.db.size()); ++i) {
+    const auto& p = loaded.db.point(i);
+    const auto agg = injector.run_many(p.config, runs, rng);
+    const auto analytical = scheduler.run(app->context(), p.config);
+    table.add_row({std::to_string(i), util::TextTable::fmt(analytical.makespan, 2),
+                   util::TextTable::fmt(agg.makespan.mean(), 2),
+                   util::TextTable::fmt(analytical.energy, 2),
+                   util::TextTable::fmt(agg.energy.mean(), 2),
+                   util::TextTable::fmt(analytical.func_rel, 5),
+                   util::TextTable::fmt(agg.weighted_success.mean(), 5)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("empirical columns should track the stored/analytical ones closely; see\n"
+              "tests/sim/test_fault_injection.cpp for the formal tolerances.\n");
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (!args.has("db")) {
+    std::fprintf(stderr, "inspect: --db is required\n");
+    return usage();
+  }
+  const auto loaded = io::load_design_db(args.str("db"));
+  std::printf("%s\nCLR space: %zu configurations\n\n", loaded.db.summary().c_str(),
+              loaded.space.size());
+  util::TextTable table("stored design points");
+  table.set_header({"#", "", "Sapp", "Fapp", "Japp"});
+  for (std::size_t i = 0; i < loaded.db.size(); ++i) {
+    const auto& p = loaded.db.point(i);
+    table.add_row({std::to_string(i), p.extra ? ">" : "*", util::TextTable::fmt(p.makespan, 2),
+                   util::TextTable::fmt(p.func_rel, 5), util::TextTable::fmt(p.energy, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const Args args(argc, argv);
+    const std::string cmd = argv[1];
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "validate") return cmd_validate(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clrtool: %s\n", e.what());
+    return 1;
+  }
+}
