@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clr_layers.dir/ablation_clr_layers.cpp.o"
+  "CMakeFiles/ablation_clr_layers.dir/ablation_clr_layers.cpp.o.d"
+  "ablation_clr_layers"
+  "ablation_clr_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clr_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_clr_layers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dse_engines.dir/ablation_dse_engines.cpp.o"
+  "CMakeFiles/ablation_dse_engines.dir/ablation_dse_engines.cpp.o.d"
+  "ablation_dse_engines"
+  "ablation_dse_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dse_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heft_seeding.dir/ablation_heft_seeding.cpp.o"
+  "CMakeFiles/ablation_heft_seeding.dir/ablation_heft_seeding.cpp.o.d"
+  "ablation_heft_seeding"
+  "ablation_heft_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heft_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pareto_points.dir/fig5_pareto_points.cpp.o"
+  "CMakeFiles/fig5_pareto_points.dir/fig5_pareto_points.cpp.o.d"
+  "fig5_pareto_points"
+  "fig5_pareto_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pareto_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_csp_migration.cpp" "bench/CMakeFiles/table4_csp_migration.dir/table4_csp_migration.cpp.o" "gcc" "bench/CMakeFiles/table4_csp_migration.dir/table4_csp_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/clr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/clr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/clr_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/clr_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/clr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/moea/CMakeFiles/clr_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_csp_migration.dir/table4_csp_migration.cpp.o"
+  "CMakeFiles/table4_csp_migration.dir/table4_csp_migration.cpp.o.d"
+  "table4_csp_migration"
+  "table4_csp_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_csp_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

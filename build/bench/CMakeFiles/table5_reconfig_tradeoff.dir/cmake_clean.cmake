@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_reconfig_tradeoff.dir/table5_reconfig_tradeoff.cpp.o"
+  "CMakeFiles/table5_reconfig_tradeoff.dir/table5_reconfig_tradeoff.cpp.o.d"
+  "table5_reconfig_tradeoff"
+  "table5_reconfig_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_reconfig_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

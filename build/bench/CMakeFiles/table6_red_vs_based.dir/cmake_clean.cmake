@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_red_vs_based.dir/table6_red_vs_based.cpp.o"
+  "CMakeFiles/table6_red_vs_based.dir/table6_red_vs_based.cpp.o.d"
+  "table6_red_vs_based"
+  "table6_red_vs_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_red_vs_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

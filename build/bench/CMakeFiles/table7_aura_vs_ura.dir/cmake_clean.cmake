@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_aura_vs_ura.dir/table7_aura_vs_ura.cpp.o"
+  "CMakeFiles/table7_aura_vs_ura.dir/table7_aura_vs_ura.cpp.o.d"
+  "table7_aura_vs_ura"
+  "table7_aura_vs_ura.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_aura_vs_ura.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

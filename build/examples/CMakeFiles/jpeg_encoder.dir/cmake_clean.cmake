@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_encoder.dir/jpeg_encoder.cpp.o"
+  "CMakeFiles/jpeg_encoder.dir/jpeg_encoder.cpp.o.d"
+  "jpeg_encoder"
+  "jpeg_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

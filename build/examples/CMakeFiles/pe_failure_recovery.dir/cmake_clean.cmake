@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_failure_recovery.dir/pe_failure_recovery.cpp.o"
+  "CMakeFiles/pe_failure_recovery.dir/pe_failure_recovery.cpp.o.d"
+  "pe_failure_recovery"
+  "pe_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_surveillance.dir/satellite_surveillance.cpp.o"
+  "CMakeFiles/satellite_surveillance.dir/satellite_surveillance.cpp.o.d"
+  "satellite_surveillance"
+  "satellite_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("taskgraph")
+subdirs("platform")
+subdirs("reliability")
+subdirs("schedule")
+subdirs("reconfig")
+subdirs("moea")
+subdirs("dse")
+subdirs("sim")
+subdirs("io")
+subdirs("runtime")
+subdirs("experiments")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_common.dir/log.cpp.o"
+  "CMakeFiles/clr_common.dir/log.cpp.o.d"
+  "CMakeFiles/clr_common.dir/stats.cpp.o"
+  "CMakeFiles/clr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/clr_common.dir/table.cpp.o"
+  "CMakeFiles/clr_common.dir/table.cpp.o.d"
+  "libclr_common.a"
+  "libclr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

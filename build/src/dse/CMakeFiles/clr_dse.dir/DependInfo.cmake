@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/design_db.cpp" "src/dse/CMakeFiles/clr_dse.dir/design_db.cpp.o" "gcc" "src/dse/CMakeFiles/clr_dse.dir/design_db.cpp.o.d"
+  "/root/repo/src/dse/design_time.cpp" "src/dse/CMakeFiles/clr_dse.dir/design_time.cpp.o" "gcc" "src/dse/CMakeFiles/clr_dse.dir/design_time.cpp.o.d"
+  "/root/repo/src/dse/mapping_problem.cpp" "src/dse/CMakeFiles/clr_dse.dir/mapping_problem.cpp.o" "gcc" "src/dse/CMakeFiles/clr_dse.dir/mapping_problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/clr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/clr_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/moea/CMakeFiles/clr_moea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

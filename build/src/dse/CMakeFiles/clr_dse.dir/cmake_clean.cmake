@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_dse.dir/design_db.cpp.o"
+  "CMakeFiles/clr_dse.dir/design_db.cpp.o.d"
+  "CMakeFiles/clr_dse.dir/design_time.cpp.o"
+  "CMakeFiles/clr_dse.dir/design_time.cpp.o.d"
+  "CMakeFiles/clr_dse.dir/mapping_problem.cpp.o"
+  "CMakeFiles/clr_dse.dir/mapping_problem.cpp.o.d"
+  "libclr_dse.a"
+  "libclr_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

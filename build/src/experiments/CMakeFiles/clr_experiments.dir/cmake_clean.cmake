@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_experiments.dir/app.cpp.o"
+  "CMakeFiles/clr_experiments.dir/app.cpp.o.d"
+  "CMakeFiles/clr_experiments.dir/flow.cpp.o"
+  "CMakeFiles/clr_experiments.dir/flow.cpp.o.d"
+  "libclr_experiments.a"
+  "libclr_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclr_experiments.a"
+)

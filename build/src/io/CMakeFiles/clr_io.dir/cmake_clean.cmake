@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_io.dir/json.cpp.o"
+  "CMakeFiles/clr_io.dir/json.cpp.o.d"
+  "CMakeFiles/clr_io.dir/serialize.cpp.o"
+  "CMakeFiles/clr_io.dir/serialize.cpp.o.d"
+  "libclr_io.a"
+  "libclr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

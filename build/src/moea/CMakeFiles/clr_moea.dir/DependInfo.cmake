@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moea/archive.cpp" "src/moea/CMakeFiles/clr_moea.dir/archive.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/archive.cpp.o.d"
+  "/root/repo/src/moea/hvga.cpp" "src/moea/CMakeFiles/clr_moea.dir/hvga.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/hvga.cpp.o.d"
+  "/root/repo/src/moea/hypervolume.cpp" "src/moea/CMakeFiles/clr_moea.dir/hypervolume.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/hypervolume.cpp.o.d"
+  "/root/repo/src/moea/individual.cpp" "src/moea/CMakeFiles/clr_moea.dir/individual.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/individual.cpp.o.d"
+  "/root/repo/src/moea/nsga2.cpp" "src/moea/CMakeFiles/clr_moea.dir/nsga2.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/nsga2.cpp.o.d"
+  "/root/repo/src/moea/operators.cpp" "src/moea/CMakeFiles/clr_moea.dir/operators.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/operators.cpp.o.d"
+  "/root/repo/src/moea/problem.cpp" "src/moea/CMakeFiles/clr_moea.dir/problem.cpp.o" "gcc" "src/moea/CMakeFiles/clr_moea.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

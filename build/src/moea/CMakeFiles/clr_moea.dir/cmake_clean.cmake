@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_moea.dir/archive.cpp.o"
+  "CMakeFiles/clr_moea.dir/archive.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/hvga.cpp.o"
+  "CMakeFiles/clr_moea.dir/hvga.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/hypervolume.cpp.o"
+  "CMakeFiles/clr_moea.dir/hypervolume.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/individual.cpp.o"
+  "CMakeFiles/clr_moea.dir/individual.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/nsga2.cpp.o"
+  "CMakeFiles/clr_moea.dir/nsga2.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/operators.cpp.o"
+  "CMakeFiles/clr_moea.dir/operators.cpp.o.d"
+  "CMakeFiles/clr_moea.dir/problem.cpp.o"
+  "CMakeFiles/clr_moea.dir/problem.cpp.o.d"
+  "libclr_moea.a"
+  "libclr_moea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_moea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_platform.dir/platform.cpp.o"
+  "CMakeFiles/clr_platform.dir/platform.cpp.o.d"
+  "libclr_platform.a"
+  "libclr_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

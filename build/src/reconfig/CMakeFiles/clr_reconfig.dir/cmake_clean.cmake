@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_reconfig.dir/reconfig.cpp.o"
+  "CMakeFiles/clr_reconfig.dir/reconfig.cpp.o.d"
+  "libclr_reconfig.a"
+  "libclr_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/clr_config.cpp" "src/reliability/CMakeFiles/clr_reliability.dir/clr_config.cpp.o" "gcc" "src/reliability/CMakeFiles/clr_reliability.dir/clr_config.cpp.o.d"
+  "/root/repo/src/reliability/implementation.cpp" "src/reliability/CMakeFiles/clr_reliability.dir/implementation.cpp.o" "gcc" "src/reliability/CMakeFiles/clr_reliability.dir/implementation.cpp.o.d"
+  "/root/repo/src/reliability/metrics.cpp" "src/reliability/CMakeFiles/clr_reliability.dir/metrics.cpp.o" "gcc" "src/reliability/CMakeFiles/clr_reliability.dir/metrics.cpp.o.d"
+  "/root/repo/src/reliability/techniques.cpp" "src/reliability/CMakeFiles/clr_reliability.dir/techniques.cpp.o" "gcc" "src/reliability/CMakeFiles/clr_reliability.dir/techniques.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_reliability.dir/clr_config.cpp.o"
+  "CMakeFiles/clr_reliability.dir/clr_config.cpp.o.d"
+  "CMakeFiles/clr_reliability.dir/implementation.cpp.o"
+  "CMakeFiles/clr_reliability.dir/implementation.cpp.o.d"
+  "CMakeFiles/clr_reliability.dir/metrics.cpp.o"
+  "CMakeFiles/clr_reliability.dir/metrics.cpp.o.d"
+  "CMakeFiles/clr_reliability.dir/techniques.cpp.o"
+  "CMakeFiles/clr_reliability.dir/techniques.cpp.o.d"
+  "libclr_reliability.a"
+  "libclr_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/contextual_policy.cpp" "src/runtime/CMakeFiles/clr_runtime.dir/contextual_policy.cpp.o" "gcc" "src/runtime/CMakeFiles/clr_runtime.dir/contextual_policy.cpp.o.d"
+  "/root/repo/src/runtime/drc_matrix.cpp" "src/runtime/CMakeFiles/clr_runtime.dir/drc_matrix.cpp.o" "gcc" "src/runtime/CMakeFiles/clr_runtime.dir/drc_matrix.cpp.o.d"
+  "/root/repo/src/runtime/policy.cpp" "src/runtime/CMakeFiles/clr_runtime.dir/policy.cpp.o" "gcc" "src/runtime/CMakeFiles/clr_runtime.dir/policy.cpp.o.d"
+  "/root/repo/src/runtime/qos_process.cpp" "src/runtime/CMakeFiles/clr_runtime.dir/qos_process.cpp.o" "gcc" "src/runtime/CMakeFiles/clr_runtime.dir/qos_process.cpp.o.d"
+  "/root/repo/src/runtime/simulator.cpp" "src/runtime/CMakeFiles/clr_runtime.dir/simulator.cpp.o" "gcc" "src/runtime/CMakeFiles/clr_runtime.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/clr_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/clr_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/moea/CMakeFiles/clr_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/clr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

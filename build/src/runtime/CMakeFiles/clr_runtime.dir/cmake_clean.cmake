@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_runtime.dir/contextual_policy.cpp.o"
+  "CMakeFiles/clr_runtime.dir/contextual_policy.cpp.o.d"
+  "CMakeFiles/clr_runtime.dir/drc_matrix.cpp.o"
+  "CMakeFiles/clr_runtime.dir/drc_matrix.cpp.o.d"
+  "CMakeFiles/clr_runtime.dir/policy.cpp.o"
+  "CMakeFiles/clr_runtime.dir/policy.cpp.o.d"
+  "CMakeFiles/clr_runtime.dir/qos_process.cpp.o"
+  "CMakeFiles/clr_runtime.dir/qos_process.cpp.o.d"
+  "CMakeFiles/clr_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/clr_runtime.dir/simulator.cpp.o.d"
+  "libclr_runtime.a"
+  "libclr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

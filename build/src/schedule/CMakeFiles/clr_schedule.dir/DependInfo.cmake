@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/dot.cpp" "src/schedule/CMakeFiles/clr_schedule.dir/dot.cpp.o" "gcc" "src/schedule/CMakeFiles/clr_schedule.dir/dot.cpp.o.d"
+  "/root/repo/src/schedule/gantt.cpp" "src/schedule/CMakeFiles/clr_schedule.dir/gantt.cpp.o" "gcc" "src/schedule/CMakeFiles/clr_schedule.dir/gantt.cpp.o.d"
+  "/root/repo/src/schedule/heft.cpp" "src/schedule/CMakeFiles/clr_schedule.dir/heft.cpp.o" "gcc" "src/schedule/CMakeFiles/clr_schedule.dir/heft.cpp.o.d"
+  "/root/repo/src/schedule/scheduler.cpp" "src/schedule/CMakeFiles/clr_schedule.dir/scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/clr_schedule.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_schedule.dir/dot.cpp.o"
+  "CMakeFiles/clr_schedule.dir/dot.cpp.o.d"
+  "CMakeFiles/clr_schedule.dir/gantt.cpp.o"
+  "CMakeFiles/clr_schedule.dir/gantt.cpp.o.d"
+  "CMakeFiles/clr_schedule.dir/heft.cpp.o"
+  "CMakeFiles/clr_schedule.dir/heft.cpp.o.d"
+  "CMakeFiles/clr_schedule.dir/scheduler.cpp.o"
+  "CMakeFiles/clr_schedule.dir/scheduler.cpp.o.d"
+  "libclr_schedule.a"
+  "libclr_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_sim.dir/des.cpp.o"
+  "CMakeFiles/clr_sim.dir/des.cpp.o.d"
+  "CMakeFiles/clr_sim.dir/fault_injection.cpp.o"
+  "CMakeFiles/clr_sim.dir/fault_injection.cpp.o.d"
+  "libclr_sim.a"
+  "libclr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

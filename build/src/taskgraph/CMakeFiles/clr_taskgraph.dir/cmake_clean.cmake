@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clr_taskgraph.dir/generator.cpp.o"
+  "CMakeFiles/clr_taskgraph.dir/generator.cpp.o.d"
+  "CMakeFiles/clr_taskgraph.dir/graph.cpp.o"
+  "CMakeFiles/clr_taskgraph.dir/graph.cpp.o.d"
+  "libclr_taskgraph.a"
+  "libclr_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clr_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

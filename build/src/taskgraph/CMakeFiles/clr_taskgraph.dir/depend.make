@@ -1,0 +1,2 @@
+# Empty dependencies file for clr_taskgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dse/test_design_db.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_design_db.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_design_db.cpp.o.d"
+  "/root/repo/tests/dse/test_design_time.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_design_time.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_design_time.cpp.o.d"
+  "/root/repo/tests/dse/test_extensions.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_extensions.cpp.o.d"
+  "/root/repo/tests/dse/test_mapping_problem.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_mapping_problem.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/dse/test_mapping_problem.cpp.o.d"
+  "/root/repo/tests/experiments/test_app.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/experiments/test_app.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/experiments/test_app.cpp.o.d"
+  "/root/repo/tests/runtime/test_contextual_policy.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_contextual_policy.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_contextual_policy.cpp.o.d"
+  "/root/repo/tests/runtime/test_extensions.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_extensions.cpp.o.d"
+  "/root/repo/tests/runtime/test_policy.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_policy.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_policy.cpp.o.d"
+  "/root/repo/tests/runtime/test_qos_process.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_qos_process.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_qos_process.cpp.o.d"
+  "/root/repo/tests/runtime/test_simulator.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/runtime/test_simulator.cpp.o.d"
+  "/root/repo/tests/schedule/test_gantt.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/schedule/test_gantt.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/schedule/test_gantt.cpp.o.d"
+  "/root/repo/tests/schedule/test_heft.cpp" "tests/CMakeFiles/dse_runtime_tests.dir/schedule/test_heft.cpp.o" "gcc" "tests/CMakeFiles/dse_runtime_tests.dir/schedule/test_heft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/clr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/clr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/clr_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/clr_reconfig.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/clr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/moea/CMakeFiles/clr_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_design_db.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_design_db.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_design_time.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_design_time.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_extensions.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_extensions.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_mapping_problem.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/dse/test_mapping_problem.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/experiments/test_app.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/experiments/test_app.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_contextual_policy.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_contextual_policy.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_extensions.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_extensions.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_policy.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_policy.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_qos_process.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_qos_process.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_simulator.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/runtime/test_simulator.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/schedule/test_gantt.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/schedule/test_gantt.cpp.o.d"
+  "CMakeFiles/dse_runtime_tests.dir/schedule/test_heft.cpp.o"
+  "CMakeFiles/dse_runtime_tests.dir/schedule/test_heft.cpp.o.d"
+  "dse_runtime_tests"
+  "dse_runtime_tests.pdb"
+  "dse_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

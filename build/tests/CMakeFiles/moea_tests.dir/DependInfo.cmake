@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/moea/test_archive.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_archive.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_archive.cpp.o.d"
+  "/root/repo/tests/moea/test_hvga.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_hvga.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_hvga.cpp.o.d"
+  "/root/repo/tests/moea/test_hypervolume.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_hypervolume.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_hypervolume.cpp.o.d"
+  "/root/repo/tests/moea/test_individual.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_individual.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_individual.cpp.o.d"
+  "/root/repo/tests/moea/test_nsga2.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_nsga2.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_nsga2.cpp.o.d"
+  "/root/repo/tests/moea/test_operators.cpp" "tests/CMakeFiles/moea_tests.dir/moea/test_operators.cpp.o" "gcc" "tests/CMakeFiles/moea_tests.dir/moea/test_operators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/moea/CMakeFiles/clr_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

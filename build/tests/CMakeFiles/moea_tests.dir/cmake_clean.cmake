@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moea_tests.dir/moea/test_archive.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_archive.cpp.o.d"
+  "CMakeFiles/moea_tests.dir/moea/test_hvga.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_hvga.cpp.o.d"
+  "CMakeFiles/moea_tests.dir/moea/test_hypervolume.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_hypervolume.cpp.o.d"
+  "CMakeFiles/moea_tests.dir/moea/test_individual.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_individual.cpp.o.d"
+  "CMakeFiles/moea_tests.dir/moea/test_nsga2.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_nsga2.cpp.o.d"
+  "CMakeFiles/moea_tests.dir/moea/test_operators.cpp.o"
+  "CMakeFiles/moea_tests.dir/moea/test_operators.cpp.o.d"
+  "moea_tests"
+  "moea_tests.pdb"
+  "moea_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moea_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

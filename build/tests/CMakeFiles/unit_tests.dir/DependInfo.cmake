@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_distributions.cpp" "tests/CMakeFiles/unit_tests.dir/common/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_distributions.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/unit_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/unit_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/unit_tests.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/platform/test_noc.cpp" "tests/CMakeFiles/unit_tests.dir/platform/test_noc.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/platform/test_noc.cpp.o.d"
+  "/root/repo/tests/platform/test_platform.cpp" "tests/CMakeFiles/unit_tests.dir/platform/test_platform.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/platform/test_platform.cpp.o.d"
+  "/root/repo/tests/reconfig/test_reconfig.cpp" "tests/CMakeFiles/unit_tests.dir/reconfig/test_reconfig.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reconfig/test_reconfig.cpp.o.d"
+  "/root/repo/tests/reliability/test_clr_space.cpp" "tests/CMakeFiles/unit_tests.dir/reliability/test_clr_space.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reliability/test_clr_space.cpp.o.d"
+  "/root/repo/tests/reliability/test_implementation.cpp" "tests/CMakeFiles/unit_tests.dir/reliability/test_implementation.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reliability/test_implementation.cpp.o.d"
+  "/root/repo/tests/reliability/test_metrics.cpp" "tests/CMakeFiles/unit_tests.dir/reliability/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reliability/test_metrics.cpp.o.d"
+  "/root/repo/tests/reliability/test_techniques.cpp" "tests/CMakeFiles/unit_tests.dir/reliability/test_techniques.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reliability/test_techniques.cpp.o.d"
+  "/root/repo/tests/reliability/test_thermal.cpp" "tests/CMakeFiles/unit_tests.dir/reliability/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/reliability/test_thermal.cpp.o.d"
+  "/root/repo/tests/schedule/test_dot.cpp" "tests/CMakeFiles/unit_tests.dir/schedule/test_dot.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/schedule/test_dot.cpp.o.d"
+  "/root/repo/tests/schedule/test_scheduler.cpp" "tests/CMakeFiles/unit_tests.dir/schedule/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/schedule/test_scheduler.cpp.o.d"
+  "/root/repo/tests/taskgraph/test_generator.cpp" "tests/CMakeFiles/unit_tests.dir/taskgraph/test_generator.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/taskgraph/test_generator.cpp.o.d"
+  "/root/repo/tests/taskgraph/test_graph.cpp" "tests/CMakeFiles/unit_tests.dir/taskgraph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/taskgraph/test_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/taskgraph/CMakeFiles/clr_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/clr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/clr_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/clr_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/clr_reconfig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

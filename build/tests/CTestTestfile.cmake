@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/unit_tests[1]_include.cmake")
+include("/root/repo/build/tests/moea_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/dse_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clrtool.dir/clrtool.cpp.o"
+  "CMakeFiles/clrtool.dir/clrtool.cpp.o.d"
+  "clrtool"
+  "clrtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clrtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
