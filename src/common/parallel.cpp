@@ -1,0 +1,92 @@
+#include "common/parallel.hpp"
+
+namespace clr::util {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& body, std::size_t n) {
+  while (!failed_.load(std::memory_order_relaxed)) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      body = body_;
+      n = job_n_;
+    }
+    drain(*body, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++job_id_;
+  }
+  cv_start_.notify_all();
+  drain(body, n);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace clr::util

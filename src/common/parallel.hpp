@@ -1,0 +1,68 @@
+#pragma once
+// Minimal fixed-size thread pool with a blocking parallel_for primitive.
+//
+// The DSE engines are evaluation-bound (DESIGN.md §7): every generation the
+// GA produces a batch of chromosomes whose fitness evaluations are pure
+// functions with no shared mutable state. The pool maps such batches over a
+// fixed set of workers; the calling thread participates, so a pool of size N
+// uses N OS threads total (N-1 workers + the caller).
+//
+// Determinism contract: parallel_for only parallelizes the *execution* of
+// body(i); it never reorders observable results as long as body(i) writes
+// only to slot i of pre-sized output storage. All random-number draws stay on
+// the caller (see DESIGN.md "Parallel evaluation & determinism").
+
+#include <cstddef>
+#include <functional>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clr::util {
+
+/// Resolve a user-facing thread-count knob: 0 means "auto" —
+/// std::thread::hardware_concurrency(), at least 1.
+std::size_t resolve_threads(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// @param threads total concurrency (0 = auto). A pool of size 1 spawns no
+  ///        worker threads and runs every job inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run body(i) for every i in [0, n), distributing iterations over the
+  /// workers and the calling thread; returns when all iterations finished.
+  /// The first exception thrown by any iteration is rethrown on the caller
+  /// (remaining iterations are skipped, already-started ones complete).
+  /// Not reentrant: body must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& body, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t job_id_ = 0;
+  std::size_t active_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace clr::util

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "common/parallel.hpp"
 #include "schedule/heft.hpp"
 #include <stdexcept>
 
@@ -10,20 +12,25 @@ namespace clr::dse {
 
 RedProblem::RedProblem(const MappingProblem& mapping, const recfg::ReconfigModel& reconfig,
                        std::vector<sched::Configuration> base_configs, const DesignPoint& seed,
-                       const MetricRanges& base_ranges, const DseConfig& cfg)
+                       const MetricRanges& base_ranges, const DseConfig& cfg,
+                       moea::GenomeCache<double>* drc_cache)
     : mapping_(&mapping),
       reconfig_(&reconfig),
       base_configs_(std::move(base_configs)),
       seed_(seed),
       base_ranges_(base_ranges),
-      cfg_(&cfg) {
+      cfg_(&cfg),
+      drc_cache_(drc_cache) {
   if (base_configs_.empty()) throw std::invalid_argument("RedProblem: empty base set");
 }
 
 moea::Evaluation RedProblem::evaluate(const std::vector<int>& genes) const {
-  const sched::Configuration cfg = mapping_->decode(genes);
-  const sched::ScheduleResult res = mapping_->evaluate_schedule(cfg);
-  const double avg_drc = reconfig_->average_drc(cfg, base_configs_);
+  const ScheduleMetrics res = mapping_->evaluate_metrics(genes);
+  double avg_drc = 0.0;
+  if (drc_cache_ == nullptr || !drc_cache_->lookup(genes, &avg_drc)) {
+    avg_drc = reconfig_->average_drc(mapping_->decode(genes), base_configs_);
+    if (drc_cache_ != nullptr) drc_cache_->store(genes, avg_drc);
+  }
 
   moea::Evaluation eval;
   eval.objectives = {avg_drc, res.energy};
@@ -69,17 +76,43 @@ DesignPoint DesignTimeDse::make_point(const sched::Configuration& cfg, bool extr
   return p;
 }
 
+DesignPoint DesignTimeDse::make_point(const std::vector<int>& genes, bool extra) const {
+  const ScheduleMetrics res = problem_->evaluate_metrics(genes);
+  DesignPoint p;
+  p.config = problem_->decode(genes);
+  p.energy = res.energy;
+  p.makespan = res.makespan;
+  p.func_rel = res.func_rel;
+  p.extra = extra;
+  return p;
+}
+
 DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
+  util::ThreadPool pool(cfg_.threads);
+  moea::EvalCache cache(cfg_.eval_cache_capacity);
+  const moea::EvalOptions eval_opts{&pool, &cache};
+
   // Calibrate the Eq. (5) reference point and objective scales from random
   // samples of the space, so the signed hypervolume is well-conditioned.
+  // Generate-then-evaluate: all chromosomes are drawn first (sequentially,
+  // on the master Rng), then evaluated as one parallel batch.
   const std::size_t dim = problem_->num_objectives();
   std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
   std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
-  for (std::size_t s = 0; s < cfg_.calibration_samples; ++s) {
-    const auto eval = problem_->evaluate(problem_->random_genes(rng));
-    for (std::size_t k = 0; k < dim; ++k) {
-      lo[k] = std::min(lo[k], eval.objectives[k]);
-      hi[k] = std::max(hi[k], eval.objectives[k]);
+  {
+    std::vector<moea::Individual> samples(cfg_.calibration_samples);
+    std::vector<moea::Individual*> batch;
+    batch.reserve(samples.size());
+    for (auto& s : samples) {
+      s.genes = problem_->random_genes(rng);
+      batch.push_back(&s);
+    }
+    moea::BatchEvaluator(*problem_, eval_opts).evaluate(batch);
+    for (const auto& s : samples) {
+      for (std::size_t k = 0; k < dim; ++k) {
+        lo[k] = std::min(lo[k], s.eval.objectives[k]);
+        hi[k] = std::max(hi[k], s.eval.objectives[k]);
+      }
     }
   }
 
@@ -119,7 +152,7 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
   }
 
   moea::HvGa ga(cfg_.base_ga, ref, scale);
-  const auto result = ga.run(*problem_, rng, seeds);
+  const auto result = ga.run(*problem_, rng, seeds, eval_opts);
 
   // Thin the raw front to the storage budget, preferring well-spread points
   // (crowding distance keeps the extremes first).
@@ -137,7 +170,7 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
 
   DesignDb db;
   for (const auto& ind : front) {
-    db.add(make_point(problem_->decode(ind.genes), /*extra=*/false));
+    db.add(make_point(ind.genes, /*extra=*/false));
   }
   return db;
 }
@@ -161,12 +194,20 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
     seed_idx.push_back(i * n / want);
   }
 
+  // One pool for all per-seed runs; the average-dRC memo is valid across
+  // seeds (the base set is fixed), but each run gets a FRESH Evaluation memo
+  // because RedProblem's constraint violations are seed-relative. Cross-seed
+  // schedule sharing still happens in the problem's schedule cache.
+  util::ThreadPool pool(cfg_.threads);
+  moea::GenomeCache<double> drc_cache(cfg_.eval_cache_capacity);
+
   moea::Nsga2 nsga(cfg_.red_ga);
   for (std::size_t si : seed_idx) {
     const DesignPoint& seed = base.point(si);
     const double seed_avg_drc = reconfig_->average_drc(seed.config, base_configs);
 
-    RedProblem red_problem(*problem_, *reconfig_, base_configs, seed, base.ranges(), cfg_);
+    RedProblem red_problem(*problem_, *reconfig_, base_configs, seed, base.ranges(), cfg_,
+                           &drc_cache);
     // Seed the secondary GA with the seed point, the *other* front points,
     // and mutated copies of the seed. Crossover can then blend a cheap
     // point's task binding with the seed's CLR configuration — CLR/priority
@@ -185,7 +226,8 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
       seeds.push_back(std::move(mutated));
     }
 
-    const auto result = nsga.run(red_problem, rng, seeds);
+    moea::EvalCache eval_cache(cfg_.eval_cache_capacity);
+    const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache});
 
     // Collect candidates that are strictly cheaper to reach than the seed.
     struct Candidate {
@@ -196,7 +238,7 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
     for (const auto& ind : result.archive.members()) {
       const double avg_drc = ind.eval.objectives[0];
       if (avg_drc + 1e-12 >= seed_avg_drc) continue;
-      candidates.push_back({make_point(problem_->decode(ind.genes), /*extra=*/true), avg_drc});
+      candidates.push_back({make_point(ind.genes, /*extra=*/true), avg_drc});
     }
 
     // Keep the best candidates for each run-time regime:

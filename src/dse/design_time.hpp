@@ -53,6 +53,15 @@ struct DseConfig {
   /// when the raw Pareto front is larger it is thinned to this many points,
   /// keeping objective-space extremes and the best-spread (crowding) points.
   std::size_t max_base_points = 28;
+  /// Evaluation concurrency for both stages (and the calibration sampling):
+  /// 0 = std::thread::hardware_concurrency(). Results are identical at any
+  /// thread count — see DESIGN.md "Parallel evaluation & determinism".
+  std::size_t threads = 0;
+  /// Capacity of the chromosome -> Evaluation memo handed to the engines.
+  /// The BaseD run keeps one across all generations; each ReD run gets a
+  /// fresh one (its constraint violations are seed-relative), with the
+  /// cross-seed sharing happening in MappingProblem's schedule cache.
+  std::size_t eval_cache_capacity = 1 << 16;
 };
 
 /// The secondary ReD optimization problem: minimize (avg dRC to the BaseD
@@ -60,9 +69,12 @@ struct DseConfig {
 /// tolerances.
 class RedProblem : public moea::Problem {
  public:
+  /// @param drc_cache optional genome -> average-dRC memo shared across the
+  ///        per-seed ReD runs (valid for one fixed base_configs set).
   RedProblem(const MappingProblem& mapping, const recfg::ReconfigModel& reconfig,
              std::vector<sched::Configuration> base_configs, const DesignPoint& seed,
-             const MetricRanges& base_ranges, const DseConfig& cfg);
+             const MetricRanges& base_ranges, const DseConfig& cfg,
+             moea::GenomeCache<double>* drc_cache = nullptr);
 
   std::size_t num_genes() const override { return mapping_->num_genes(); }
   int domain_size(std::size_t locus) const override { return mapping_->domain_size(locus); }
@@ -76,6 +88,7 @@ class RedProblem : public moea::Problem {
   DesignPoint seed_;
   MetricRanges base_ranges_;
   const DseConfig* cfg_;
+  moea::GenomeCache<double>* drc_cache_;
 };
 
 /// Orchestrates both design-time stages for one application.
@@ -97,8 +110,14 @@ class DesignTimeDse {
   };
   Result run(util::Rng& rng) const;
 
-  /// Build a fully-evaluated design point from a configuration.
+  /// Build a fully-evaluated design point from a configuration (always
+  /// re-runs the scheduler; prefer the chromosome overload inside the flow).
   DesignPoint make_point(const sched::Configuration& cfg, bool extra = false) const;
+
+  /// Build a design point from a chromosome via the problem's schedule memo:
+  /// archived points were already evaluated during the GA run, so this is a
+  /// cache hit instead of a redundant scheduler invocation.
+  DesignPoint make_point(const std::vector<int>& genes, bool extra = false) const;
 
   const DseConfig& config() const { return cfg_; }
 

@@ -92,24 +92,32 @@ std::vector<int> MappingProblem::encode(const sched::Configuration& cfg) const {
 }
 
 sched::ScheduleResult MappingProblem::evaluate_schedule(const sched::Configuration& cfg) const {
+  schedule_runs_.fetch_add(1, std::memory_order_relaxed);
   return sched::ListScheduler{}.run(*ctx_, cfg);
 }
 
-std::vector<double> MappingProblem::objectives_of(const sched::ScheduleResult& result) const {
+ScheduleMetrics MappingProblem::evaluate_metrics(const std::vector<int>& genes) const {
+  ScheduleMetrics m;
+  if (schedule_cache_.lookup(genes, &m)) return m;
+  m = ScheduleMetrics::of(evaluate_schedule(decode(genes)));
+  schedule_cache_.store(genes, m);
+  return m;
+}
+
+std::vector<double> MappingProblem::objectives_of(const ScheduleMetrics& m) const {
   switch (mode_) {
     case ObjectiveMode::EnergyQos:
-      return {result.energy, result.makespan, -result.func_rel};
+      return {m.energy, m.makespan, -m.func_rel};
     case ObjectiveMode::CspQos:
-      return {result.makespan, -result.func_rel};
+      return {m.makespan, -m.func_rel};
     case ObjectiveMode::EnergyLifetime:
-      return {result.energy, -result.system_mttf};
+      return {m.energy, -m.system_mttf};
   }
   throw std::logic_error("MappingProblem: unknown objective mode");
 }
 
 moea::Evaluation MappingProblem::evaluate(const std::vector<int>& genes) const {
-  const sched::Configuration cfg = decode(genes);
-  const sched::ScheduleResult result = evaluate_schedule(cfg);
+  const ScheduleMetrics result = evaluate_metrics(genes);
 
   moea::Evaluation eval;
   eval.objectives = objectives_of(result);

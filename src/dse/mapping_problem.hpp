@@ -5,8 +5,11 @@
 // compatible implementation), implementation choice, CLR-config index and
 // list-scheduling priority.
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
+#include "moea/eval_cache.hpp"
 #include "moea/problem.hpp"
 #include "schedule/scheduler.hpp"
 
@@ -33,6 +36,21 @@ enum class ObjectiveMode {
   /// extension the paper suggests ("Other metrics such as MTTF can be added
   /// to R(Xi) for optimization of system lifetime").
   EnergyLifetime,
+};
+
+/// Scalar slice of a ScheduleResult — everything the DSE objectives and
+/// design points consume. The per-task schedule is dropped so memo-cache
+/// entries stay small.
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  double func_rel = 0.0;
+  double peak_power = 0.0;
+  double energy = 0.0;
+  double system_mttf = 0.0;
+
+  static ScheduleMetrics of(const sched::ScheduleResult& res) {
+    return {res.makespan, res.func_rel, res.peak_power, res.energy, res.system_mttf};
+  }
 };
 
 /// moea::Problem adapter over the list-scheduler evaluation.
@@ -64,15 +82,31 @@ class MappingProblem : public moea::Problem {
   /// encoding cannot express.
   std::vector<int> encode(const sched::Configuration& cfg) const;
 
-  /// Full schedule evaluation of a decoded configuration.
+  /// Full schedule evaluation of a decoded configuration (uncached).
   sched::ScheduleResult evaluate_schedule(const sched::Configuration& cfg) const;
+
+  /// Memoized decode + schedule keyed by chromosome: a genome is run through
+  /// the ListScheduler at most once across the whole design-time flow —
+  /// BaseD generations, every ReD run and DesignTimeDse::make_point all
+  /// share this cache. Thread-safe.
+  ScheduleMetrics evaluate_metrics(const std::vector<int>& genes) const;
 
   const sched::EvalContext& context() const { return *ctx_; }
   const QosSpec& spec() const { return spec_; }
   ObjectiveMode mode() const { return mode_; }
 
   /// Objective vector for a schedule result under this mode.
-  std::vector<double> objectives_of(const sched::ScheduleResult& result) const;
+  std::vector<double> objectives_of(const ScheduleMetrics& m) const;
+  std::vector<double> objectives_of(const sched::ScheduleResult& result) const {
+    return objectives_of(ScheduleMetrics::of(result));
+  }
+
+  /// Actual ListScheduler invocations so far (memo misses + direct calls) —
+  /// the "evals" of the throughput bench.
+  std::uint64_t schedule_runs() const { return schedule_runs_.load(std::memory_order_relaxed); }
+
+  /// The genome -> ScheduleMetrics memo (hit/miss/eviction counters).
+  const moea::GenomeCache<ScheduleMetrics>& schedule_cache() const { return schedule_cache_; }
 
  private:
   const sched::EvalContext* ctx_;
@@ -83,6 +117,8 @@ class MappingProblem : public moea::Problem {
   std::vector<std::vector<plat::PeId>> allowed_pes_;
   /// Per task / per allowed-PE slot: compatible implementation indices.
   std::vector<std::vector<std::vector<std::size_t>>> compat_impls_;
+  mutable moea::GenomeCache<ScheduleMetrics> schedule_cache_{1 << 16};
+  mutable std::atomic<std::uint64_t> schedule_runs_{0};
 };
 
 }  // namespace clr::dse

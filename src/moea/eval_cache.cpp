@@ -1,0 +1,58 @@
+#include "moea/eval_cache.hpp"
+
+#include "common/parallel.hpp"
+
+namespace clr::moea {
+
+std::uint64_t hash_genes(const std::vector<int>& genes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (int g : genes) {
+    auto word = static_cast<std::uint64_t>(static_cast<std::uint32_t>(g));
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  }
+  return h;
+}
+
+void BatchEvaluator::evaluate(const std::vector<Individual*>& batch) const {
+  // Resolve cache hits and collapse within-batch duplicates; only the first
+  // occurrence of each distinct genome is evaluated.
+  std::vector<Individual*> unique;
+  std::vector<std::pair<Individual*, Individual*>> copies;  // (dup, source)
+  unique.reserve(batch.size());
+  {
+    struct GenesHash {
+      std::size_t operator()(const std::vector<int>& g) const {
+        return static_cast<std::size_t>(hash_genes(g));
+      }
+    };
+    std::unordered_map<std::vector<int>, Individual*, GenesHash> seen;
+    seen.reserve(batch.size());
+    for (Individual* ind : batch) {
+      if (cache_ != nullptr && cache_->lookup(ind->genes, &ind->eval)) continue;
+      const auto [it, inserted] = seen.try_emplace(ind->genes, ind);
+      if (inserted) {
+        unique.push_back(ind);
+      } else {
+        copies.emplace_back(ind, it->second);
+      }
+    }
+  }
+
+  // Each iteration writes only its own individual's eval — safe to fan out.
+  if (pool_ != nullptr) {
+    pool_->parallel_for(unique.size(),
+                        [&](std::size_t i) { unique[i]->eval = problem_->evaluate(unique[i]->genes); });
+  } else {
+    for (Individual* ind : unique) ind->eval = problem_->evaluate(ind->genes);
+  }
+
+  for (auto& [dup, source] : copies) dup->eval = source->eval;
+  if (cache_ != nullptr) {
+    for (const Individual* ind : unique) cache_->store(ind->genes, ind->eval);
+  }
+}
+
+}  // namespace clr::moea

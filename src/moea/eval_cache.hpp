@@ -1,0 +1,167 @@
+#pragma once
+// Memoizing evaluation cache + parallel batch evaluator for the DSE engines.
+//
+// Crossover and mutation re-produce identical chromosomes constantly (per-gene
+// reset mutation at p = 0.03 leaves most children untouched copies of their
+// parents), and the ReD stage re-seeds every secondary run from the same BaseD
+// front — so a genome-keyed memo table converts a large share of the
+// scheduler-bound evaluations into hash lookups.
+//
+// The cache is sharded (one mutex + map per shard) so parallel evaluation
+// batches do not serialize on a single lock, and bounded: each shard evicts
+// its oldest entries (FIFO) once it reaches capacity / kShards entries.
+// Lookups compare the full gene vector, never the hash alone, so a hash
+// collision degrades to a miss instead of returning a wrong evaluation.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "moea/individual.hpp"
+#include "moea/problem.hpp"
+
+namespace clr::util {
+class ThreadPool;
+}
+
+namespace clr::moea {
+
+/// 64-bit FNV-1a over the gene words — deterministic across runs and
+/// platforms (feeds the cache-key scheme documented in DESIGN.md).
+std::uint64_t hash_genes(const std::vector<int>& genes);
+
+/// Bounded, sharded, thread-safe memo table: chromosome -> payload.
+/// Generic over the payload so the DSE layer can reuse it for schedule
+/// results and reconfiguration costs (see MappingProblem / DesignTimeDse).
+template <typename Value>
+class GenomeCache {
+ public:
+  explicit GenomeCache(std::size_t capacity = 1 << 16) : capacity_(capacity) {
+    shard_capacity_ = capacity_ / kShards;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+
+  /// Copy the cached payload for `genes` into *out. Returns false on miss.
+  bool lookup(const std::vector<int>& genes, Value* out) const {
+    Shard& shard = shard_for(genes);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(genes);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = it->second;
+    return true;
+  }
+
+  /// Insert (or overwrite) the payload for `genes`, evicting the shard's
+  /// oldest entry when it is full.
+  void store(const std::vector<int>& genes, const Value& value) {
+    Shard& shard = shard_for(genes);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.map.try_emplace(genes, value);
+    if (!inserted) {
+      it->second = value;
+      return;
+    }
+    shard.order.push_back(genes);
+    while (shard.map.size() > shard_capacity_) {
+      shard.map.erase(shard.order.front());
+      shard.order.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  std::size_t capacity() const { return shard_capacity_ * kShards; }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  /// Fraction of lookups answered from the cache (0 when never queried).
+  double hit_rate() const {
+    const double total = static_cast<double>(hits() + misses());
+    return total > 0.0 ? static_cast<double>(hits()) / total : 0.0;
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+      shard.order.clear();
+    }
+  }
+
+ private:
+  struct GenesHash {
+    std::size_t operator()(const std::vector<int>& g) const {
+      return static_cast<std::size_t>(hash_genes(g));
+    }
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::vector<int>, Value, GenesHash> map;
+    std::deque<std::vector<int>> order;  ///< insertion order for FIFO eviction
+  };
+
+  Shard& shard_for(const std::vector<int>& genes) const {
+    // Use the high bits for shard selection; the map consumes the low bits.
+    return shards_[(hash_genes(genes) >> 48) % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// The chromosome -> Evaluation memo shared by the GA engines.
+using EvalCache = GenomeCache<Evaluation>;
+
+/// Execution context for the generate-then-evaluate phase of the engines:
+/// an optional shared thread pool and an optional shared memo cache. Both
+/// nullptr reproduce the sequential, uncached behavior.
+struct EvalOptions {
+  util::ThreadPool* pool = nullptr;
+  EvalCache* cache = nullptr;
+};
+
+/// Evaluates a batch of individuals against a Problem: consults the cache,
+/// deduplicates identical genomes within the batch, fans the remaining
+/// misses out over the pool, and stores the results back. Results are
+/// independent of thread count and batch order because Problem::evaluate is
+/// deterministic.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const Problem& problem, const EvalOptions& opts)
+      : problem_(&problem), pool_(opts.pool), cache_(opts.cache) {}
+
+  /// Fill ind->eval for every individual in the batch.
+  void evaluate(const std::vector<Individual*>& batch) const;
+
+ private:
+  const Problem* problem_;
+  util::ThreadPool* pool_;
+  EvalCache* cache_;
+};
+
+}  // namespace clr::moea

@@ -1,8 +1,10 @@
 #include "moea/hvga.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "moea/hypervolume.hpp"
 
 namespace clr::moea {
@@ -15,8 +17,25 @@ double HvGa::fitness_of(const Evaluation& eval) const {
 }
 
 HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
-                       const std::vector<std::vector<int>>& seeds) const {
+                       const std::vector<std::vector<int>>& seeds,
+                       const EvalOptions& opts) const {
   if (params_.population < 2) throw std::invalid_argument("HvGa: population must be >= 2");
+
+  // Private pool when the caller did not share one (a 1-thread pool runs
+  // everything inline on this thread).
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  EvalOptions eval_opts = opts;
+  if (eval_opts.pool == nullptr && util::resolve_threads(params_.threads) > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(params_.threads);
+    eval_opts.pool = owned_pool.get();
+  }
+  const BatchEvaluator evaluator(problem, eval_opts);
+  const auto evaluate_all = [&](std::vector<Individual>& group) {
+    std::vector<Individual*> batch;
+    batch.reserve(group.size());
+    for (auto& ind : group) batch.push_back(&ind);
+    evaluator.evaluate(batch);
+  };
 
   Result result;
   auto& pop = result.population;
@@ -34,13 +53,16 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
     ind.genes = problem.random_genes(rng);
     pop.push_back(std::move(ind));
   }
+  evaluate_all(pop);
   for (auto& ind : pop) {
-    ind.eval = problem.evaluate(ind.genes);
     ind.fitness = fitness_of(ind.eval);
     result.archive.insert(ind);
   }
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    // Generate phase: every RNG draw (tournaments, crossover, mutation)
+    // happens here, sequentially on the master Rng — the draw order is
+    // independent of how the subsequent evaluations are scheduled.
     auto better = [&](std::size_t a, std::size_t b) { return pop[a].fitness > pop[b].fitness; };
     std::vector<Individual> offspring;
     offspring.reserve(params_.population);
@@ -53,14 +75,18 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
       uniform_crossover(ca.genes, cb.genes, params_.crossover_prob, rng);
       reset_mutation(problem, ca.genes, params_.mutation_prob, rng);
       reset_mutation(problem, cb.genes, params_.mutation_prob, rng);
-      ca.eval = problem.evaluate(ca.genes);
-      cb.eval = problem.evaluate(cb.genes);
-      ca.fitness = fitness_of(ca.eval);
-      cb.fitness = fitness_of(cb.eval);
-      result.archive.insert(ca);
-      result.archive.insert(cb);
       offspring.push_back(std::move(ca));
+      // With an odd population the second child of the last pair is surplus:
+      // drop it before evaluation (its mutation draws above keep the RNG
+      // stream aligned with the even-population case).
       if (offspring.size() < params_.population) offspring.push_back(std::move(cb));
+    }
+
+    // Evaluate phase: one parallel, memoized batch per generation.
+    evaluate_all(offspring);
+    for (auto& child : offspring) {
+      child.fitness = fitness_of(child.eval);
+      result.archive.insert(child);
     }
 
     // (mu + lambda) truncation on scalar fitness keeps the best sweepers;

@@ -9,6 +9,7 @@
 // accumulated in a feasible non-dominated archive (the BaseD database).
 
 #include "moea/archive.hpp"
+#include "moea/eval_cache.hpp"
 #include "moea/operators.hpp"
 #include "moea/problem.hpp"
 
@@ -29,8 +30,14 @@ class HvGa {
     double best_fitness = 0.0;
   };
 
+  /// Run the optimization. Each generation is generate-then-evaluate: all
+  /// RNG draws happen sequentially on `rng`, then the pending genomes are
+  /// evaluated as one parallel batch (`opts.pool` / params().threads) with
+  /// optional memoization (`opts.cache`) — results are bit-for-bit identical
+  /// at any thread count.
   Result run(const Problem& problem, util::Rng& rng,
-             const std::vector<std::vector<int>>& seeds = {}) const;
+             const std::vector<std::vector<int>>& seeds = {},
+             const EvalOptions& opts = {}) const;
 
   const GaParams& params() const { return params_; }
   const std::vector<double>& reference() const { return reference_; }

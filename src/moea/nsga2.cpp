@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+
+#include "common/parallel.hpp"
 
 namespace clr::moea {
 
@@ -83,8 +86,25 @@ bool crowded_better(const Individual& a, const Individual& b) {
 }  // namespace
 
 MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
-                      const std::vector<std::vector<int>>& seeds) const {
+                      const std::vector<std::vector<int>>& seeds,
+                      const EvalOptions& opts) const {
   if (params_.population < 2) throw std::invalid_argument("Nsga2: population must be >= 2");
+
+  // Private pool when the caller did not share one (a 1-thread pool runs
+  // everything inline on this thread).
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  EvalOptions eval_opts = opts;
+  if (eval_opts.pool == nullptr && util::resolve_threads(params_.threads) > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(params_.threads);
+    eval_opts.pool = owned_pool.get();
+  }
+  const BatchEvaluator evaluator(problem, eval_opts);
+  const auto evaluate_all = [&](std::vector<Individual>& group) {
+    std::vector<Individual*> batch;
+    batch.reserve(group.size());
+    for (auto& ind : group) batch.push_back(&ind);
+    evaluator.evaluate(batch);
+  };
 
   MoeaResult result;
   auto& pop = result.population;
@@ -102,17 +122,16 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
     ind.genes = problem.random_genes(rng);
     pop.push_back(std::move(ind));
   }
-  for (auto& ind : pop) {
-    ind.eval = problem.evaluate(ind.genes);
-    result.archive.insert(ind);
-  }
+  evaluate_all(pop);
+  for (auto& ind : pop) result.archive.insert(ind);
   {
     auto fronts = non_dominated_sort(pop);
     for (const auto& f : fronts) assign_crowding(pop, f);
   }
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
-    // Offspring via binary-operator pipeline.
+    // Generate phase: offspring genomes via the binary-operator pipeline —
+    // every RNG draw happens here, sequentially on the master Rng.
     std::vector<Individual> offspring;
     offspring.reserve(params_.population);
     auto better = [&](std::size_t a, std::size_t b) { return crowded_better(pop[a], pop[b]); };
@@ -125,13 +144,16 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
       uniform_crossover(ca.genes, cb.genes, params_.crossover_prob, rng);
       reset_mutation(problem, ca.genes, params_.mutation_prob, rng);
       reset_mutation(problem, cb.genes, params_.mutation_prob, rng);
-      ca.eval = problem.evaluate(ca.genes);
-      cb.eval = problem.evaluate(cb.genes);
-      result.archive.insert(ca);
-      result.archive.insert(cb);
       offspring.push_back(std::move(ca));
+      // With an odd population the second child of the last pair is surplus:
+      // drop it before evaluation (its mutation draws above keep the RNG
+      // stream aligned with the even-population case).
       if (offspring.size() < params_.population) offspring.push_back(std::move(cb));
     }
+
+    // Evaluate phase: one parallel, memoized batch per generation.
+    evaluate_all(offspring);
+    for (auto& child : offspring) result.archive.insert(child);
 
     // Environmental selection over parents + offspring.
     std::vector<Individual> merged;

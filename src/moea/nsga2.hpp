@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "moea/archive.hpp"
+#include "moea/eval_cache.hpp"
 #include "moea/operators.hpp"
 #include "moea/problem.hpp"
 
@@ -30,9 +31,14 @@ class Nsga2 {
   explicit Nsga2(GaParams params) : params_(params) {}
 
   /// Run the optimization. `seeds` (optional) are injected into the initial
-  /// population after repair.
+  /// population after repair. Each generation is generate-then-evaluate: all
+  /// RNG draws happen sequentially on `rng`, then the pending genomes are
+  /// evaluated as one parallel batch (`opts.pool` / params().threads) with
+  /// optional memoization (`opts.cache`) — results are bit-for-bit identical
+  /// at any thread count.
   MoeaResult run(const Problem& problem, util::Rng& rng,
-                 const std::vector<std::vector<int>>& seeds = {}) const;
+                 const std::vector<std::vector<int>>& seeds = {},
+                 const EvalOptions& opts = {}) const;
 
   const GaParams& params() const { return params_; }
 

@@ -1,0 +1,84 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace clr::util {
+namespace {
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, SizeCountsTheCaller) {
+  EXPECT_EQ(ThreadPool(1).size(), 1u);
+  EXPECT_EQ(ThreadPool(4).size(), 4u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, SlotWritesNeedNoSynchronization) {
+  // The engines' usage pattern: iteration i writes only slot i.
+  ThreadPool pool(4);
+  std::vector<std::size_t> out(5000, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 5000u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesInline) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(3,
+                                 [&](std::size_t i) {
+                                   if (i == 1) throw std::invalid_argument("bad");
+                                 }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clr::util

@@ -103,6 +103,55 @@ TEST(HvGa, SeededRunIsDeterministic) {
   ASSERT_EQ(ra.archive.size(), rb.archive.size());
 }
 
+/// Counts actual evaluate() calls through the batch pipeline.
+class CountingLine : public LineProblem {
+ public:
+  std::size_t num_genes() const override { return 6; }
+  int domain_size(std::size_t) const override { return 50; }
+  Evaluation evaluate(const std::vector<int>& genes) const override {
+    ++evaluations;
+    double x = 0.0;
+    for (int g : genes) x += g;
+    return Evaluation{{x, 294.0 - x}, 0.0};
+  }
+  mutable std::size_t evaluations = 0;
+};
+
+TEST(HvGa, OddPopulationSkipsTheSurplusOffspringEvaluation) {
+  CountingLine prob;
+  GaParams params;
+  params.population = 7;
+  params.generations = 2;
+  params.mutation_prob = 0.9;  // keep children distinct from parents/siblings
+  params.threads = 1;
+  HvGa ga(params, {300.0, 300.0}, {1.0, 1.0});
+  util::Rng rng(12);
+  ga.run(prob, rng);
+  // 7 initial + 7 offspring per generation; the discarded second child of
+  // the last pair is no longer evaluated.
+  EXPECT_EQ(prob.evaluations, 7u + 2u * 7u);
+}
+
+TEST(HvGa, ThreadCountDoesNotChangeTheResult) {
+  LineProblem prob;
+  GaParams params;
+  params.population = 16;
+  params.generations = 10;
+  params.threads = 1;
+  HvGa ga1(params, {10.0, 10.0}, {1.0, 1.0});
+  params.threads = 4;
+  HvGa ga4(params, {10.0, 10.0}, {1.0, 1.0});
+  util::Rng a(13), b(13);
+  const auto seq = ga1.run(prob, a);
+  const auto par = ga4.run(prob, b);
+  EXPECT_DOUBLE_EQ(seq.best_fitness, par.best_fitness);
+  ASSERT_EQ(seq.population.size(), par.population.size());
+  for (std::size_t i = 0; i < seq.population.size(); ++i) {
+    EXPECT_EQ(seq.population[i].genes, par.population[i].genes);
+    EXPECT_DOUBLE_EQ(seq.population[i].fitness, par.population[i].fitness);
+  }
+}
+
 TEST(HvGa, DimensionMismatchThrows) {
   LineProblem prob;
   GaParams params;

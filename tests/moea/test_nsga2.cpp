@@ -90,6 +90,111 @@ TEST(AssignCrowding, TinyFrontsAllInfinite) {
   EXPECT_TRUE(std::isinf(pop[1].crowding));
 }
 
+TEST(NonDominatedSort, AllIdenticalObjectivesFormOneFront) {
+  std::vector<Individual> pop(5);
+  for (auto& ind : pop) ind.eval = {{1.5, 2.5}, 0.0};
+  const auto fronts = non_dominated_sort(pop);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 5u);
+  for (const auto& ind : pop) EXPECT_EQ(ind.rank, 0);
+}
+
+TEST(AssignCrowding, SinglePointFrontIsInfinite) {
+  std::vector<Individual> pop(1);
+  pop[0].eval = {{1.0, 2.0}, 0.0};
+  assign_crowding(pop, {0});
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+}
+
+TEST(AssignCrowding, IdenticalObjectivesDegenerateRange) {
+  // hi == lo on every objective: the boundary points of the sorted order get
+  // infinity, interior points keep zero — no division by the zero-width band.
+  std::vector<Individual> pop(4);
+  for (auto& ind : pop) ind.eval = {{3.0, 3.0}, 0.0};
+  assign_crowding(pop, {0, 1, 2, 3});
+  std::size_t infinite = 0;
+  for (const auto& ind : pop) {
+    EXPECT_FALSE(std::isnan(ind.crowding));
+    if (std::isinf(ind.crowding)) ++infinite;
+    else EXPECT_DOUBLE_EQ(ind.crowding, 0.0);
+  }
+  EXPECT_EQ(infinite, 2u);
+}
+
+TEST(AssignCrowding, EmptyFrontIsANoop) {
+  std::vector<Individual> pop(2);
+  pop[0].eval = {{0.0, 1.0}, 0.0};
+  pop[1].eval = {{1.0, 0.0}, 0.0};
+  assign_crowding(pop, {});  // must not touch pop (or crash)
+  EXPECT_DOUBLE_EQ(pop[0].crowding, 0.0);
+  EXPECT_DOUBLE_EQ(pop[1].crowding, 0.0);
+}
+
+/// Counts actual evaluate() calls (genes are wide enough that random
+/// chromosomes are distinct, so batch deduplication does not hide calls).
+class CountingZdt : public Zdt1Lite {
+ public:
+  Evaluation evaluate(const std::vector<int>& genes) const override {
+    ++evaluations;
+    return Zdt1Lite::evaluate(genes);
+  }
+  mutable std::size_t evaluations = 0;
+};
+
+TEST(Nsga2, OddPopulationSkipsTheSurplusOffspringEvaluation) {
+  CountingZdt prob;
+  GaParams params;
+  params.population = 5;
+  params.generations = 3;
+  params.mutation_prob = 0.9;  // keep children distinct from parents/siblings
+  params.threads = 1;
+  util::Rng rng(17);
+  Nsga2(params).run(prob, rng);
+  // 5 initial + 5 offspring per generation; the discarded second child of
+  // the last pair is no longer evaluated.
+  EXPECT_EQ(prob.evaluations, 5u + 3u * 5u);
+}
+
+TEST(Nsga2, ThreadCountDoesNotChangeTheResult) {
+  Zdt1Lite prob;
+  GaParams params;
+  params.population = 24;
+  params.generations = 12;
+  params.threads = 1;
+  util::Rng a(23), b(23);
+  const auto seq = Nsga2(params).run(prob, a);
+  params.threads = 4;
+  const auto par = Nsga2(params).run(prob, b);
+  ASSERT_EQ(seq.population.size(), par.population.size());
+  for (std::size_t i = 0; i < seq.population.size(); ++i) {
+    EXPECT_EQ(seq.population[i].genes, par.population[i].genes);
+    EXPECT_EQ(seq.population[i].eval.objectives, par.population[i].eval.objectives);
+  }
+  ASSERT_EQ(seq.archive.size(), par.archive.size());
+  for (std::size_t i = 0; i < seq.archive.size(); ++i) {
+    EXPECT_EQ(seq.archive.members()[i].genes, par.archive.members()[i].genes);
+  }
+}
+
+TEST(Nsga2, SharedCacheDoesNotChangeTheResult) {
+  Zdt1Lite prob;
+  GaParams params;
+  params.population = 20;
+  params.generations = 10;
+  params.threads = 1;
+  util::Rng a(31), b(31);
+  const auto plain = Nsga2(params).run(prob, a);
+  EvalCache cache(1 << 12);
+  const auto cached = Nsga2(params).run(prob, b, {}, {nullptr, &cache});
+  EXPECT_GT(cache.hits(), 0u);
+  ASSERT_EQ(plain.archive.size(), cached.archive.size());
+  for (std::size_t i = 0; i < plain.archive.size(); ++i) {
+    EXPECT_EQ(plain.archive.members()[i].genes, cached.archive.members()[i].genes);
+    EXPECT_EQ(plain.archive.members()[i].eval.objectives,
+              cached.archive.members()[i].eval.objectives);
+  }
+}
+
 TEST(Nsga2, ConvergesTowardZdt1Front) {
   Zdt1Lite prob;
   GaParams params;

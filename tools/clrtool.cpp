@@ -6,9 +6,10 @@
 //       default platform and a Graphviz rendering.
 //
 //   clrtool explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp]
-//                    [--db-out DB.json]
+//                    [--jobs J] [--db-out DB.json]
 //       Run the hybrid design-time DSE (BaseD + ReD) and save/print the
-//       design-point database.
+//       design-point database. --jobs sets the evaluation concurrency
+//       (default: all hardware threads); results are identical at any J.
 //
 //   clrtool simulate --tasks N [--seed S] --db DB.json [--policy ura|aura|baseline]
 //                    [--prc X] [--cycles C] [--sim-seed S2]
@@ -83,7 +84,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: clrtool <generate|explore|simulate|inspect> [options]\n"
                "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
-               "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--db-out F]\n"
+               "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
+               "           [--db-out F]\n"
                "  simulate --tasks N [--seed S] --db F [--policy ura|aura|baseline] [--prc X]\n"
                "           [--cycles C] [--sim-seed S2]\n"
                "  inspect  --db F\n"
@@ -121,6 +123,9 @@ int cmd_explore(const Args& args) {
   exp::FlowParams params;
   params.dse.base_ga.population = static_cast<std::size_t>(args.num("pop", 64));
   params.dse.base_ga.generations = static_cast<std::size_t>(args.num("gens", 60));
+  // 0 = auto (std::thread::hardware_concurrency); the front is bit-for-bit
+  // identical at any job count.
+  params.dse.threads = static_cast<std::size_t>(args.num("jobs", 0));
   if (args.has("csp")) params.mode = dse::ObjectiveMode::CspQos;
 
   util::Rng rng(seed ^ 0xD5EULL);
