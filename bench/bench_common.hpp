@@ -4,13 +4,25 @@
 // Scaling: the paper simulates one million application execution cycles per
 // Monte-Carlo run (§5.2). The default here is 200k cycles so the whole bench
 // suite finishes in a couple of minutes; set CLR_FULL=1 in the environment to
-// run the paper-scale experiments.
+// run the paper-scale experiments. CLR_SMOKE=1 shrinks everything (one tiny
+// app, short horizons, small GA budgets) so CI can exercise the replicated
+// harness end-to-end on every push.
+//
+// Replication: runtime cells are evaluated through exp::Runner — CLR_REPS
+// Monte-Carlo replications per cell (default 5) fanned out over CLR_JOBS
+// worker threads (default: all cores; results are identical at any count).
+// Tables report mean ± 95% CI; CLR_REPORT_DIR=<dir> additionally writes each
+// bench's full replicated grid as JSON.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "experiments/flow.hpp"
+#include "common/table.hpp"
+#include "experiments/runner.hpp"
 
 namespace clr::bench {
 
@@ -20,18 +32,72 @@ inline bool full_scale() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+/// True when CLR_SMOKE asks for the CI-sized configuration.
+inline bool smoke() {
+  const char* env = std::getenv("CLR_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 /// Monte-Carlo horizon (application cycles).
-inline double sim_cycles() { return full_scale() ? 1e6 : 2e5; }
+inline double sim_cycles() {
+  if (smoke()) return 2e4;
+  return full_scale() ? 1e6 : 2e5;
+}
+
+/// Monte-Carlo replications per grid cell (CLR_REPS override, default 5).
+inline std::size_t replications() {
+  const char* env = std::getenv("CLR_REPS");
+  if (env != nullptr && env[0] != '\0') {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return smoke() ? 2 : 5;
+}
+
+/// Runtime-harness worker threads (CLR_JOBS override; 0 = all cores).
+inline std::size_t jobs() {
+  const char* env = std::getenv("CLR_JOBS");
+  if (env != nullptr && env[0] != '\0') {
+    const long n = std::atol(env);
+    if (n >= 0) return static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+/// exp::Runner configuration from the environment knobs above. keep_runs is
+/// on: the benches compute paired per-replication comparisons.
+inline exp::RunnerConfig runner_config() {
+  exp::RunnerConfig cfg;
+  cfg.replications = replications();
+  cfg.jobs = jobs();
+  cfg.keep_runs = true;
+  return cfg;
+}
 
 /// The task counts of the paper's sweeps (Tables 4-7).
 inline const std::vector<std::size_t>& paper_task_counts() {
   static const std::vector<std::size_t> counts{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
-  return counts;
+  static const std::vector<std::size_t> tiny{10};
+  return smoke() ? tiny : counts;
+}
+
+/// A figure-style size sweep, shrunk to one tiny app under CLR_SMOKE.
+inline std::vector<std::size_t> sweep_task_counts(std::vector<std::size_t> full) {
+  if (smoke()) return {10};
+  return full;
 }
 
 /// Design-time GA parameters per §5.1, sized for bench runtimes.
 inline dse::DseConfig bench_dse_config(std::size_t num_tasks) {
   dse::DseConfig cfg;
+  if (smoke()) {
+    cfg.base_ga.population = 32;
+    cfg.base_ga.generations = 12;
+    cfg.red_ga.population = 16;
+    cfg.red_ga.generations = 8;
+    cfg.max_red_seeds = 4;
+    return cfg;
+  }
   cfg.base_ga.population = 64;
   cfg.base_ga.generations = num_tasks <= 40 ? 60 : 80;
   cfg.red_ga.population = 32;
@@ -60,38 +126,34 @@ inline PreparedApp prepare_app(std::size_t num_tasks, std::uint64_t experiment_t
   return prepared;
 }
 
-/// Runtime evaluation with the bench horizon.
-inline rt::RuntimeStats run_policy(const PreparedApp& prepared, const dse::DesignDb& db,
-                                   exp::PolicyKind kind, double p_rc, std::uint64_t seed,
-                                   std::size_t trace_events = 0) {
-  exp::RuntimeEvalParams params;
-  params.kind = kind;
-  params.p_rc = p_rc;
-  params.sim.total_cycles = sim_cycles();
-  params.sim.trace_events = trace_events;
-  return exp::evaluate_policy(*prepared.app, db, prepared.qos_box, params, seed);
+/// A harness cell for one (db × policy × pRC) evaluation of a prepared app,
+/// with the bench horizon.
+inline exp::RunnerCell make_cell(const PreparedApp& prepared, const dse::DesignDb& db,
+                                 exp::PolicyKind kind, double p_rc, std::uint64_t seed,
+                                 std::string label, std::size_t trace_events = 0) {
+  exp::RunnerCell cell;
+  cell.app = prepared.app.get();
+  cell.db = &db;
+  cell.ranges = prepared.qos_box;
+  cell.params.kind = kind;
+  cell.params.p_rc = p_rc;
+  cell.params.sim.total_cycles = sim_cycles();
+  cell.params.sim.trace_events = trace_events;
+  cell.seed = seed;
+  cell.label = std::move(label);
+  return cell;
 }
 
-/// Runtime evaluation averaged over several Monte-Carlo seeds (smooths the
-/// single-trajectory noise of greedy adaptation).
-inline rt::RuntimeStats run_policy_avg(const PreparedApp& prepared, const dse::DesignDb& db,
-                                       exp::PolicyKind kind, double p_rc, std::uint64_t seed,
-                                       std::size_t repeats = 3) {
-  rt::RuntimeStats acc;
-  for (std::size_t r = 0; r < repeats; ++r) {
-    const auto s = run_policy(prepared, db, kind, p_rc, seed + 0x9e37 * (r + 1));
-    acc.total_cycles += s.total_cycles;
-    acc.num_events += s.num_events;
-    acc.num_reconfigs += s.num_reconfigs;
-    acc.num_infeasible_events += s.num_infeasible_events;
-    acc.avg_energy += s.avg_energy / static_cast<double>(repeats);
-    acc.total_reconfig_cost += s.total_reconfig_cost;
-    acc.max_drc = std::max(acc.max_drc, s.max_drc);
-  }
-  acc.avg_reconfig_cost = acc.num_events > 0
-                              ? acc.total_reconfig_cost / static_cast<double>(acc.num_events)
-                              : 0.0;
-  return acc;
+/// Paired per-replication combination of two cells (same replication index =
+/// same derived-seed stream), summarized as mean ± CI. The benches use this
+/// for the paper's percentage columns so the interval reflects seed noise of
+/// the *comparison*, not of each side separately.
+template <typename F>
+util::Summary paired_summary(const exp::CellResult& a, const exp::CellResult& b, F&& combine) {
+  util::RunningStats s;
+  const std::size_t n = std::min(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < n; ++i) s.add(combine(a.runs[i], b.runs[i]));
+  return util::summarize(s);
 }
 
 /// Percentage reduction of `ours` vs `theirs` (positive = we are lower).
@@ -106,9 +168,27 @@ inline double pct_increase(double base, double ours) {
   return 100.0 * (ours - base) / base;
 }
 
+/// "mean ±ci" table cell.
+inline std::string fmt_ci(const util::Summary& s, int precision = 1) {
+  return util::TextTable::fmt(s.mean, precision) + " ±" +
+         util::TextTable::fmt(s.ci95, precision);
+}
+
+/// Write a bench's replicated-grid JSON report when CLR_REPORT_DIR is set.
+inline void write_report(const std::string& name, const io::Json& report) {
+  const char* dir = std::getenv("CLR_REPORT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".json";
+  util::write_file(path, report.dump(2) + "\n");
+  std::printf("[report] %s\n", path.c_str());
+}
+
 inline void print_scale_note() {
-  std::printf("[scale] %s Monte-Carlo horizon: %.0f cycles (CLR_FULL=%d)\n",
-              full_scale() ? "paper-scale" : "bench-scale", sim_cycles(), full_scale() ? 1 : 0);
+  std::printf(
+      "[scale] %s Monte-Carlo horizon: %.0f cycles, %zu replications/cell "
+      "(CLR_FULL=%d CLR_SMOKE=%d)\n",
+      full_scale() ? "paper-scale" : (smoke() ? "smoke-scale" : "bench-scale"), sim_cycles(),
+      replications(), full_scale() ? 1 : 0, smoke() ? 1 : 0);
 }
 
 }  // namespace clr::bench

@@ -5,6 +5,10 @@
 //   ReD   — the reconfiguration-cost-aware database with cost-aware uRA
 //           (pRC = 0: adapt only on violation).
 //
+// The per-event trace is shown for the first replication; the window-level
+// aggregates (reconfiguration count, max dRC) are computed per replication
+// and reported mean ± 95% CI over the exp::Runner's Monte-Carlo replications.
+//
 // Expected shape (paper, 80-task app): BaseD reconfigures more often in the
 // window (31 vs 24 in the paper), adapts continuously in regions where ReD
 // stays put ("region A"), and hits a much larger maximum cost (ΔdRC).
@@ -15,40 +19,69 @@
 int main() {
   using namespace clr;
   bench::print_scale_note();
-  const std::size_t n = bench::full_scale() ? 80 : 40;
+  const std::size_t n = bench::smoke() ? 10 : (bench::full_scale() ? 80 : 40);
   std::printf("Figure 6: reconfiguration-cost trace over 50 QoS changes (%zu-task app)\n\n", n);
 
   const auto prepared = bench::prepare_app(n, /*tag=*/0xF166);
   const std::uint64_t seed = exp::derive_seed(0xF166u ^ 0xffu, n);
   constexpr std::size_t kWindow = 50;
 
-  const auto based = bench::run_policy(prepared, prepared.flow.based, exp::PolicyKind::Baseline,
-                                       0.5, seed, kWindow);
-  const auto red =
-      bench::run_policy(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0, seed, kWindow);
+  exp::Runner runner(bench::runner_config());
+  runner.add_cell(bench::make_cell(prepared, prepared.flow.based, exp::PolicyKind::Baseline,
+                                   0.5, seed, "BaseD baseline", kWindow));
+  runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0,
+                                   seed, "ReD uRA pRC=0", kWindow));
+  const auto results = runner.run();
+  const exp::CellResult& based = results[0];
+  const exp::CellResult& red = results[1];
 
-  util::TextTable table("dRC per QoS-change event (same event sequence)");
+  // Per-event trace of the first replication.
+  const auto& based_trace = based.runs.front().trace;
+  const auto& red_trace = red.runs.front().trace;
+  util::TextTable table("dRC per QoS-change event (same event sequence, replication 0)");
   table.set_header({"event", "BaseD dRC", "ReD dRC"});
-  double based_max = 0.0, red_max = 0.0;
-  std::size_t based_reconfigs = 0, red_reconfigs = 0;
   for (std::size_t i = 0; i < kWindow; ++i) {
-    const double b = i < based.trace.size() ? based.trace[i].drc : 0.0;
-    const double r = i < red.trace.size() ? red.trace[i].drc : 0.0;
-    based_max = std::max(based_max, b);
-    red_max = std::max(red_max, r);
-    if (i < based.trace.size() && based.trace[i].reconfigured) ++based_reconfigs;
-    if (i < red.trace.size() && red.trace[i].reconfigured) ++red_reconfigs;
+    const double b = i < based_trace.size() ? based_trace[i].drc : 0.0;
+    const double r = i < red_trace.size() ? red_trace[i].drc : 0.0;
     table.add_row({std::to_string(i + 1), util::TextTable::fmt(b, 2), util::TextTable::fmt(r, 2)});
   }
   std::printf("%s", table.to_string().c_str());
 
-  std::printf("\nreconfigurations in window: BaseD %zu vs ReD %zu (paper: 31 vs 24)\n",
-              based_reconfigs, red_reconfigs);
-  std::printf("max dRC in window (delta-dRC): BaseD %.2f vs ReD %.2f\n", based_max, red_max);
-  std::printf("full-run averages: BaseD avg dRC/event %.3f, ReD %.3f\n", based.avg_reconfig_cost,
-              red.avg_reconfig_cost);
+  // Window aggregates across replications.
+  const auto window_reconfigs = [](const rt::RuntimeStats& s) {
+    std::size_t count = 0;
+    for (const auto& e : s.trace) count += e.reconfigured ? 1 : 0;
+    return static_cast<double>(count);
+  };
+  const auto window_max = [](const rt::RuntimeStats& s) {
+    double mx = 0.0;
+    for (const auto& e : s.trace) mx = std::max(mx, e.drc);
+    return mx;
+  };
+  util::RunningStats based_rc, red_rc, based_mx, red_mx;
+  for (const auto& run : based.runs) {
+    based_rc.add(window_reconfigs(run));
+    based_mx.add(window_max(run));
+  }
+  for (const auto& run : red.runs) {
+    red_rc.add(window_reconfigs(run));
+    red_mx.add(window_max(run));
+  }
+
+  std::printf("\nreconfigurations in window: BaseD %s vs ReD %s (paper: 31 vs 24)\n",
+              bench::fmt_ci(util::summarize(based_rc), 1).c_str(),
+              bench::fmt_ci(util::summarize(red_rc), 1).c_str());
+  std::printf("max dRC in window (delta-dRC): BaseD %s vs ReD %s\n",
+              bench::fmt_ci(util::summarize(based_mx), 2).c_str(),
+              bench::fmt_ci(util::summarize(red_mx), 2).c_str());
+  std::printf("full-run averages: BaseD avg dRC/event %s, ReD %s\n",
+              bench::fmt_ci(based.stats.avg_reconfig_cost, 3).c_str(),
+              bench::fmt_ci(red.stats.avg_reconfig_cost, 3).c_str());
   std::printf("paper shape: the performance-oriented approach reconfigures more often and with\n"
               "a considerably larger maximum cost; the cost-aware approach adapts only on QoS\n"
               "violations.\n");
+  bench::write_report("fig6_reconfig_trace",
+                      exp::grid_report("fig6_reconfig_trace", runner.config(), results,
+                                       &runner.metrics()));
   return 0;
 }

@@ -3,8 +3,10 @@
 // to 1.0, for five applications of different sizes.
 //
 // Normalization mirrors the figure: energy is shown relative to its value at
-// pRC = 0 (it falls toward 1 gets lower as pRC grows); reconfiguration cost
-// relative to its value at pRC = 1 (it rises toward 1 as pRC grows).
+// pRC = 0 (it gets lower as pRC grows); reconfiguration cost relative to its
+// value at pRC = 1 (it rises toward 1 as pRC grows). Each ratio is computed
+// per replication (paired on the replication seed) and reported mean ± 95% CI
+// over the exp::Runner's Monte-Carlo replications.
 //
 // Expected shape: maximum adaptation cost at pRC = 1 (which also gives the
 // best energy); the cost curve need not fall strictly monotonically (only a
@@ -18,31 +20,47 @@ int main() {
   bench::print_scale_note();
   std::printf("Figure 7: relative avg energy / avg reconfiguration cost vs pRC\n\n");
 
-  const std::vector<std::size_t> sizes{20, 40, 60, 80, 100};
+  const std::vector<std::size_t> sizes = bench::sweep_task_counts({20, 40, 60, 80, 100});
   const std::vector<double> prcs{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 
-  for (std::size_t n : sizes) {
-    const auto prepared = bench::prepare_app(n, /*tag=*/0xF167);
-    const std::uint64_t seed = exp::derive_seed(0xF167u ^ 0xffu, n);
-
-    std::vector<double> energy(prcs.size());
-    std::vector<double> cost(prcs.size());
-    for (std::size_t i = 0; i < prcs.size(); ++i) {
-      const auto stats =
-          bench::run_policy(prepared, prepared.flow.red, exp::PolicyKind::Ura, prcs[i], seed);
-      energy[i] = stats.avg_energy;
-      cost[i] = stats.avg_reconfig_cost;
+  // One Runner spans the whole (size × pRC) grid: every pRC cell of one app
+  // shares that app's ReD cost matrix, built once, and all (cell, replication)
+  // jobs fan out together.
+  std::vector<bench::PreparedApp> apps;
+  apps.reserve(sizes.size());
+  exp::Runner runner(bench::runner_config());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    apps.push_back(bench::prepare_app(sizes[s], /*tag=*/0xF167));
+    const std::uint64_t seed = exp::derive_seed(0xF167u ^ 0xffu, sizes[s]);
+    for (double prc : prcs) {
+      runner.add_cell(bench::make_cell(apps[s], apps[s].flow.red, exp::PolicyKind::Ura, prc,
+                                       seed,
+                                       "n=" + std::to_string(sizes[s]) +
+                                           " pRC=" + util::TextTable::fmt(prc, 1)));
     }
+  }
+  const auto results = runner.run();
 
-    const double e_ref = energy.front();                   // pRC = 0
-    const double c_ref = std::max(cost.back(), 1e-12);     // pRC = 1
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const auto* row = &results[s * prcs.size()];
+    const exp::CellResult& e_ref = row[0];             // pRC = 0
+    const exp::CellResult& c_ref = row[prcs.size() - 1];  // pRC = 1
 
-    util::TextTable table("application with " + std::to_string(n) + " tasks");
-    std::vector<std::string> header{"pRC"}, row_e{"rel. avg energy"}, row_c{"rel. avg reconfig cost"};
+    util::TextTable table("application with " + std::to_string(sizes[s]) + " tasks");
+    std::vector<std::string> header{"pRC"}, row_e{"rel. avg energy"},
+        row_c{"rel. avg reconfig cost"};
     for (std::size_t i = 0; i < prcs.size(); ++i) {
+      const auto rel_e = bench::paired_summary(
+          row[i], e_ref, [](const rt::RuntimeStats& a, const rt::RuntimeStats& ref) {
+            return ref.avg_energy > 0 ? a.avg_energy / ref.avg_energy : 0.0;
+          });
+      const auto rel_c = bench::paired_summary(
+          row[i], c_ref, [](const rt::RuntimeStats& a, const rt::RuntimeStats& ref) {
+            return a.avg_reconfig_cost / std::max(ref.avg_reconfig_cost, 1e-12);
+          });
       header.push_back(util::TextTable::fmt(prcs[i], 1));
-      row_e.push_back(util::TextTable::fmt(e_ref > 0 ? energy[i] / e_ref : 0.0, 3));
-      row_c.push_back(util::TextTable::fmt(cost[i] / c_ref, 3));
+      row_e.push_back(bench::fmt_ci(rel_e, 3));
+      row_c.push_back(bench::fmt_ci(rel_c, 3));
     }
     table.set_header(header);
     table.add_row(row_e);
@@ -50,6 +68,9 @@ int main() {
     std::printf("%s\n", table.to_string().c_str());
   }
 
+  bench::write_report("fig7_prc_sweep",
+                      exp::grid_report("fig7_prc_sweep", runner.config(), results,
+                                       &runner.metrics()));
   std::printf("paper shape: energy (green) decreases with pRC; reconfiguration cost (red)\n"
               "peaks at pRC = 1; the cost curve is not strictly monotone.\n");
   return 0;

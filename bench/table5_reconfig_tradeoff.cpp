@@ -1,6 +1,6 @@
-// Table 5 reproduction: on a single set of design points (the ReD database),
-// compare reconfiguration-cost minimization (uRA with pRC = 0) against
-// performance maximization (pRC = 1):
+// Table 5 reproduction: on a single set of design points (the BaseD Pareto
+// database), compare reconfiguration-cost minimization (uRA with pRC = 0)
+// against performance maximization (pRC = 1):
 //   row 1 — % reduction in average reconfiguration cost,
 //   row 2 — % increase in average energy consumption (the price paid).
 //
@@ -8,7 +8,9 @@
 //   reduction: 38 45 28  8 51 44 30 49 43 39
 //   increase:  10 13  4  0  4  1  0  2  2  2
 // Expected shape: large cost reductions at a small single-digit-ish energy
-// premium.
+// premium. Percentages are computed per replication (paired on the
+// replication seed) and reported mean ± 95% CI over the exp::Runner's
+// Monte-Carlo replications.
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
@@ -20,28 +22,44 @@ int main() {
       "Table 5: reconfiguration-cost minimization (pRC=0) vs performance maximization (pRC=1)\n"
       "on a single design-point set (the Pareto database)\n\n");
 
+  // Both pRC cells of one app share the same (app, BaseD) cost matrix via
+  // the Runner's cache; the whole grid fans out in one run().
+  std::vector<bench::PreparedApp> apps;
+  exp::Runner runner(bench::runner_config());
+  const auto& sizes = bench::paper_task_counts();
+  apps.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    apps.push_back(bench::prepare_app(n, /*tag=*/0x7ab1e5));
+    const auto& prepared = apps.back();
+    const std::uint64_t seed = exp::derive_seed(0x7ab1e5u ^ 0xffu, n);
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.based, exp::PolicyKind::Ura,
+                                     /*p_rc=*/1.0, seed, "n=" + std::to_string(n) + " pRC=1"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.based, exp::PolicyKind::Ura,
+                                     /*p_rc=*/0.0, seed, "n=" + std::to_string(n) + " pRC=0"));
+  }
+  const auto results = runner.run();
+
   util::TextTable table;
   std::vector<std::string> header{"Number of Tasks"};
   std::vector<std::string> row_cost{"% Reduction in Avg Reconfiguration cost"};
   std::vector<std::string> row_energy{"% Increase in Avg Energy Consumption"};
-
-  for (std::size_t n : bench::paper_task_counts()) {
-    const auto prepared = bench::prepare_app(n, /*tag=*/0x7ab1e5);
-    const std::uint64_t seed = exp::derive_seed(0x7ab1e5u ^ 0xffu, n);
-
-    const auto perf = bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura,
-                                        /*p_rc=*/1.0, seed);
-    const auto cost = bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura,
-                                        /*p_rc=*/0.0, seed);
-
-    header.push_back(std::to_string(n));
-    row_cost.push_back(util::TextTable::fmt(
-        bench::pct_reduction(perf.avg_reconfig_cost, cost.avg_reconfig_cost), 1));
-    row_energy.push_back(
-        util::TextTable::fmt(bench::pct_increase(perf.avg_energy, cost.avg_energy), 1));
-    std::printf("  [n=%3zu] pRC=1: J=%.2f dRC=%.3f | pRC=0: J=%.2f dRC=%.3f\n", n,
-                perf.avg_energy, perf.avg_reconfig_cost, cost.avg_energy,
-                cost.avg_reconfig_cost);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const exp::CellResult& perf = results[2 * i];
+    const exp::CellResult& cost = results[2 * i + 1];
+    const auto reduction = bench::paired_summary(
+        perf, cost, [](const rt::RuntimeStats& p, const rt::RuntimeStats& c) {
+          return bench::pct_reduction(p.avg_reconfig_cost, c.avg_reconfig_cost);
+        });
+    const auto increase = bench::paired_summary(
+        perf, cost, [](const rt::RuntimeStats& p, const rt::RuntimeStats& c) {
+          return bench::pct_increase(p.avg_energy, c.avg_energy);
+        });
+    header.push_back(std::to_string(sizes[i]));
+    row_cost.push_back(bench::fmt_ci(reduction, 1));
+    row_energy.push_back(bench::fmt_ci(increase, 1));
+    std::printf("  [n=%3zu] pRC=1: J=%.2f dRC=%.3f | pRC=0: J=%.2f dRC=%.3f\n", sizes[i],
+                perf.stats.avg_energy.mean, perf.stats.avg_reconfig_cost.mean,
+                cost.stats.avg_energy.mean, cost.stats.avg_reconfig_cost.mean);
   }
 
   table.set_header(header);
@@ -50,5 +68,8 @@ int main() {
   std::printf("\n%s", table.to_string().c_str());
   std::printf(
       "\npaper (Table 5): reduction 38 45 28 8 51 44 30 49 43 39; increase 10 13 4 0 4 1 0 2 2 2\n");
+  bench::write_report("table5_reconfig_tradeoff",
+                      exp::grid_report("table5_reconfig_tradeoff", runner.config(), results,
+                                       &runner.metrics()));
   return 0;
 }

@@ -7,7 +7,9 @@
 //   cost (pRC=0):   19.6 26.0 4.6 0.2 0.2 0.1 4.0 9.0 7.3 1.7
 //   energy (pRC=1): 36.8 27.5 0.0 0.0 0.8 0.0 3.9 3.5 0.0 0.0
 // Expected shape: non-negative improvements, a few large entries, several
-// near-zero ones (extras do not always help).
+// near-zero ones (extras do not always help). Percentages are computed per
+// replication (paired on the replication seed) and reported mean ± 95% CI
+// over the exp::Runner's Monte-Carlo replications.
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
@@ -17,33 +19,53 @@ int main() {
   bench::print_scale_note();
   std::printf("Table 6: %% improvements using ReD compared to BaseD at the relevant pRC\n\n");
 
+  // Four cells per app (BaseD/ReD × pRC 0/1); the Runner caches one cost
+  // matrix per (app, database), so each database's matrix is built once even
+  // though two pRC cells use it.
+  std::vector<bench::PreparedApp> apps;
+  exp::Runner runner(bench::runner_config());
+  const auto& sizes = bench::paper_task_counts();
+  apps.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    apps.push_back(bench::prepare_app(n, /*tag=*/0x7ab1e6));
+    const auto& prepared = apps.back();
+    const std::uint64_t seed = exp::derive_seed(0x7ab1e6u ^ 0xffu, n);
+    const std::string tag = "n=" + std::to_string(n) + " ";
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.based, exp::PolicyKind::Ura, 0.0,
+                                     seed, tag + "BaseD pRC=0"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0,
+                                     seed, tag + "ReD pRC=0"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.based, exp::PolicyKind::Ura, 1.0,
+                                     seed, tag + "BaseD pRC=1"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 1.0,
+                                     seed, tag + "ReD pRC=1"));
+  }
+  const auto results = runner.run();
+
   util::TextTable table;
   std::vector<std::string> header{"Number of Tasks"};
   std::vector<std::string> row_cost{"% Reduction in Avg Reconfiguration cost (pRC=0)"};
   std::vector<std::string> row_energy{"% Reduction in Avg Energy Consumption (pRC=1)"};
-
-  for (std::size_t n : bench::paper_task_counts()) {
-    const auto prepared = bench::prepare_app(n, /*tag=*/0x7ab1e6);
-    const std::uint64_t seed = exp::derive_seed(0x7ab1e6u ^ 0xffu, n);
-
-    const auto based_cost =
-        bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura, 0.0, seed);
-    const auto red_cost =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0, seed);
-    const auto based_energy =
-        bench::run_policy_avg(prepared, prepared.flow.based, exp::PolicyKind::Ura, 1.0, seed);
-    const auto red_energy =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 1.0, seed);
-
-    header.push_back(std::to_string(n));
-    row_cost.push_back(util::TextTable::fmt(
-        bench::pct_reduction(based_cost.avg_reconfig_cost, red_cost.avg_reconfig_cost), 1));
-    row_energy.push_back(util::TextTable::fmt(
-        bench::pct_reduction(based_energy.avg_energy, red_energy.avg_energy), 1));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const exp::CellResult& based_cost = results[4 * i];
+    const exp::CellResult& red_cost = results[4 * i + 1];
+    const exp::CellResult& based_energy = results[4 * i + 2];
+    const exp::CellResult& red_energy = results[4 * i + 3];
+    const auto cost = bench::paired_summary(
+        based_cost, red_cost, [](const rt::RuntimeStats& b, const rt::RuntimeStats& r) {
+          return bench::pct_reduction(b.avg_reconfig_cost, r.avg_reconfig_cost);
+        });
+    const auto energy = bench::paired_summary(
+        based_energy, red_energy, [](const rt::RuntimeStats& b, const rt::RuntimeStats& r) {
+          return bench::pct_reduction(b.avg_energy, r.avg_energy);
+        });
+    header.push_back(std::to_string(sizes[i]));
+    row_cost.push_back(bench::fmt_ci(cost, 1));
+    row_energy.push_back(bench::fmt_ci(energy, 1));
     std::printf(
-        "  [n=%3zu] pRC=0 dRC: BaseD %.3f / ReD %.3f | pRC=1 J: BaseD %.2f / ReD %.2f\n", n,
-        based_cost.avg_reconfig_cost, red_cost.avg_reconfig_cost, based_energy.avg_energy,
-        red_energy.avg_energy);
+        "  [n=%3zu] pRC=0 dRC: BaseD %.3f / ReD %.3f | pRC=1 J: BaseD %.2f / ReD %.2f\n",
+        sizes[i], based_cost.stats.avg_reconfig_cost.mean, red_cost.stats.avg_reconfig_cost.mean,
+        based_energy.stats.avg_energy.mean, red_energy.stats.avg_energy.mean);
   }
 
   table.set_header(header);
@@ -53,5 +75,8 @@ int main() {
   std::printf(
       "\npaper (Table 6): cost 19.6 26.0 4.6 0.2 0.2 0.1 4.0 9.0 7.3 1.7; "
       "energy 36.8 27.5 0.0 0.0 0.8 0.0 3.9 3.5 0.0 0.0\n");
+  bench::write_report("table6_red_vs_based",
+                      exp::grid_report("table6_red_vs_based", runner.config(), results,
+                                       &runner.metrics()));
   return 0;
 }

@@ -16,6 +16,8 @@
 // informative at intermediate pRC, where the myopic weighted choice is no
 // longer optimal; the second pair of rows reports pRC = 0.5 with a 0.05
 // guard band, showing the mixed gains/losses the paper's Table 7 exhibits.
+// All percentages are computed per replication (paired on the replication
+// seed) and reported mean ± 95% CI over the exp::Runner's replications.
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
@@ -25,62 +27,69 @@ int main() {
   bench::print_scale_note();
   std::printf("Table 7: %% improvements using AuRA compared to uRA (ReD database)\n\n");
 
+  // Six cells per app (uRA/AuRA × pRC 0 / 1 / 0.5-guarded), all sharing that
+  // app's single ReD cost matrix through the Runner cache.
+  std::vector<bench::PreparedApp> apps;
+  exp::Runner runner(bench::runner_config());
+  const auto& sizes = bench::paper_task_counts();
+  apps.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    apps.push_back(bench::prepare_app(n, /*tag=*/0x7ab1e7));
+    const auto& prepared = apps.back();
+    const std::uint64_t seed = exp::derive_seed(0x7ab1e7u ^ 0xffu, n);
+    const std::string tag = "n=" + std::to_string(n) + " ";
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0,
+                                     seed, tag + "uRA pRC=0"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Aura, 0.0,
+                                     seed, tag + "AuRA pRC=0"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 1.0,
+                                     seed, tag + "uRA pRC=1"));
+    runner.add_cell(bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Aura, 1.0,
+                                     seed, tag + "AuRA pRC=1"));
+    // Intermediate regime: speculative lookahead with a bounded guard band.
+    auto mid_ura = bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.5,
+                                    seed, tag + "uRA pRC=0.5");
+    auto mid_aura = bench::make_cell(prepared, prepared.flow.red, exp::PolicyKind::Aura, 0.5,
+                                     seed, tag + "AuRA pRC=0.5 guard=0.05");
+    mid_aura.params.aura.guard = 0.05;
+    runner.add_cell(std::move(mid_ura));
+    runner.add_cell(std::move(mid_aura));
+  }
+  const auto results = runner.run();
+
+  const auto reduction_of = [](const exp::CellResult& ura, const exp::CellResult& aura,
+                               double rt::RuntimeStats::*field) {
+    return bench::paired_summary(
+        ura, aura, [field](const rt::RuntimeStats& u, const rt::RuntimeStats& a) {
+          return bench::pct_reduction(u.*field, a.*field);
+        });
+  };
+
   util::TextTable table;
   std::vector<std::string> header{"Number of Tasks"};
   std::vector<std::string> row_cost{"% Reduction in Avg Reconfiguration cost (pRC=0)"};
   std::vector<std::string> row_energy{"% Reduction in Avg Energy Consumption (pRC=1)"};
-  std::vector<std::string> row_cost_mid{"% Reduction in Avg Reconfiguration cost (pRC=0.5, guard 0.05)"};
-  std::vector<std::string> row_energy_mid{"% Reduction in Avg Energy Consumption (pRC=0.5, guard 0.05)"};
+  std::vector<std::string> row_cost_mid{
+      "% Reduction in Avg Reconfiguration cost (pRC=0.5, guard 0.05)"};
+  std::vector<std::string> row_energy_mid{
+      "% Reduction in Avg Energy Consumption (pRC=0.5, guard 0.05)"};
 
-  for (std::size_t n : bench::paper_task_counts()) {
-    const auto prepared = bench::prepare_app(n, /*tag=*/0x7ab1e7);
-    const std::uint64_t seed = exp::derive_seed(0x7ab1e7u ^ 0xffu, n);
-
-    const auto ura_cost =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 0.0, seed);
-    const auto aura_cost =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Aura, 0.0, seed);
-    const auto ura_energy =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Ura, 1.0, seed);
-    const auto aura_energy =
-        bench::run_policy_avg(prepared, prepared.flow.red, exp::PolicyKind::Aura, 1.0, seed);
-
-    // Intermediate regime: speculative lookahead with a bounded guard band.
-    auto run_mid = [&](exp::PolicyKind kind) {
-      exp::RuntimeEvalParams params;
-      params.kind = kind;
-      params.p_rc = 0.5;
-      params.aura.guard = 0.05;
-      params.sim.total_cycles = bench::sim_cycles();
-      rt::RuntimeStats acc;
-      constexpr std::size_t kRepeats = 3;
-      for (std::size_t r = 0; r < kRepeats; ++r) {
-        const auto s = exp::evaluate_policy(*prepared.app, prepared.flow.red, prepared.qos_box,
-                                            params, seed + 0x9e37 * (r + 1));
-        acc.num_events += s.num_events;
-        acc.avg_energy += s.avg_energy / kRepeats;
-        acc.total_reconfig_cost += s.total_reconfig_cost;
-      }
-      acc.avg_reconfig_cost =
-          acc.num_events ? acc.total_reconfig_cost / static_cast<double>(acc.num_events) : 0.0;
-      return acc;
-    };
-    const auto ura_mid = run_mid(exp::PolicyKind::Ura);
-    const auto aura_mid = run_mid(exp::PolicyKind::Aura);
-
-    header.push_back(std::to_string(n));
-    row_cost.push_back(util::TextTable::fmt(
-        bench::pct_reduction(ura_cost.avg_reconfig_cost, aura_cost.avg_reconfig_cost), 1));
-    row_energy.push_back(util::TextTable::fmt(
-        bench::pct_reduction(ura_energy.avg_energy, aura_energy.avg_energy), 1));
-    row_cost_mid.push_back(util::TextTable::fmt(
-        bench::pct_reduction(ura_mid.avg_reconfig_cost, aura_mid.avg_reconfig_cost), 1));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto* row = &results[6 * i];
+    header.push_back(std::to_string(sizes[i]));
+    row_cost.push_back(
+        bench::fmt_ci(reduction_of(row[0], row[1], &rt::RuntimeStats::avg_reconfig_cost), 1));
+    row_energy.push_back(
+        bench::fmt_ci(reduction_of(row[2], row[3], &rt::RuntimeStats::avg_energy), 1));
+    row_cost_mid.push_back(
+        bench::fmt_ci(reduction_of(row[4], row[5], &rt::RuntimeStats::avg_reconfig_cost), 1));
     row_energy_mid.push_back(
-        util::TextTable::fmt(bench::pct_reduction(ura_mid.avg_energy, aura_mid.avg_energy), 1));
+        bench::fmt_ci(reduction_of(row[4], row[5], &rt::RuntimeStats::avg_energy), 1));
     std::printf("  [n=%3zu] pRC=0 dRC: uRA %.3f / AuRA %.3f | pRC=1 J: uRA %.2f / AuRA %.2f | "
                 "pRC=.5 J: %.2f / %.2f\n",
-                n, ura_cost.avg_reconfig_cost, aura_cost.avg_reconfig_cost, ura_energy.avg_energy,
-                aura_energy.avg_energy, ura_mid.avg_energy, aura_mid.avg_energy);
+                sizes[i], row[0].stats.avg_reconfig_cost.mean, row[1].stats.avg_reconfig_cost.mean,
+                row[2].stats.avg_energy.mean, row[3].stats.avg_energy.mean,
+                row[4].stats.avg_energy.mean, row[5].stats.avg_energy.mean);
   }
 
   table.set_header(header);
@@ -93,5 +102,8 @@ int main() {
       "\npaper (Table 7): cost -6.9 49.5 3.3 20.9 58.5 25.7 23.9 -1.2 0.6 7.2; "
       "energy 1.2 7.0 -2.5 2.6 1.6 -1.0 -0.1 0.5 3.2 3.0\n"
       "(see EXPERIMENTS.md for the reproduction discussion of this table)\n");
+  bench::write_report("table7_aura_vs_ura",
+                      exp::grid_report("table7_aura_vs_ura", runner.config(), results,
+                                       &runner.metrics()));
   return 0;
 }

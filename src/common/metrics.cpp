@@ -1,0 +1,46 @@
+#include "common/metrics.hpp"
+
+#include <sstream>
+
+namespace clr::util {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back({name, c->value()});
+  return out;
+}
+
+std::vector<TimerSnapshot> MetricsRegistry::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimerSnapshot> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) out.push_back({name, t->total_ms(), t->count()});
+  return out;
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream oss;
+  for (const auto& c : counters()) oss << c.name << "=" << c.value << "\n";
+  for (const auto& t : timers()) {
+    oss << t.name << "=" << t.total_ms << "ms (" << t.count << " spans)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace clr::util

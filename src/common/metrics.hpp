@@ -1,0 +1,96 @@
+#pragma once
+// Lightweight observability primitives for the experiment harnesses: named
+// monotonic counters and accumulating wall-clock timers behind a registry.
+// Counters/timers are lock-free on the hot path (relaxed atomics); the
+// registry itself serializes only name resolution, and hands out references
+// that stay valid for the registry's lifetime — workers resolve once, then
+// update without contention.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clr::util {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulating wall-clock timer (total elapsed + number of spans).
+class Timer {
+ public:
+  /// RAII span: measures from construction to destruction.
+  class Scope {
+   public:
+    explicit Scope(Timer& timer)
+        : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      timer_->add_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timer* timer_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void add_ns(std::uint64_t ns) {
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double total_ms() const {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Point-in-time view of one named metric.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct TimerSnapshot {
+  std::string name;
+  double total_ms = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Thread-safe name -> metric registry. Metrics are created on first access
+/// and never removed, so returned references remain valid.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  std::vector<CounterSnapshot> counters() const;
+  std::vector<TimerSnapshot> timers() const;
+
+  /// One "name=value" per line, counters then timers, sorted by name.
+  std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+}  // namespace clr::util

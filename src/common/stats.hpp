@@ -55,6 +55,27 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (exact table up to 30, the normal 1.96 asymptote beyond). df = 0 returns
+/// infinity — a single replication carries no interval information.
+double student_t_95(std::size_t df);
+
+/// Compact replication summary: the interval estimate the replicated
+/// runtime-experiment harness reports for every RuntimeStats field.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  /// Half-width of the 95% confidence interval of the mean (Student-t);
+  /// 0 for fewer than two samples.
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a finished replication stream.
+Summary summarize(const RunningStats& stats);
+
 /// Percentile of a sample (linear interpolation). q in [0, 1].
 double percentile(std::vector<double> values, double q);
 
@@ -63,7 +84,9 @@ double percentile(std::vector<double> values, double q);
 /// single-candidate feasible set is not penalized.
 double min_max_norm(double x, double lo, double hi);
 
-/// Fixed-width histogram over [lo, hi).
+/// Fixed-width histogram over [lo, hi). Out-of-range samples do not land in
+/// any bin (total() counts in-range mass only) but are tallied separately so
+/// callers can tell "all mass binned" apart from "some mass fell outside".
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -71,7 +94,12 @@ class Histogram {
   void add(double x);
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
+  /// In-range samples (the denominator for bin fractions).
   std::size_t total() const { return total_; }
+  /// Samples that fell outside [lo, hi) and were not binned.
+  std::size_t out_of_range() const { return out_of_range_; }
+  /// Every sample ever offered, binned or not.
+  std::size_t observed() const { return total_ + out_of_range_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
 
@@ -79,6 +107,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t out_of_range_ = 0;
 };
 
 }  // namespace clr::util

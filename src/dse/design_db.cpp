@@ -7,10 +7,28 @@
 
 namespace clr::dse {
 
+std::uint64_t hash_configuration(const sched::Configuration& config) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  };
+  for (const auto& t : config.tasks) {
+    mix((static_cast<std::uint64_t>(t.pe) << 32) | t.impl_index);
+    mix((static_cast<std::uint64_t>(t.clr_index) << 32) |
+        static_cast<std::uint32_t>(t.priority));
+  }
+  return h;
+}
+
 std::size_t DesignDb::add(DesignPoint point) {
-  for (std::size_t i = 0; i < points_.size(); ++i) {
+  auto& bucket = index_[hash_configuration(point.config)];
+  for (std::size_t i : bucket) {
     if (points_[i].config == point.config) return i;
   }
+  bucket.push_back(points_.size());
   points_.push_back(std::move(point));
   return points_.size() - 1;
 }

@@ -4,7 +4,9 @@
 // Pareto front; ReD additionally holds the reconfiguration-cost-aware
 // non-dominant points of §4.2.1 (flagged `extra`).
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dse/mapping_problem.hpp"
@@ -73,6 +75,15 @@ class DesignDb {
 
  private:
   std::vector<DesignPoint> points_;
+  /// FNV-1a(configuration) -> stored indices with that hash. Dedup in add()
+  /// probes the bucket with full Configuration equality (a collision degrades
+  /// to an extra comparison, never a wrong match), turning the archive-wide
+  /// duplicate scan from O(n) per insert into O(1) amortized.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
 };
+
+/// Deterministic 64-bit FNV-1a over a configuration's decision variables
+/// (same idiom as moea::hash_genes; shared by the DesignDb dedup index).
+std::uint64_t hash_configuration(const sched::Configuration& config);
 
 }  // namespace clr::dse

@@ -71,6 +71,12 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
                                  const RuntimeEvalParams& params, std::uint64_t seed) {
   recfg::ReconfigModel reconfig(app.platform(), app.impls());
   rt::DrcMatrix drc(db, reconfig);
+  return evaluate_policy_with(db, drc, ranges, params, seed);
+}
+
+rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                                      const dse::MetricRanges& ranges,
+                                      const RuntimeEvalParams& params, std::uint64_t seed) {
   rt::QosProcess qos(ranges, params.qos);
   rt::RuntimeSimulator sim(params.sim);
 
@@ -96,7 +102,7 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
       return sim.run(db, policy, qos, eval_rng);
     }
   }
-  throw std::logic_error("evaluate_policy: unknown policy kind");
+  throw std::logic_error("evaluate_policy_with: unknown policy kind");
 }
 
 }  // namespace clr::exp

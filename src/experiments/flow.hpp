@@ -69,4 +69,13 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
                                  const dse::MetricRanges& ranges,
                                  const RuntimeEvalParams& params, std::uint64_t seed);
 
+/// Same evaluation against a prebuilt reconfiguration-cost table. The cost
+/// matrix only depends on (db, platform, implementations), so grid sweeps
+/// build it once per database and share it across every policy/pRC/seed cell
+/// (see exp::Runner); this overload is also the path that needs no
+/// AppInstance at all (tests, what-if cost tables).
+rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                                      const dse::MetricRanges& ranges,
+                                      const RuntimeEvalParams& params, std::uint64_t seed);
+
 }  // namespace clr::exp

@@ -1,0 +1,186 @@
+#include "experiments/runner.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace clr::exp {
+
+ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
+  util::RunningStats events, reconfigs, infeasible, energy, total_cost, avg_cost, max_drc;
+  for (const auto& r : runs) {
+    events.add(static_cast<double>(r.num_events));
+    reconfigs.add(static_cast<double>(r.num_reconfigs));
+    infeasible.add(static_cast<double>(r.num_infeasible_events));
+    energy.add(r.avg_energy);
+    total_cost.add(r.total_reconfig_cost);
+    avg_cost.add(r.avg_reconfig_cost);
+    max_drc.add(r.max_drc);
+  }
+  ReplicatedStats s;
+  s.replications = runs.size();
+  s.num_events = util::summarize(events);
+  s.num_reconfigs = util::summarize(reconfigs);
+  s.num_infeasible_events = util::summarize(infeasible);
+  s.avg_energy = util::summarize(energy);
+  s.total_reconfig_cost = util::summarize(total_cost);
+  s.avg_reconfig_cost = util::summarize(avg_cost);
+  s.max_drc = util::summarize(max_drc);
+  return s;
+}
+
+std::uint64_t replication_seed(std::uint64_t base, std::size_t rep) {
+  util::SplitMix64 mix(base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep));
+  return mix.next();
+}
+
+std::size_t Runner::add_cell(RunnerCell cell) {
+  if (cell.db == nullptr) throw std::invalid_argument("Runner::add_cell: db is required");
+  if (cell.app == nullptr && cell.drc == nullptr) {
+    throw std::invalid_argument("Runner::add_cell: either app or an explicit drc is required");
+  }
+  if (cell.drc != nullptr && cell.drc->size() != cell.db->size()) {
+    throw std::invalid_argument("Runner::add_cell: drc size must match db size");
+  }
+  metrics_.counter("runner.cells").add();
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+std::vector<CellResult> Runner::run() {
+  const std::size_t reps = std::max<std::size_t>(config_.replications, 1);
+  util::ThreadPool pool(config_.jobs);
+
+  // Phase 1: one DrcMatrix per distinct (app, db) pair, built row-parallel.
+  // Keyed on the pair because the model derives from the app's platform and
+  // implementation sets while the table spans the db's stored points.
+  std::map<std::pair<const AppInstance*, const dse::DesignDb*>, std::unique_ptr<rt::DrcMatrix>>
+      drc_cache;
+  for (const auto& cell : cells_) {
+    if (cell.drc != nullptr) continue;
+    const auto key = std::make_pair(cell.app, cell.db);
+    if (drc_cache.count(key) > 0) {
+      metrics_.counter("runner.drc_cache_hits").add();
+      continue;
+    }
+    util::Timer::Scope span(metrics_.timer("runner.drc_build"));
+    recfg::ReconfigModel model(cell.app->platform(), cell.app->impls());
+    drc_cache.emplace(key, std::make_unique<rt::DrcMatrix>(*cell.db, model, &pool));
+    metrics_.counter("runner.drc_builds").add();
+  }
+
+  // Phase 2: fan (cell, replication) jobs out. Each job's seed derives only
+  // from (cell.seed, rep) and each writes its own pre-sized slot, so the
+  // schedule cannot change any observable result.
+  std::vector<std::vector<rt::RuntimeStats>> runs(cells_.size());
+  std::vector<std::vector<double>> wall(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    runs[c].resize(reps);
+    wall[c].assign(reps, 0.0);
+  }
+  pool.parallel_for(cells_.size() * reps, [&](std::size_t job) {
+    const std::size_t c = job / reps;
+    const std::size_t r = job % reps;
+    const RunnerCell& cell = cells_[c];
+    const rt::DrcMatrix* drc =
+        cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
+    const auto start = std::chrono::steady_clock::now();
+    runs[c][r] =
+        evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
+                             replication_seed(cell.seed, r));
+    wall[c][r] = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    metrics_.counter("runner.jobs").add();
+  });
+
+  // Phase 3: aggregate sequentially in cell/replication order.
+  std::vector<CellResult> results;
+  results.reserve(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    CellResult res;
+    res.label = cells_[c].label;
+    res.params = cells_[c].params;
+    res.seed = cells_[c].seed;
+    res.stats = replicate_stats(runs[c]);
+    for (double ms : wall[c]) res.wall_ms += ms;
+    metrics_.timer("runner.cell").add_ns(static_cast<std::uint64_t>(res.wall_ms * 1e6));
+    for (const auto& run : runs[c]) {
+      metrics_.counter("runner.events").add(run.num_events);
+      metrics_.counter("runner.reconfigs").add(run.num_reconfigs);
+    }
+    if (config_.keep_runs) res.runs = std::move(runs[c]);
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+namespace {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Baseline: return "baseline";
+    case PolicyKind::Ura: return "ura";
+    case PolicyKind::Aura: return "aura";
+  }
+  return "unknown";
+}
+
+io::Json summary_json(const util::Summary& s) {
+  return io::JsonObject{{"mean", io::Json(s.mean)},   {"stddev", io::Json(s.stddev)},
+                        {"ci95", io::Json(s.ci95)},   {"min", io::Json(s.min)},
+                        {"max", io::Json(s.max)},     {"count", io::Json(s.count)}};
+}
+
+}  // namespace
+
+io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
+                     const std::vector<CellResult>& results,
+                     const util::MetricsRegistry* metrics) {
+  io::JsonArray cells;
+  cells.reserve(results.size());
+  for (const auto& res : results) {
+    io::JsonObject cell{
+        {"label", io::Json(res.label)},
+        {"policy", io::Json(policy_name(res.params.kind))},
+        {"p_rc", io::Json(res.params.p_rc)},
+        {"seed", io::Json(res.seed)},
+        {"replications", io::Json(res.stats.replications)},
+        {"num_events", summary_json(res.stats.num_events)},
+        {"num_reconfigs", summary_json(res.stats.num_reconfigs)},
+        {"num_infeasible_events", summary_json(res.stats.num_infeasible_events)},
+        {"avg_energy", summary_json(res.stats.avg_energy)},
+        {"total_reconfig_cost", summary_json(res.stats.total_reconfig_cost)},
+        {"avg_reconfig_cost", summary_json(res.stats.avg_reconfig_cost)},
+        {"max_drc", summary_json(res.stats.max_drc)},
+        {"wall_ms", io::Json(res.wall_ms)},
+    };
+    cells.emplace_back(std::move(cell));
+  }
+
+  io::JsonObject report{
+      {"experiment", io::Json(experiment)},
+      {"replications", io::Json(config.replications)},
+      {"jobs", io::Json(config.jobs)},
+      {"cells", io::Json(std::move(cells))},
+  };
+  if (metrics != nullptr) {
+    io::JsonObject counters;
+    for (const auto& c : metrics->counters()) counters.emplace_back(c.name, io::Json(c.value));
+    io::JsonObject timers;
+    for (const auto& t : metrics->timers()) {
+      timers.emplace_back(t.name, io::Json(io::JsonObject{{"total_ms", io::Json(t.total_ms)},
+                                                          {"spans", io::Json(t.count)}}));
+    }
+    report.emplace_back("counters", io::Json(std::move(counters)));
+    report.emplace_back("timers", io::Json(std::move(timers)));
+  }
+  return io::Json(std::move(report));
+}
+
+}  // namespace clr::exp

@@ -1,0 +1,126 @@
+#pragma once
+// Replicated, parallel runtime-experiment harness.
+//
+// The design-time DSE got batching/parallelism/caching in DESIGN.md §5.6;
+// this is the same treatment for the run-time half of the hybrid flow
+// (Fig. 6/7, Tables 4-7). A grid of cells — (app × db × policy × pRC) — is
+// expanded into independent (cell, replication) jobs and fanned out over a
+// util::ThreadPool. Each job derives its own seed from the cell's base seed
+// via SplitMix64 and writes into a pre-sized slot, so results are bit-for-bit
+// identical at any job count (the §5.6 determinism contract). Per-cell
+// replications aggregate into ReplicatedStats: mean, stddev and 95% CI
+// (Student-t) for every RuntimeStats field — the interval estimates that
+// replicated Monte-Carlo evaluation owes its ReD-vs-BaseD / AuRA-vs-uRA
+// percentages.
+//
+// The pairwise DrcMatrix (O(n²) ReconfigModel::drc calls) only depends on
+// (db, platform, implementations), never on the policy/pRC/seed of a cell,
+// so the Runner memoizes one matrix per distinct (app, db) pair per run and
+// builds it row-parallel on the same pool. A MetricsRegistry threads through
+// the harness (cells, jobs, events, reconfigs, drc builds/cache hits, build
+// and cell timers), and the whole replicated grid exports to JSON via clr_io
+// for machine-readable bench reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "experiments/flow.hpp"
+#include "io/json.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace clr::exp {
+
+/// Per-field replication summaries over one cell's Monte-Carlo runs.
+struct ReplicatedStats {
+  std::size_t replications = 0;
+  util::Summary num_events;
+  util::Summary num_reconfigs;
+  util::Summary num_infeasible_events;
+  util::Summary avg_energy;
+  util::Summary total_reconfig_cost;
+  util::Summary avg_reconfig_cost;
+  util::Summary max_drc;
+};
+
+/// Aggregate a finished replication set (in replication order — callers that
+/// need bit-for-bit reproducibility must not reorder `runs`).
+ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs);
+
+/// Seed of replication `rep` of a cell with base seed `base`: a SplitMix64
+/// expansion, so replications are decorrelated but each (base, rep) pair maps
+/// to the same simulation regardless of execution order or thread count.
+std::uint64_t replication_seed(std::uint64_t base, std::size_t rep);
+
+/// One grid cell: a policy evaluation over one database, replicated over
+/// seeds. Either `app` (the reconfiguration-model source; cost matrices are
+/// then cached per (app, db)) or an explicit `drc` table must be set.
+struct RunnerCell {
+  const AppInstance* app = nullptr;
+  const dse::DesignDb* db = nullptr;
+  const rt::DrcMatrix* drc = nullptr;  ///< explicit cost table (tests/what-if)
+  dse::MetricRanges ranges;            ///< QoS-process box (exp::qos_ranges)
+  RuntimeEvalParams params;
+  std::uint64_t seed = 0;  ///< base seed; replication r runs replication_seed(seed, r)
+  std::string label;
+};
+
+/// Outcome of one cell: the replicated summaries plus observability data.
+struct CellResult {
+  std::string label;
+  RuntimeEvalParams params;
+  std::uint64_t seed = 0;
+  ReplicatedStats stats;
+  /// Summed wall-clock of this cell's replication jobs, milliseconds
+  /// (observability only — not part of the deterministic payload).
+  double wall_ms = 0.0;
+  /// Per-replication raw runs, kept when RunnerConfig::keep_runs (paired
+  /// per-seed comparisons, traces).
+  std::vector<rt::RuntimeStats> runs;
+};
+
+struct RunnerConfig {
+  /// Monte-Carlo replications per cell (>= 1).
+  std::size_t replications = 5;
+  /// Worker concurrency (0 = all hardware threads, 1 = sequential).
+  std::size_t jobs = 0;
+  /// Keep every replication's RuntimeStats in CellResult::runs.
+  bool keep_runs = false;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig config = {}) : config_(config) {}
+
+  /// Queue a cell; returns its index into the run() result vector.
+  std::size_t add_cell(RunnerCell cell);
+
+  /// Expand cells × replications, fan the jobs out, aggregate. Results are
+  /// indexed by add_cell() order and bit-for-bit independent of `jobs`.
+  std::vector<CellResult> run();
+
+  const RunnerConfig& config() const { return config_; }
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Harness counters/timers: runner.cells, runner.jobs, runner.events,
+  /// runner.reconfigs, runner.drc_builds, runner.drc_cache_hits,
+  /// runner.drc_build (timer), runner.cell (timer).
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  RunnerConfig config_;
+  util::MetricsRegistry metrics_;
+  std::vector<RunnerCell> cells_;
+};
+
+/// Machine-readable report of a replicated grid: experiment name, harness
+/// config, per-cell field summaries and wall-clock, and — when a Runner is
+/// given — its metrics snapshot.
+io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
+                     const std::vector<CellResult>& results,
+                     const util::MetricsRegistry* metrics = nullptr);
+
+}  // namespace clr::exp

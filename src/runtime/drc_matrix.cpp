@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace clr::rt {
 
 DrcMatrix::DrcMatrix(std::size_t n, std::vector<double> costs)
@@ -19,12 +21,21 @@ double DrcMatrix::max_drc() const {
 }
 
 DrcMatrix::DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model)
+    : DrcMatrix(db, model, nullptr) {}
+
+DrcMatrix::DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model,
+                     util::ThreadPool* pool)
     : n_(db.size()), costs_(db.size() * db.size(), 0.0) {
-  for (std::size_t i = 0; i < n_; ++i) {
+  const auto fill_row = [&](std::size_t i) {
     for (std::size_t j = 0; j < n_; ++j) {
       if (i == j) continue;
       costs_[i * n_ + j] = model.drc(db.point(i).config, db.point(j).config);
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n_; ++i) fill_row(i);
   }
 }
 

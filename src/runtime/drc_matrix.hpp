@@ -9,11 +9,21 @@
 #include "dse/design_db.hpp"
 #include "reconfig/reconfig.hpp"
 
+namespace clr::util {
+class ThreadPool;
+}
+
 namespace clr::rt {
 
 class DrcMatrix {
  public:
   DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model);
+
+  /// Same table, with the O(n²) ReconfigModel::drc evaluations fanned out
+  /// over `pool` (row-parallel; the model is stateless-const, each row writes
+  /// only its own slice). nullptr builds sequentially. Bit-for-bit identical
+  /// to the sequential constructor at any thread count.
+  DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model, util::ThreadPool* pool);
 
   /// Build from an explicit row-major n x n cost table (tests, what-if
   /// analyses). Throws std::invalid_argument unless costs.size() == n*n.

@@ -109,7 +109,10 @@ Decision UraPolicy::evaluate_and_pick(std::size_t current, const dse::QosSpec& s
   // RET + gamma * V — the learned values arbitrate otherwise-close choices
   // toward states with better long-run returns.
   if (state_values != nullptr && gamma > 0.0) {
-    const double band = std::max(guard, 1e-12);  // guard 0 => exact ties only
+    // guard = 0 means the lookahead arbitrates *exact* ties only — any
+    // positive band, however small, would admit candidates strictly worse on
+    // the immediate objective and break the γ=0/guard=0 uRA subsumption.
+    const double band = std::max(guard, 0.0);
     double best_ret = -std::numeric_limits<double>::infinity();
     for (std::size_t k = 0; k < feas.size(); ++k) {
       if (immediate[k] + band < best_imm) continue;
@@ -161,6 +164,12 @@ Decision AuraPolicy::select(std::size_t current, const dse::QosSpec& spec) {
   Decision d = evaluate_and_pick(current, spec, &values_, params_.gamma, params_.guard);
   if (learning_) episode_.emplace_back(d.point, d.reward);
   return d;
+}
+
+Decision AuraPolicy::select_initial(std::size_t hint, const dse::QosSpec& spec) {
+  // The t=0 placement is free: the "current" hint was never occupied, so the
+  // dRC its reward would charge was never paid. Keep it out of the episode.
+  return evaluate_and_pick(hint, spec, &values_, params_.gamma, params_.guard);
 }
 
 void AuraPolicy::end_episode() {

@@ -38,6 +38,15 @@ class AdaptationPolicy {
   /// Pick the next point given the current one and the new requirement.
   virtual Decision select(std::size_t current, const dse::QosSpec& spec) = 0;
 
+  /// Pick the initial point before the simulation starts (t = 0). `hint` is
+  /// only a starting suggestion, never a point the system occupied — no dRC
+  /// is paid — so learning policies must not record this decision into their
+  /// episode (the reward would charge a cost from a state never visited).
+  /// Defaults to the regular selection for memoryless policies.
+  virtual Decision select_initial(std::size_t hint, const dse::QosSpec& spec) {
+    return select(hint, spec);
+  }
+
   /// Episode boundary notification (learning policies update values here).
   virtual void end_episode() {}
 
@@ -107,10 +116,13 @@ class AuraPolicy : public UraPolicy {
   };
 
   AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc, Params params);
-  /// Defaults: gamma 0.5, alpha 0.05, guard 0.02, uniform zero-valued prior.
+  /// Defaults: gamma 0.5, alpha 0.05, guard 0 (exact ties), zero-valued prior.
   AuraPolicy(const dse::DesignDb& db, const DrcMatrix& drc, double p_rc);
 
   Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  /// Same selection as select(), but never recorded into the episode: the
+  /// free initial placement must not bias the value updates.
+  Decision select_initial(std::size_t hint, const dse::QosSpec& spec) override;
   void end_episode() override;
   void reset() override;
 

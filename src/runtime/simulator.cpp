@@ -16,9 +16,11 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
   stats.total_cycles = params_.total_cycles;
   policy.reset();
 
-  // Initial placement: policy decision for the first spec, free of charge.
+  // Initial placement: policy decision for the first spec, free of charge —
+  // and, for learning policies, free of episode recording too (the hint
+  // point was never occupied, so no dRC was actually paid).
   dse::QosSpec spec = qos.sample_spec(rng);
-  std::size_t current = policy.select(db.least_violating(spec), spec).point;
+  std::size_t current = policy.select_initial(db.least_violating(spec), spec).point;
 
   double now = 0.0;
   double next_event = qos.sample_gap(rng);

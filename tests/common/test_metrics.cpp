@@ -1,0 +1,97 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace clr::util {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::size_t i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAdds);
+}
+
+TEST(Timer, AccumulatesSpansAndCounts) {
+  Timer t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.total_ms(), 0.0);
+  t.add_ns(1'500'000);  // 1.5 ms
+  t.add_ns(500'000);    // 0.5 ms
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_ms(), 2.0);
+}
+
+TEST(Timer, ScopeRecordsOneSpan) {
+  Timer t;
+  {
+    Timer::Scope span(t);
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.total_ms(), 0.0);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("jobs");
+  a.add(3);
+  EXPECT_EQ(registry.counter("jobs").value(), 3u);
+  Timer& ta = registry.timer("build");
+  ta.add_ns(1000);
+  EXPECT_EQ(registry.timer("build").count(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("alpha").add(2);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "alpha");
+  EXPECT_EQ(counters[0].value, 2u);
+  EXPECT_EQ(counters[1].name, "zebra");
+  EXPECT_EQ(counters[1].value, 1u);
+}
+
+TEST(MetricsRegistry, ToStringMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("runner.jobs").add(7);
+  registry.timer("runner.cell").add_ns(2'000'000);
+  const std::string s = registry.to_string();
+  EXPECT_NE(s.find("runner.jobs=7"), std::string::npos);
+  EXPECT_NE(s.find("runner.cell"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentResolutionIsSafe) {
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (std::size_t i = 0; i < 1000; ++i) registry.counter("shared").add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.counter("shared").value(), kThreads * 1000);
+}
+
+}  // namespace
+}  // namespace clr::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace clr::util {
 namespace {
 
@@ -116,6 +118,56 @@ TEST(Histogram, BinsAndCounts) {
   EXPECT_EQ(h.bin_count(4), 1u);
   EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, TracksOutOfRangeMass) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  EXPECT_EQ(h.out_of_range(), 0u);
+  h.add(10.0);  // hi is exclusive
+  h.add(-0.1);
+  h.add(1e9);
+  EXPECT_EQ(h.out_of_range(), 3u);
+  // total() still counts only binned mass; observed() counts everything seen.
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.observed(), 4u);
+}
+
+TEST(StudentT95, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_95(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_95(1000), 1.960, 1e-3);  // normal limit
+  EXPECT_TRUE(std::isinf(student_t_95(0)));
+}
+
+TEST(Summarize, ComputesConfidenceInterval) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  const Summary sum = summarize(s);
+  EXPECT_EQ(sum.count, 8u);
+  EXPECT_DOUBLE_EQ(sum.mean, 5.0);
+  EXPECT_DOUBLE_EQ(sum.min, 2.0);
+  EXPECT_DOUBLE_EQ(sum.max, 9.0);
+  const double stddev = std::sqrt(32.0 / 7.0);
+  EXPECT_NEAR(sum.stddev, stddev, 1e-12);
+  // ci95 = t(n-1) * s / sqrt(n) with t(7) = 2.365.
+  EXPECT_NEAR(sum.ci95, 2.365 * stddev / std::sqrt(8.0), 1e-9);
+}
+
+TEST(Summarize, DegenerateCases) {
+  RunningStats empty;
+  const Summary e = summarize(empty);
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_DOUBLE_EQ(e.ci95, 0.0);
+
+  RunningStats one;
+  one.add(3.0);
+  const Summary o = summarize(one);
+  EXPECT_EQ(o.count, 1u);
+  EXPECT_DOUBLE_EQ(o.mean, 3.0);
+  EXPECT_DOUBLE_EQ(o.ci95, 0.0);  // no interval from a single sample
 }
 
 TEST(Histogram, RejectsBadConstruction) {

@@ -101,6 +101,58 @@ TEST(DesignDb, SummaryMentionsCounts) {
   EXPECT_NE(db.summary().find("1 points"), std::string::npos);
 }
 
+TEST(HashConfiguration, EqualConfigsHashEqually) {
+  sched::Configuration a;
+  a.tasks.resize(3);
+  a.tasks[1].pe = 2;
+  a.tasks[1].impl_index = 4;
+  a.tasks[2].clr_index = 1;
+  a.tasks[2].priority = -7;
+  sched::Configuration b = a;
+  EXPECT_EQ(hash_configuration(a), hash_configuration(b));
+  b.tasks[0].priority = 1;
+  EXPECT_NE(hash_configuration(a), hash_configuration(b));  // overwhelmingly likely
+}
+
+TEST(DesignDb, HashedIndexMatchesLinearScanDedup) {
+  // Property check of the FNV-bucketed duplicate index: inserting a stream of
+  // part-fresh / part-duplicate multi-task configurations must behave exactly
+  // like the original linear scan — same returned index per insert, same
+  // final contents, first insert winning each duplicate group.
+  DesignDb db;
+  std::vector<sched::Configuration> reference;  // linear-scan ground truth
+  std::uint64_t lcg = 88172645463325252ULL;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  for (int round = 0; round < 400; ++round) {
+    DesignPoint p;
+    p.energy = static_cast<double>(round);
+    p.config.tasks.resize(1 + next() % 4);
+    for (auto& t : p.config.tasks) {
+      t.pe = static_cast<plat::PeId>(next() % 3);
+      t.impl_index = static_cast<std::uint32_t>(next() % 3);
+      t.clr_index = static_cast<std::uint32_t>(next() % 2);
+      t.priority = static_cast<int>(next() % 2);
+    }
+    std::size_t expected = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (reference[i] == p.config) {
+        expected = i;
+        break;
+      }
+    }
+    if (expected == reference.size()) reference.push_back(p.config);
+    EXPECT_EQ(db.add(p), expected) << "round " << round;
+  }
+  ASSERT_EQ(db.size(), reference.size());
+  EXPECT_LT(db.size(), 400u);  // the modulus guarantees actual duplicates
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(db.point(i).config == reference[i]);
+  }
+}
+
 TEST(DesignPoint, FeasibleFor) {
   const auto p = make_point(5, 100, 0.95);
   EXPECT_TRUE(p.feasible_for(QosSpec{100.0, 0.95}));

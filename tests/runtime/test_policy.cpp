@@ -148,6 +148,102 @@ TEST(AuraPolicy, ValueLookaheadChangesDecision) {
   EXPECT_EQ(d.point, 0u);  // overrides the pure-energy choice (point 2)
 }
 
+/// Database for the guard-band boundary: three points whose energies are
+/// 100, 1e-11 and 0 — points 1 and 2 differ by 1e-13 in feasible-set
+/// normalized immediate RET (pRC = 1), i.e. nearly but NOT exactly tied.
+/// All transitions are free so dRC never interferes.
+dse::DesignDb make_near_tie_db() {
+  dse::DesignDb db;
+  auto add = [&](double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = 100;
+    p.func_rel = 0.95;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(100.0, 0);
+  add(1e-11, 1);
+  add(0.0, 2);
+  return db;
+}
+
+TEST(AuraPolicy, GuardZeroMeansExactTiesOnly) {
+  // guard = 0 must restrict the value lookahead to *exact* immediate ties.
+  // Point 1's immediate RET trails point 2's by ~1e-13; an epsilon guard
+  // band would admit it and the huge learned value would flip the decision,
+  // making the agent pay a real (if tiny) immediate loss the guard-0
+  // contract forbids.
+  const auto db = make_near_tie_db();
+  DrcMatrix free_moves(3, std::vector<double>(9, 0.0));
+  AuraPolicy::Params params;
+  params.gamma = 0.5;
+  params.guard = 0.0;
+  AuraPolicy aura(db, free_moves, /*p_rc=*/1.0, params);
+  aura.set_values({0.0, 100.0, 0.0});
+  const auto d = aura.select(0, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(d.point, 2u);  // the best-immediate point, not the valuable one
+}
+
+TEST(AuraPolicy, GuardZeroStillArbitratesExactTies) {
+  // Two points with identical metrics tie exactly on immediate RET; the
+  // lookahead may (and should) break the tie by learned value.
+  dse::DesignDb db;
+  auto add = [&](double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = 100;
+    p.func_rel = 0.95;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(30.0, 0);
+  add(30.0, 1);
+  add(80.0, 2);
+  DrcMatrix free_moves(3, std::vector<double>(9, 0.0));
+  AuraPolicy::Params params;
+  params.gamma = 0.5;
+  params.guard = 0.0;
+  AuraPolicy aura(db, free_moves, /*p_rc=*/1.0, params);
+  aura.set_values({0.0, 50.0, 0.0});
+  const auto d = aura.select(2, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(d.point, 1u);  // tied on RET, higher value wins
+}
+
+TEST(AuraPolicy, PositiveGuardAdmitsNearTies) {
+  // With a real guard band the near-tied valuable point is fair game.
+  const auto db = make_near_tie_db();
+  DrcMatrix free_moves(3, std::vector<double>(9, 0.0));
+  AuraPolicy::Params params;
+  params.gamma = 0.5;
+  params.guard = 0.05;
+  AuraPolicy aura(db, free_moves, /*p_rc=*/1.0, params);
+  aura.set_values({0.0, 100.0, 0.0});
+  const auto d = aura.select(0, dse::QosSpec{200.0, 0.0});
+  EXPECT_EQ(d.point, 1u);
+}
+
+TEST(AuraPolicy, SelectInitialIsNotRecordedIntoEpisode) {
+  const auto db = make_db();
+  const auto drc = make_drc();
+  AuraPolicy::Params params;
+  params.alpha = 1.0;
+  AuraPolicy aura(db, drc, 1.0, params);
+  const auto d = aura.select_initial(0, dse::QosSpec{200.0, 0.0});
+  EXPECT_LT(d.point, db.size());
+  aura.end_episode();  // nothing recorded -> nothing updated
+  for (double v : aura.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (std::size_t c : aura.visit_counts()) EXPECT_EQ(c, 0u);
+  // The same decision through select() IS recorded.
+  aura.select(0, dse::QosSpec{200.0, 0.0});
+  aura.end_episode();
+  bool any_update = false;
+  for (std::size_t c : aura.visit_counts()) any_update |= c > 0;
+  EXPECT_TRUE(any_update);
+}
+
 TEST(AuraPolicy, EndEpisodeUpdatesValuesWithDiscountedReturns) {
   const auto db = make_db();
   const auto drc = make_drc();

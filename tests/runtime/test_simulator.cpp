@@ -206,6 +206,71 @@ TEST_F(SimulatorTest, InfeasibleEventsAreCounted) {
   EXPECT_GT(stats.num_events, 0u);
 }
 
+TEST_F(SimulatorTest, InitialPlacementIsNotLearnedFrom) {
+  // Regression: the t=0 placement is free (the hint point was never occupied,
+  // so no dRC was paid) and must not enter AuRA's episode. With the event gap
+  // pushed past the horizon the run sees *only* the initial placement; after
+  // it, every value and visit count must still be zero.
+  QosProcessParams qos_params;
+  qos_params.mean_event_gap = 1e9;  // no QoS-change events within the horizon
+  QosProcess qos(ranges_, qos_params);
+  AuraPolicy policy(db_, drc_, 0.5);
+  SimulationParams params;
+  params.total_cycles = 1e4;
+  RuntimeSimulator sim(params);
+  util::Rng rng(12);
+  const auto stats = sim.run(db_, policy, qos, rng);
+  ASSERT_EQ(stats.num_events, 0u);
+  for (double v : policy.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (std::size_t c : policy.visit_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST_F(SimulatorTest, CoincidentEpisodeAndEventProcessedOnce) {
+  // Force now == next_episode == next_event at the first event and check the
+  // event is neither dropped nor double-processed: a stateless (uRA) policy
+  // must produce bit-identical stats whether or not episode boundaries land
+  // exactly on event times (episode boundaries consume no randomness).
+  QosProcess qos(ranges_);
+  SimulationParams probe_params;
+  probe_params.total_cycles = 5e4;
+  probe_params.trace_events = 1;
+  probe_params.episode_cycles = 1e18;  // no mid-run episodes
+  RuntimeSimulator probe_sim(probe_params);
+  UraPolicy probe_policy(db_, drc_, 0.5);
+  util::Rng probe_rng(13);
+  const auto probe = probe_sim.run(db_, probe_policy, qos, probe_rng);
+  ASSERT_FALSE(probe.trace.empty());
+  const double first_event_time = probe.trace[0].time;
+
+  SimulationParams coincident_params = probe_params;
+  coincident_params.trace_events = 1000000;
+  coincident_params.episode_cycles = first_event_time;  // boundary ON the event
+  RuntimeSimulator coincident_sim(coincident_params);
+  UraPolicy p1(db_, drc_, 0.5);
+  util::Rng rng1(13);
+  const auto with_coincidence = coincident_sim.run(db_, p1, qos, rng1);
+
+  SimulationParams control_params = coincident_params;
+  control_params.episode_cycles = 1e18;
+  RuntimeSimulator control_sim(control_params);
+  UraPolicy p2(db_, drc_, 0.5);
+  util::Rng rng2(13);
+  const auto control = control_sim.run(db_, p2, qos, rng2);
+
+  EXPECT_EQ(with_coincidence.num_events, control.num_events);
+  EXPECT_EQ(with_coincidence.num_reconfigs, control.num_reconfigs);
+  // Episode boundaries split the energy-integration interval, so the sum is
+  // reassociated — everything else must be exact.
+  EXPECT_NEAR(with_coincidence.avg_energy, control.avg_energy,
+              1e-9 * control.avg_energy);
+  EXPECT_DOUBLE_EQ(with_coincidence.total_reconfig_cost, control.total_reconfig_cost);
+  ASSERT_EQ(with_coincidence.trace.size(), control.trace.size());
+  for (std::size_t i = 0; i < control.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_coincidence.trace[i].time, control.trace[i].time);
+    EXPECT_EQ(with_coincidence.trace[i].point, control.trace[i].point);
+  }
+}
+
 TEST_F(SimulatorTest, TraceExportsToCsv) {
   QosProcess qos(ranges_);
   UraPolicy policy(db_, drc_, 0.5);

@@ -13,8 +13,13 @@
 //
 //   clrtool simulate --tasks N [--seed S] --db DB.json [--policy ura|aura|baseline]
 //                    [--prc X] [--cycles C] [--sim-seed S2]
+//                    [--replications R] [--jobs J] [--report F.json]
 //       Load a database produced by `explore` for the same (tasks, seed)
-//       application and run the Monte-Carlo run-time adaptation.
+//       application and run the Monte-Carlo run-time adaptation. With
+//       --replications > 1 the run goes through the replicated exp::Runner
+//       harness (R derived-seed replications fanned over J workers; results
+//       identical at any J) and the table reports mean ± 95% CI; --report
+//       writes the full replicated grid as JSON.
 //
 //   clrtool inspect  --db DB.json
 //       Print the stored design points.
@@ -33,6 +38,7 @@
 
 #include "common/table.hpp"
 #include "experiments/flow.hpp"
+#include "experiments/runner.hpp"
 #include "io/serialize.hpp"
 #include "schedule/dot.hpp"
 #include "schedule/gantt.hpp"
@@ -87,7 +93,8 @@ int usage() {
                "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
                "           [--db-out F]\n"
                "  simulate --tasks N [--seed S] --db F [--policy ura|aura|baseline] [--prc X]\n"
-               "           [--cycles C] [--sim-seed S2]\n"
+               "           [--cycles C] [--sim-seed S2] [--replications R] [--jobs J]\n"
+               "           [--report F]\n"
                "  inspect  --db F\n"
                "  validate --tasks N [--seed S] --db F [--runs R] [--points K]\n");
   return 2;
@@ -169,18 +176,58 @@ int cmd_simulate(const Args& args) {
   box.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
   box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
 
-  const auto stats = exp::evaluate_policy(*app, loaded.db, box, params,
-                                          static_cast<std::uint64_t>(args.num("sim-seed", 7)));
-  util::TextTable table("simulation result");
+  const auto sim_seed = static_cast<std::uint64_t>(args.num("sim-seed", 7));
+  const auto replications = static_cast<std::size_t>(args.num("replications", 1));
+
+  if (replications <= 1 && !args.has("report")) {
+    const auto stats = exp::evaluate_policy(*app, loaded.db, box, params, sim_seed);
+    util::TextTable table("simulation result");
+    table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
+                      "QoS violations"});
+    table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
+                   util::TextTable::fmt(params.sim.total_cycles, 0),
+                   util::TextTable::fmt(stats.avg_energy, 2),
+                   util::TextTable::fmt(stats.avg_reconfig_cost, 2),
+                   std::to_string(stats.num_reconfigs),
+                   std::to_string(stats.num_infeasible_events)});
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+
+  // Replicated path: derived seeds per replication, fanned over the harness.
+  exp::RunnerConfig config;
+  config.replications = replications;
+  config.jobs = static_cast<std::size_t>(args.num("jobs", 0));
+  exp::Runner runner(config);
+  exp::RunnerCell cell;
+  cell.app = app.get();
+  cell.db = &loaded.db;
+  cell.ranges = box;
+  cell.params = params;
+  cell.seed = sim_seed;
+  cell.label = policy + " pRC=" + util::TextTable::fmt(params.p_rc, 2);
+  runner.add_cell(std::move(cell));
+  const auto results = runner.run();
+  const auto& s = results.front().stats;
+
+  const auto ci = [](const util::Summary& f, int prec) {
+    return util::TextTable::fmt(f.mean, prec) + " ±" + util::TextTable::fmt(f.ci95, prec);
+  };
+  util::TextTable table("simulation result (" + std::to_string(replications) +
+                        " replications, mean ±95% CI)");
   table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
                     "QoS violations"});
   table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
-                 util::TextTable::fmt(params.sim.total_cycles, 0),
-                 util::TextTable::fmt(stats.avg_energy, 2),
-                 util::TextTable::fmt(stats.avg_reconfig_cost, 2),
-                 std::to_string(stats.num_reconfigs),
-                 std::to_string(stats.num_infeasible_events)});
+                 util::TextTable::fmt(params.sim.total_cycles, 0), ci(s.avg_energy, 2),
+                 ci(s.avg_reconfig_cost, 2), ci(s.num_reconfigs, 1),
+                 ci(s.num_infeasible_events, 1)});
   std::printf("%s", table.to_string().c_str());
+  if (args.has("report")) {
+    const auto report =
+        exp::grid_report("clrtool_simulate", config, results, &runner.metrics());
+    util::write_file(args.str("report"), report.dump(2) + "\n");
+    std::printf("report written to %s\n", args.str("report").c_str());
+  }
   return 0;
 }
 
