@@ -64,6 +64,18 @@ inline std::size_t jobs() {
   return 0;
 }
 
+/// Base transient soft-error rate for the fault-sweep bench (CLR_FAULT_RATE
+/// override, per PE per cycle; default 1e-4). The sweep evaluates multiples
+/// of this base rate.
+inline double fault_rate() {
+  const char* env = std::getenv("CLR_FAULT_RATE");
+  if (env != nullptr && env[0] != '\0') {
+    const double r = std::atof(env);
+    if (r > 0.0) return r;
+  }
+  return 1e-4;
+}
+
 /// exp::Runner configuration from the environment knobs above. keep_runs is
 /// on: the benches compute paired per-replication comparisons.
 inline exp::RunnerConfig runner_config() {

@@ -33,33 +33,51 @@ std::size_t DesignDb::add(DesignPoint point) {
   return points_.size() - 1;
 }
 
-std::vector<std::size_t> DesignDb::feasible_indices(const QosSpec& spec) const {
+std::vector<std::size_t> DesignDb::feasible_indices(const QosSpec& spec,
+                                                    const std::vector<bool>* point_alive) const {
   std::vector<std::size_t> result;
   for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (point_alive != nullptr && !(*point_alive)[i]) continue;
     if (points_[i].feasible_for(spec)) result.push_back(i);
   }
   return result;
 }
 
-std::size_t DesignDb::least_violating(const QosSpec& spec) const {
+double DesignDb::violation_of(std::size_t i, const QosSpec& spec) const {
+  const auto& p = points_.at(i);
+  double v = 0.0;
+  if (p.makespan > spec.max_makespan) {
+    v += (p.makespan - spec.max_makespan) / spec.max_makespan;
+  }
+  if (p.func_rel < spec.min_func_rel) {
+    v += (spec.min_func_rel - p.func_rel) / std::max(spec.min_func_rel, 1e-9);
+  }
+  return v;
+}
+
+std::size_t DesignDb::least_violating(const QosSpec& spec,
+                                      const std::vector<bool>* point_alive) const {
   if (points_.empty()) throw std::logic_error("DesignDb::least_violating: empty database");
-  std::size_t best = 0;
+  std::size_t best = points_.size();
   double best_violation = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < points_.size(); ++i) {
-    const auto& p = points_[i];
-    double v = 0.0;
-    if (p.makespan > spec.max_makespan) {
-      v += (p.makespan - spec.max_makespan) / spec.max_makespan;
-    }
-    if (p.func_rel < spec.min_func_rel) {
-      v += (spec.min_func_rel - p.func_rel) / std::max(spec.min_func_rel, 1e-9);
-    }
+    if (point_alive != nullptr && !(*point_alive)[i]) continue;
+    const double v = violation_of(i, spec);
     if (v < best_violation) {
       best_violation = v;
       best = i;
     }
   }
+  if (best == points_.size()) {
+    throw std::logic_error("DesignDb::least_violating: alive-mask excludes every stored point");
+  }
   return best;
+}
+
+bool DesignDb::uses_pe(std::size_t i, plat::PeId pe) const {
+  const auto& tasks = points_.at(i).config.tasks;
+  return std::any_of(tasks.begin(), tasks.end(),
+                     [&](const sched::TaskAssignment& a) { return a.pe == pe; });
 }
 
 MetricRanges DesignDb::ranges() const {

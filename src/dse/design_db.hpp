@@ -50,11 +50,25 @@ class DesignDb {
   const std::vector<DesignPoint>& points() const { return points_; }
 
   /// Indices of points satisfying `spec` (the FEAS set of Algorithm 1).
-  std::vector<std::size_t> feasible_indices(const QosSpec& spec) const;
+  /// A non-null `point_alive` mask (size() entries; see flt::PlatformHealth)
+  /// additionally drops points that died with a failed PE.
+  std::vector<std::size_t> feasible_indices(const QosSpec& spec,
+                                            const std::vector<bool>* point_alive = nullptr) const;
 
   /// Index of the point minimizing total relative QoS violation — the
-  /// fallback when no stored point satisfies the new spec.
-  std::size_t least_violating(const QosSpec& spec) const;
+  /// fallback when no stored point satisfies the new spec. With a mask the
+  /// search is restricted to alive points; throws std::logic_error when the
+  /// mask excludes everything.
+  std::size_t least_violating(const QosSpec& spec,
+                              const std::vector<bool>* point_alive = nullptr) const;
+
+  /// Total relative QoS violation of point `i` w.r.t. `spec` (0 = feasible):
+  /// the measure least_violating() minimizes and the degraded-mode tolerance
+  /// check compares against.
+  double violation_of(std::size_t i, const QosSpec& spec) const;
+
+  /// True when point `i` binds at least one task to `pe`.
+  bool uses_pe(std::size_t i, plat::PeId pe) const;
 
   /// Metric ranges over all stored points.
   MetricRanges ranges() const;

@@ -71,12 +71,19 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
                                  const RuntimeEvalParams& params, std::uint64_t seed) {
   recfg::ReconfigModel reconfig(app.platform(), app.impls());
   rt::DrcMatrix drc(db, reconfig);
-  return evaluate_policy_with(db, drc, ranges, params, seed);
+  if (params.faults.enabled() && params.fault_profiles.empty()) {
+    // Derive the per-PE fault heterogeneity from the platform model.
+    RuntimeEvalParams derived = params;
+    derived.fault_profiles = flt::profiles_from_platform(app.platform());
+    return evaluate_policy_with(db, drc, ranges, derived, seed, &app.clr_space());
+  }
+  return evaluate_policy_with(db, drc, ranges, params, seed, &app.clr_space());
 }
 
 rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                                       const dse::MetricRanges& ranges,
-                                      const RuntimeEvalParams& params, std::uint64_t seed) {
+                                      const RuntimeEvalParams& params, std::uint64_t seed,
+                                      const rel::ClrSpace* clr_space) {
   rt::QosProcess qos(ranges, params.qos);
   rt::RuntimeSimulator sim(params.sim);
 
@@ -84,22 +91,38 @@ rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatr
   util::Rng pretrain_rng(mix.next());
   util::Rng eval_rng(mix.next());
 
+  // The fault seed is drawn *after* (and only in addition to) the two
+  // established streams, so enabling faults never perturbs the QoS or
+  // pre-training sequences — and disabling them reproduces historical runs.
+  flt::FaultScenario scenario;
+  const flt::FaultScenario* active_scenario = nullptr;
+  if (params.faults.enabled()) {
+    params.faults.validate();
+    scenario.params = params.faults;
+    scenario.profiles = params.fault_profiles;
+    scenario.seed = mix.next();
+    scenario.clr_space = clr_space;
+    active_scenario = &scenario;
+  }
+
   switch (params.kind) {
     case PolicyKind::Baseline: {
       rt::BaselinePolicy policy(db, drc);
-      return sim.run(db, policy, qos, eval_rng);
+      return sim.run(db, policy, qos, eval_rng, active_scenario);
     }
     case PolicyKind::Ura: {
       rt::UraPolicy policy(db, drc, params.p_rc);
-      return sim.run(db, policy, qos, eval_rng);
+      return sim.run(db, policy, qos, eval_rng, active_scenario);
     }
     case PolicyKind::Aura: {
       rt::AuraPolicy policy(db, drc, params.p_rc, params.aura);
       if (params.pretrain) {
+        // Pre-training stays fault-free: prior knowledge reflects the
+        // nominal platform the design-time flow optimized for.
         rt::pretrain_aura(policy, db, qos, params.pretrain_cycles, params.pretrain_sweeps,
                           pretrain_rng);
       }
-      return sim.run(db, policy, qos, eval_rng);
+      return sim.run(db, policy, qos, eval_rng, active_scenario);
     }
   }
   throw std::logic_error("evaluate_policy_with: unknown policy kind");

@@ -59,6 +59,13 @@ struct RuntimeEvalParams {
   bool pretrain = true;
   rt::SimulationParams sim{};
   rt::QosProcessParams qos{};
+  /// Run-time fault environment. Defaults to all-rates-zero: the fault seed
+  /// is then never drawn and the evaluation is bit-for-bit the fault-free one.
+  flt::FaultParams faults{};
+  /// Per-PE fault profiles (index = PeId). Empty: evaluate_policy derives
+  /// them from the app's platform (AVF / βp); the app-less
+  /// evaluate_policy_with path substitutes uniform defaults.
+  std::vector<flt::PeFaultProfile> fault_profiles;
 };
 
 /// Evaluate one policy over one database. `ranges` defines the QoS process
@@ -73,9 +80,12 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
 /// matrix only depends on (db, platform, implementations), so grid sweeps
 /// build it once per database and share it across every policy/pRC/seed cell
 /// (see exp::Runner); this overload is also the path that needs no
-/// AppInstance at all (tests, what-if cost tables).
+/// AppInstance at all (tests, what-if cost tables). `clr_space` gives fault
+/// injection the struck task's CLR coverage; nullptr falls back to
+/// FaultParams::fallback_coverage.
 rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                                       const dse::MetricRanges& ranges,
-                                      const RuntimeEvalParams& params, std::uint64_t seed);
+                                      const RuntimeEvalParams& params, std::uint64_t seed,
+                                      const rel::ClrSpace* clr_space = nullptr);
 
 }  // namespace clr::exp

@@ -13,6 +13,8 @@ namespace clr::exp {
 
 ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
   util::RunningStats events, reconfigs, infeasible, energy, total_cost, avg_cost, max_drc;
+  util::RunningStats violation_time, transients, unrecovered, permanents, evacuations,
+      safe_entries, downtime, availability, mttr;
   for (const auto& r : runs) {
     events.add(static_cast<double>(r.num_events));
     reconfigs.add(static_cast<double>(r.num_reconfigs));
@@ -21,6 +23,15 @@ ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
     total_cost.add(r.total_reconfig_cost);
     avg_cost.add(r.avg_reconfig_cost);
     max_drc.add(r.max_drc);
+    violation_time.add(r.qos_violation_time);
+    transients.add(static_cast<double>(r.num_transient_faults));
+    unrecovered.add(static_cast<double>(r.num_unrecovered_failures));
+    permanents.add(static_cast<double>(r.num_permanent_faults));
+    evacuations.add(static_cast<double>(r.num_evacuations));
+    safe_entries.add(static_cast<double>(r.num_safe_mode_entries));
+    downtime.add(r.downtime);
+    availability.add(r.availability);
+    mttr.add(r.mttr);
   }
   ReplicatedStats s;
   s.replications = runs.size();
@@ -31,6 +42,15 @@ ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
   s.total_reconfig_cost = util::summarize(total_cost);
   s.avg_reconfig_cost = util::summarize(avg_cost);
   s.max_drc = util::summarize(max_drc);
+  s.qos_violation_time = util::summarize(violation_time);
+  s.num_transient_faults = util::summarize(transients);
+  s.num_unrecovered_failures = util::summarize(unrecovered);
+  s.num_permanent_faults = util::summarize(permanents);
+  s.num_evacuations = util::summarize(evacuations);
+  s.num_safe_mode_entries = util::summarize(safe_entries);
+  s.downtime = util::summarize(downtime);
+  s.availability = util::summarize(availability);
+  s.mttr = util::summarize(mttr);
   return s;
 }
 
@@ -89,10 +109,11 @@ std::vector<CellResult> Runner::run() {
     const RunnerCell& cell = cells_[c];
     const rt::DrcMatrix* drc =
         cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
+    const rel::ClrSpace* clr_space = cell.app != nullptr ? &cell.app->clr_space() : nullptr;
     const auto start = std::chrono::steady_clock::now();
     runs[c][r] =
         evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
-                             replication_seed(cell.seed, r));
+                             replication_seed(cell.seed, r), clr_space);
     wall[c][r] = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
@@ -158,6 +179,17 @@ io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
         {"total_reconfig_cost", summary_json(res.stats.total_reconfig_cost)},
         {"avg_reconfig_cost", summary_json(res.stats.avg_reconfig_cost)},
         {"max_drc", summary_json(res.stats.max_drc)},
+        {"fault_rate", io::Json(res.params.faults.transient_rate)},
+        {"pe_mtbf", io::Json(res.params.faults.pe_mtbf)},
+        {"qos_violation_time", summary_json(res.stats.qos_violation_time)},
+        {"num_transient_faults", summary_json(res.stats.num_transient_faults)},
+        {"num_unrecovered_failures", summary_json(res.stats.num_unrecovered_failures)},
+        {"num_permanent_faults", summary_json(res.stats.num_permanent_faults)},
+        {"num_evacuations", summary_json(res.stats.num_evacuations)},
+        {"num_safe_mode_entries", summary_json(res.stats.num_safe_mode_entries)},
+        {"downtime", summary_json(res.stats.downtime)},
+        {"availability", summary_json(res.stats.availability)},
+        {"mttr", summary_json(res.stats.mttr)},
         {"wall_ms", io::Json(res.wall_ms)},
     };
     cells.emplace_back(std::move(cell));

@@ -43,6 +43,17 @@ struct ReplicatedStats {
   util::Summary total_reconfig_cost;
   util::Summary avg_reconfig_cost;
   util::Summary max_drc;
+  // Fault / degraded-mode axes (degenerate zero-width summaries when the
+  // cell ran without a fault scenario).
+  util::Summary qos_violation_time;
+  util::Summary num_transient_faults;
+  util::Summary num_unrecovered_failures;
+  util::Summary num_permanent_faults;
+  util::Summary num_evacuations;
+  util::Summary num_safe_mode_entries;
+  util::Summary downtime;
+  util::Summary availability;
+  util::Summary mttr;
 };
 
 /// Aggregate a finished replication set (in replication order — callers that

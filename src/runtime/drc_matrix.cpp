@@ -1,6 +1,7 @@
 #include "runtime/drc_matrix.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
@@ -12,6 +13,14 @@ DrcMatrix::DrcMatrix(std::size_t n, std::vector<double> costs)
   if (costs_.size() != n_ * n_) {
     throw std::invalid_argument("DrcMatrix: cost table must be n*n");
   }
+}
+
+double DrcMatrix::drc(std::size_t from, std::size_t to,
+                      const std::vector<bool>* point_alive) const {
+  if (point_alive != nullptr && !(*point_alive)[to]) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return drc(from, to);
 }
 
 double DrcMatrix::max_drc() const {

@@ -32,6 +32,14 @@ class DrcMatrix {
   /// dRC of reconfiguring from stored point `from` to stored point `to`.
   double drc(std::size_t from, std::size_t to) const { return costs_[from * n_ + to]; }
 
+  /// dRC with dead-point invalidation: a permanent PE fault retires stored
+  /// points (flt::PlatformHealth), and every table entry *into* a dead point
+  /// becomes +infinity — a dead target can never win a cost comparison even
+  /// if a caller forgets to filter its candidate set. Costs *from* a dead
+  /// point stay valid: an evacuation still migrates the surviving task
+  /// binaries. nullptr mask keeps the plain lookup.
+  double drc(std::size_t from, std::size_t to, const std::vector<bool>* point_alive) const;
+
   /// Largest pairwise cost in the table (global normalization scale).
   double max_drc() const;
 

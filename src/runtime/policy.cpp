@@ -5,9 +5,14 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "faults/fault_model.hpp"
 #include "moea/hypervolume.hpp"
 
 namespace clr::rt {
+
+const std::vector<bool>* AdaptationPolicy::alive_mask() const {
+  return health_ != nullptr ? &health_->point_mask() : nullptr;
+}
 
 BaselinePolicy::BaselinePolicy(const dse::DesignDb& db, const DrcMatrix& drc)
     : db_(&db), drc_(&drc) {
@@ -16,10 +21,11 @@ BaselinePolicy::BaselinePolicy(const dse::DesignDb& db, const DrcMatrix& drc)
 
 Decision BaselinePolicy::select(std::size_t current, const dse::QosSpec& spec) {
   Decision d;
-  auto feas = db_->feasible_indices(spec);
+  const auto* mask = alive_mask();
+  auto feas = db_->feasible_indices(spec, mask);
   if (feas.empty()) {
     d.feasible_set_empty = true;
-    d.point = db_->least_violating(spec);
+    d.point = db_->least_violating(spec, mask);
   } else {
     // Best signed hypervolume w.r.t. the QoS corner in (S, -F, J) space —
     // scale by the database ranges so units are comparable.
@@ -65,10 +71,11 @@ Decision UraPolicy::evaluate_and_pick(std::size_t current, const dse::QosSpec& s
                                       const std::vector<double>* state_values, double gamma,
                                       double guard) {
   Decision d;
-  auto feas = db_->feasible_indices(spec);
+  const auto* mask = alive_mask();
+  auto feas = db_->feasible_indices(spec, mask);
   if (feas.empty()) {
     d.feasible_set_empty = true;
-    d.point = db_->least_violating(spec);
+    d.point = db_->least_violating(spec, mask);
     d.drc = drc_->drc(current, d.point);
     d.reward = 0.0;  // violating spec is the worst outcome in the [0,1] scale
     return d;

@@ -20,6 +20,10 @@
 #include "dse/design_db.hpp"
 #include "runtime/drc_matrix.hpp"
 
+namespace clr::flt {
+class PlatformHealth;
+}
+
 namespace clr::rt {
 
 /// Outcome of one policy decision.
@@ -52,6 +56,22 @@ class AdaptationPolicy {
 
   /// Reset transient state between simulation runs (learned values persist).
   virtual void reset() {}
+
+  /// Attach (or detach, with nullptr) the platform-health state of the
+  /// current run. While attached, every selection is restricted to stored
+  /// points whose PEs are all alive — the feasible set shrinks as permanent
+  /// faults retire PEs. The simulator owns the health object; it attaches it
+  /// at run start and detaches it before returning.
+  void set_health(const flt::PlatformHealth* health) { health_ = health; }
+  const flt::PlatformHealth* health() const { return health_; }
+
+ protected:
+  /// Alive-mask over stored points, nullptr when no health is attached (the
+  /// fault-free fast path: feasibility checks skip the mask entirely).
+  const std::vector<bool>* alive_mask() const;
+
+ private:
+  const flt::PlatformHealth* health_ = nullptr;
 };
 
 /// Performance-oriented baseline: best signed hypervolume w.r.t. the QoS

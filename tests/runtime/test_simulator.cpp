@@ -281,7 +281,9 @@ TEST_F(SimulatorTest, TraceExportsToCsv) {
   util::Rng rng(11);
   const auto stats = sim.run(db_, policy, qos, rng);
   const std::string csv = rt::trace_to_csv(stats.trace);
-  EXPECT_EQ(csv.rfind("time,point,drc,reconfigured,infeasible\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("time,point,drc,reconfigured,infeasible,fault,violation\n", 0), 0u);
+  // Fault-free run: every row carries fault kind 0 (None).
+  EXPECT_EQ(csv.find(",1,1\n"), std::string::npos);
   // Header + one line per traced event.
   const auto lines = std::count(csv.begin(), csv.end(), '\n');
   EXPECT_EQ(static_cast<std::size_t>(lines), stats.trace.size() + 1);

@@ -1,0 +1,108 @@
+// CLI error contract (ISSUE 3 satellite): clrtool must reject unknown
+// subcommands, unknown options, malformed numerics and malformed JSON with a
+// non-zero exit code and a one-line actionable message — never a silent
+// fallback to defaults and never a crash. The tests drive the real binary
+// (CLRTOOL_PATH is injected by the build).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+namespace {
+
+std::pair<int, std::string> run_tool(const std::string& args) {
+  const std::string cmd = std::string(CLRTOOL_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) output += buffer.data();
+  const int status = pclose(pipe);
+  const int exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return {exit_code, output};
+}
+
+TEST(CliErrors, NoArgumentsPrintsUsageAndFails) {
+  const auto [code, out] = run_tool("");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownSubcommandFails) {
+  const auto [code, out] = run_tool("frobnicate");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownOptionFailsInsteadOfSilentlyDefaulting) {
+  const auto [code, out] = run_tool("generate --task 5");  // typo for --tasks
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("unknown option --task"), std::string::npos);
+}
+
+TEST(CliErrors, MalformedIntegerIsRejectedWithTheOffendingValue) {
+  const auto [code, out] = run_tool("generate --tasks abc");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("option --tasks"), std::string::npos);
+  EXPECT_NE(out.find("'abc'"), std::string::npos);
+}
+
+TEST(CliErrors, TrailingGarbageInNumberIsRejected) {
+  const auto [code, out] = run_tool("generate --tasks 5x");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("option --tasks"), std::string::npos);
+}
+
+TEST(CliErrors, OutOfRangeNumericIsRejected) {
+  const auto [code, out] = run_tool("generate --tasks 0");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--tasks"), std::string::npos);
+  EXPECT_NE(out.find(">= 1"), std::string::npos);
+}
+
+TEST(CliErrors, NonOptionArgumentIsRejected) {
+  const auto [code, out] = run_tool("generate tasks");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("expected an --option"), std::string::npos);
+}
+
+TEST(CliErrors, MalformedDatabaseJsonFails) {
+  const std::string path = ::testing::TempDir() + "clrtool_bad_db.json";
+  std::ofstream(path) << "this is { not valid json";
+  const auto [code, out] = run_tool("inspect --db " + path);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("clrtool:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, MissingDatabaseFileFails) {
+  const auto [code, out] = run_tool("inspect --db /nonexistent/definitely_missing.json");
+  EXPECT_NE(code, 0);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(CliErrors, SimulateRejectsUnknownPolicy) {
+  const auto [code, out] = run_tool("simulate --db /tmp/whatever.json --policy wishful");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("unknown policy 'wishful'"), std::string::npos);
+}
+
+TEST(CliErrors, SimulateRejectsNegativeFaultRate) {
+  // Option-layer validation fires before any file I/O for malformed reals.
+  const auto [code, out] = run_tool("simulate --db /tmp/whatever.json --fault-rate nope");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("option --fault-rate"), std::string::npos);
+}
+
+TEST(CliHappyPath, GenerateSucceeds) {
+  const auto [code, out] = run_tool("generate --tasks 5 --seed 3");
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("generated 5-task application"), std::string::npos);
+}
+
+}  // namespace

@@ -13,13 +13,17 @@
 //
 //   clrtool simulate --tasks N [--seed S] --db DB.json [--policy ura|aura|baseline]
 //                    [--prc X] [--cycles C] [--sim-seed S2]
+//                    [--fault-rate R] [--pe-mtbf M] [--qos-tolerance T]
 //                    [--replications R] [--jobs J] [--report F.json]
 //       Load a database produced by `explore` for the same (tasks, seed)
 //       application and run the Monte-Carlo run-time adaptation. With
 //       --replications > 1 the run goes through the replicated exp::Runner
 //       harness (R derived-seed replications fanned over J workers; results
 //       identical at any J) and the table reports mean ± 95% CI; --report
-//       writes the full replicated grid as JSON.
+//       writes the full replicated grid as JSON. --fault-rate (transient
+//       soft errors per PE per cycle) and --pe-mtbf (mean cycles to
+//       permanent PE wear-out) switch run-time fault injection on;
+//       --qos-tolerance bounds the relaxed-QoS degraded mode.
 //
 //   clrtool inspect  --db DB.json
 //       Print the stored design points.
@@ -30,6 +34,7 @@
 //
 // All randomness is seeded; identical invocations produce identical output.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -49,13 +54,18 @@ namespace {
 
 using namespace clr;
 
-/// Tiny --key value argument scanner.
+/// Tiny --key value argument scanner. Malformed or unknown input throws
+/// std::runtime_error with a one-line actionable message; main() turns that
+/// into a non-zero exit.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) throw std::runtime_error("expected --option, got " + key);
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected an --option, got '" + key +
+                                 "' (run clrtool without arguments for usage)");
+      }
       key = key.substr(2);
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
@@ -67,6 +77,24 @@ class Args {
 
   bool has(const std::string& key) const { return values_.count(key) > 0; }
 
+  /// Reject any option not in `allowed` — a typo'd flag must fail loudly, not
+  /// silently fall back to the default value.
+  void expect_only(std::initializer_list<const char*> allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const char* a : allowed) {
+        if (key == a) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw std::runtime_error("unknown option --" + key +
+                                 " (run clrtool without arguments for usage)");
+      }
+    }
+  }
+
   std::string str(const std::string& key, const std::string& fallback = "") const {
     const auto it = values_.find(key);
     return it != values_.end() ? it->second : fallback;
@@ -74,35 +102,67 @@ class Args {
 
   long num(const std::string& key, long fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? std::stol(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const long v = std::stol(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument("trailing characters");
+      return v;
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + key + ": expected an integer, got '" +
+                               it->second + "'");
+    }
   }
 
   double real(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it != values_.end() ? std::stod(it->second) : fallback;
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size() || !std::isfinite(v)) {
+        throw std::invalid_argument("not a finite number");
+      }
+      return v;
+    } catch (const std::exception&) {
+      throw std::runtime_error("option --" + key + ": expected a finite number, got '" +
+                               it->second + "'");
+    }
   }
 
  private:
   std::map<std::string, std::string> values_;
 };
 
+/// Non-negative integer option with a lower bound, as std::size_t.
+std::size_t size_arg(const Args& args, const std::string& key, long fallback,
+                     long min_value = 0) {
+  const long v = args.num(key, fallback);
+  if (v < min_value) {
+    throw std::runtime_error("option --" + key + ": must be >= " + std::to_string(min_value) +
+                             ", got " + std::to_string(v));
+  }
+  return static_cast<std::size_t>(v);
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: clrtool <generate|explore|simulate|inspect> [options]\n"
+               "usage: clrtool <generate|explore|simulate|inspect|validate> [options]\n"
                "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
                "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
                "           [--db-out F]\n"
                "  simulate --tasks N [--seed S] --db F [--policy ura|aura|baseline] [--prc X]\n"
-               "           [--cycles C] [--sim-seed S2] [--replications R] [--jobs J]\n"
-               "           [--report F]\n"
+               "           [--cycles C] [--sim-seed S2] [--fault-rate R] [--pe-mtbf M]\n"
+               "           [--qos-tolerance T] [--replications R] [--jobs J] [--report F]\n"
                "  inspect  --db F\n"
-               "  validate --tasks N [--seed S] --db F [--runs R] [--points K]\n");
+               "  validate --tasks N [--seed S] --db F [--runs R] [--points K] [--sim-seed S2]\n");
   return 2;
 }
 
 int cmd_generate(const Args& args) {
-  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  args.expect_only({"tasks", "seed", "graph-out", "platform-out", "dot-out"});
+  const auto tasks = size_arg(args, "tasks", 20, 1);
+  const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
   const auto app = exp::make_synthetic_app(tasks, seed);
   std::printf("generated %zu-task application (seed %llu): %zu edges, %zu PEs, CLR space %zu\n",
               tasks, static_cast<unsigned long long>(seed), app->graph().num_edges(),
@@ -123,16 +183,17 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_explore(const Args& args) {
-  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  args.expect_only({"tasks", "seed", "pop", "gens", "csp", "jobs", "db-out"});
+  const auto tasks = size_arg(args, "tasks", 20, 1);
+  const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
   const auto app = exp::make_synthetic_app(tasks, seed);
 
   exp::FlowParams params;
-  params.dse.base_ga.population = static_cast<std::size_t>(args.num("pop", 64));
-  params.dse.base_ga.generations = static_cast<std::size_t>(args.num("gens", 60));
+  params.dse.base_ga.population = size_arg(args, "pop", 64, 2);
+  params.dse.base_ga.generations = size_arg(args, "gens", 60, 1);
   // 0 = auto (std::thread::hardware_concurrency); the front is bit-for-bit
   // identical at any job count.
-  params.dse.threads = static_cast<std::size_t>(args.num("jobs", 0));
+  params.dse.threads = size_arg(args, "jobs", 0);
   if (args.has("csp")) params.mode = dse::ObjectiveMode::CspQos;
 
   util::Rng rng(seed ^ 0xD5EULL);
@@ -147,16 +208,16 @@ int cmd_explore(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
+  args.expect_only({"tasks", "seed", "db", "policy", "prc", "cycles", "sim-seed", "fault-rate",
+                    "pe-mtbf", "qos-tolerance", "replications", "jobs", "report"});
   if (!args.has("db")) {
     std::fprintf(stderr, "simulate: --db is required\n");
     return usage();
   }
-  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
-  const auto loaded = io::load_design_db(args.str("db"));
-  // Rebuild the identical application (the database stores indices into its
-  // implementation sets, which regenerate deterministically per seed).
-  const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+  // Validate every option before touching the filesystem, so a typo'd flag
+  // value fails fast with the option-level message.
+  const auto tasks = size_arg(args, "tasks", 20, 1);
+  const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
 
   exp::RuntimeEvalParams params;
   const std::string policy = args.str("policy", "ura");
@@ -164,11 +225,33 @@ int cmd_simulate(const Args& args) {
   else if (policy == "aura") params.kind = exp::PolicyKind::Aura;
   else if (policy == "baseline") params.kind = exp::PolicyKind::Baseline;
   else {
-    std::fprintf(stderr, "simulate: unknown policy '%s'\n", policy.c_str());
+    std::fprintf(stderr, "simulate: unknown policy '%s' (use ura, aura or baseline)\n",
+                 policy.c_str());
     return usage();
   }
   params.p_rc = args.real("prc", 0.5);
+  if (params.p_rc < 0.0 || params.p_rc > 1.0) {
+    throw std::runtime_error("option --prc: must be in [0, 1]");
+  }
   params.sim.total_cycles = args.real("cycles", 2e5);
+  if (params.sim.total_cycles <= 0.0) {
+    throw std::runtime_error("option --cycles: must be > 0");
+  }
+
+  // Run-time fault environment (off unless a rate is given). validate()
+  // turns out-of-range values into the one-line error contract.
+  params.faults.transient_rate = args.real("fault-rate", 0.0);
+  params.faults.pe_mtbf = args.real("pe-mtbf", 0.0);
+  params.faults.qos_tolerance = args.real("qos-tolerance", params.faults.qos_tolerance);
+  params.faults.validate();
+
+  const auto sim_seed = static_cast<std::uint64_t>(size_arg(args, "sim-seed", 7));
+  const auto replications = size_arg(args, "replications", 1, 1);
+
+  const auto loaded = io::load_design_db(args.str("db"));
+  // Rebuild the identical application (the database stores indices into its
+  // implementation sets, which regenerate deterministically per seed).
+  const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
 
   // QoS box from the loaded database's own ranges, widened like qos_ranges().
   const auto r = loaded.db.ranges();
@@ -176,20 +259,20 @@ int cmd_simulate(const Args& args) {
   box.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
   box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
 
-  const auto sim_seed = static_cast<std::uint64_t>(args.num("sim-seed", 7));
-  const auto replications = static_cast<std::size_t>(args.num("replications", 1));
-
   if (replications <= 1 && !args.has("report")) {
     const auto stats = exp::evaluate_policy(*app, loaded.db, box, params, sim_seed);
     util::TextTable table("simulation result");
     table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
-                      "QoS violations"});
+                      "QoS violations", "availability", "MTTR", "unrecovered"});
     table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
                    util::TextTable::fmt(params.sim.total_cycles, 0),
                    util::TextTable::fmt(stats.avg_energy, 2),
                    util::TextTable::fmt(stats.avg_reconfig_cost, 2),
                    std::to_string(stats.num_reconfigs),
-                   std::to_string(stats.num_infeasible_events)});
+                   std::to_string(stats.num_infeasible_events),
+                   util::TextTable::fmt(stats.availability, 5),
+                   util::TextTable::fmt(stats.mttr, 1),
+                   std::to_string(stats.num_unrecovered_failures)});
     std::printf("%s", table.to_string().c_str());
     return 0;
   }
@@ -197,7 +280,7 @@ int cmd_simulate(const Args& args) {
   // Replicated path: derived seeds per replication, fanned over the harness.
   exp::RunnerConfig config;
   config.replications = replications;
-  config.jobs = static_cast<std::size_t>(args.num("jobs", 0));
+  config.jobs = size_arg(args, "jobs", 0);
   exp::Runner runner(config);
   exp::RunnerCell cell;
   cell.app = app.get();
@@ -216,11 +299,12 @@ int cmd_simulate(const Args& args) {
   util::TextTable table("simulation result (" + std::to_string(replications) +
                         " replications, mean ±95% CI)");
   table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
-                    "QoS violations"});
+                    "QoS violations", "availability", "MTTR", "unrecovered"});
   table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
                  util::TextTable::fmt(params.sim.total_cycles, 0), ci(s.avg_energy, 2),
                  ci(s.avg_reconfig_cost, 2), ci(s.num_reconfigs, 1),
-                 ci(s.num_infeasible_events, 1)});
+                 ci(s.num_infeasible_events, 1), ci(s.availability, 5), ci(s.mttr, 1),
+                 ci(s.num_unrecovered_failures, 1)});
   std::printf("%s", table.to_string().c_str());
   if (args.has("report")) {
     const auto report =
@@ -232,16 +316,17 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_validate(const Args& args) {
+  args.expect_only({"tasks", "seed", "db", "runs", "points", "sim-seed"});
   if (!args.has("db")) {
     std::fprintf(stderr, "validate: --db is required\n");
     return usage();
   }
-  const auto tasks = static_cast<std::size_t>(args.num("tasks", 20));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto tasks = size_arg(args, "tasks", 20, 1);
+  const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
   const auto loaded = io::load_design_db(args.str("db"));
   const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
-  const auto runs = static_cast<std::size_t>(args.num("runs", 3000));
-  const auto max_points = static_cast<std::size_t>(args.num("points", 5));
+  const auto runs = size_arg(args, "runs", 3000, 1);
+  const auto max_points = size_arg(args, "points", 5, 1);
 
   sim::FaultInjector injector(app->context());
   sched::ListScheduler scheduler;
@@ -268,6 +353,7 @@ int cmd_validate(const Args& args) {
 }
 
 int cmd_inspect(const Args& args) {
+  args.expect_only({"db"});
   if (!args.has("db")) {
     std::fprintf(stderr, "inspect: --db is required\n");
     return usage();
