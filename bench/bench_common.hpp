@@ -23,6 +23,7 @@
 
 #include "common/table.hpp"
 #include "experiments/runner.hpp"
+#include "trace/trace.hpp"
 
 namespace clr::bench {
 
@@ -193,6 +194,30 @@ inline void write_report(const std::string& name, const io::Json& report) {
   const std::string path = std::string(dir) + "/" + name + ".json";
   util::write_file(path, report.dump(2) + "\n");
   std::printf("[report] %s\n", path.c_str());
+}
+
+/// Enable the tracer when CLR_TRACE=<path> is set in the environment
+/// (CLR_TRACE_CATEGORIES filters to a comma list, default all). Call once at
+/// bench start; pair with trace_finish(). Returns the output path ("" = off).
+inline std::string trace_setup() {
+  const char* path = std::getenv("CLR_TRACE");
+  if (path == nullptr || path[0] == '\0') return "";
+  std::uint32_t mask = trace::kAllCategories;
+  const char* cats = std::getenv("CLR_TRACE_CATEGORIES");
+  if (cats != nullptr && cats[0] != '\0') mask = trace::parse_categories(cats);
+  trace::Tracer::instance().enable(mask);
+  return path;
+}
+
+/// Write the Chrome trace and per-span summary started by trace_setup().
+inline void trace_finish(const std::string& path) {
+  if (path.empty()) return;
+  auto& tracer = trace::Tracer::instance();
+  tracer.disable();
+  util::write_file(path, tracer.chrome_trace().dump() + "\n");
+  std::printf("%s[trace] %zu events written to %s\n", tracer.summary().c_str(),
+              tracer.num_events(), path.c_str());
+  tracer.clear();
 }
 
 inline void print_scale_note() {

@@ -19,6 +19,7 @@
 int main() {
   using namespace clr;
   bench::print_scale_note();
+  const std::string trace_path = bench::trace_setup();
   const std::size_t n = bench::smoke() ? 10 : (bench::full_scale() ? 80 : 40);
   const double base_rate = bench::fault_rate();
   std::printf("Fault sweep: availability vs fault rate per policy (%zu-task app, r=%g)\n\n", n,
@@ -70,5 +71,6 @@ int main() {
               "mean the evacuation chain starts from cheaper states when PEs wear out.\n");
   bench::write_report("fault_sweep", exp::grid_report("fault_sweep", runner.config(), results,
                                                       &runner.metrics()));
+  bench::trace_finish(trace_path);
   return 0;
 }

@@ -19,6 +19,7 @@
 int main() {
   using namespace clr;
   bench::print_scale_note();
+  const std::string trace_path = bench::trace_setup();
   const std::size_t n = bench::smoke() ? 10 : (bench::full_scale() ? 80 : 40);
   std::printf("Figure 6: reconfiguration-cost trace over 50 QoS changes (%zu-task app)\n\n", n);
 
@@ -83,5 +84,6 @@ int main() {
   bench::write_report("fig6_reconfig_trace",
                       exp::grid_report("fig6_reconfig_trace", runner.config(), results,
                                        &runner.metrics()));
+  bench::trace_finish(trace_path);
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "schedule/heft.hpp"
+#include "trace/trace.hpp"
 #include <stdexcept>
 
 namespace clr::dse {
@@ -88,6 +89,8 @@ DesignPoint DesignTimeDse::make_point(const std::vector<int>& genes, bool extra)
 }
 
 DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
+  CLR_TRACE_SPAN(base_span, trace::Category::Dse, "dse.base",
+                 {{"pop", cfg_.base_ga.population}, {"gens", cfg_.base_ga.generations}});
   util::ThreadPool pool(cfg_.threads);
   moea::EvalCache cache(cfg_.eval_cache_capacity);
   const moea::EvalOptions eval_opts{&pool, &cache};
@@ -100,6 +103,8 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
   std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
   std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
   {
+    CLR_TRACE_SPAN(cal_span, trace::Category::Dse, "dse.calibrate",
+                   {{"samples", cfg_.calibration_samples}});
     std::vector<moea::Individual> samples(cfg_.calibration_samples);
     std::vector<moea::Individual*> batch;
     batch.reserve(samples.size());
@@ -177,6 +182,7 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
 
 DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
   if (base.empty()) throw std::invalid_argument("run_red: empty BaseD database");
+  CLR_TRACE_SPAN(red_span, trace::Category::Dse, "dse.red", {{"base_points", base.size()}});
   const auto base_configs = base.configurations();
 
   DesignDb red;
@@ -203,6 +209,7 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
 
   moea::Nsga2 nsga(cfg_.red_ga);
   for (std::size_t si : seed_idx) {
+    CLR_TRACE_SPAN(seed_span, trace::Category::Dse, "dse.red_seed", {{"seed_index", si}});
     const DesignPoint& seed = base.point(si);
     const double seed_avg_drc = reconfig_->average_drc(seed.config, base_configs);
 
@@ -228,6 +235,10 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
 
     moea::EvalCache eval_cache(cfg_.eval_cache_capacity);
     const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache});
+    CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.hits",
+                      static_cast<double>(drc_cache.hits()));
+    CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.misses",
+                      static_cast<double>(drc_cache.misses()));
 
     // Collect candidates that are strictly cheaper to reach than the seed.
     struct Candidate {

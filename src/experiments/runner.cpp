@@ -8,8 +8,22 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace clr::exp {
+
+namespace {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Baseline: return "baseline";
+    case PolicyKind::Ura: return "ura";
+    case PolicyKind::Aura: return "aura";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
   util::RunningStats events, reconfigs, infeasible, energy, total_cost, avg_cost, max_drc;
@@ -89,6 +103,8 @@ std::vector<CellResult> Runner::run() {
       continue;
     }
     util::Timer::Scope span(metrics_.timer("runner.drc_build"));
+    CLR_TRACE_SPAN(drc_span, trace::Category::Exp, "exp.drc_build",
+                   {{"db_points", cell.db->size()}, {"label", cell.label}});
     recfg::ReconfigModel model(cell.app->platform(), cell.app->impls());
     drc_cache.emplace(key, std::make_unique<rt::DrcMatrix>(*cell.db, model, &pool));
     metrics_.counter("runner.drc_builds").add();
@@ -103,22 +119,34 @@ std::vector<CellResult> Runner::run() {
     runs[c].resize(reps);
     wall[c].assign(reps, 0.0);
   }
-  pool.parallel_for(cells_.size() * reps, [&](std::size_t job) {
-    const std::size_t c = job / reps;
-    const std::size_t r = job % reps;
-    const RunnerCell& cell = cells_[c];
-    const rt::DrcMatrix* drc =
-        cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
-    const rel::ClrSpace* clr_space = cell.app != nullptr ? &cell.app->clr_space() : nullptr;
-    const auto start = std::chrono::steady_clock::now();
-    runs[c][r] =
-        evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
-                             replication_seed(cell.seed, r), clr_space);
-    wall[c][r] = std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-    metrics_.counter("runner.jobs").add();
-  });
+  {
+    CLR_TRACE_SPAN(grid_span, trace::Category::Exp, "exp.grid",
+                   {{"cells", cells_.size()}, {"replications", reps}, {"jobs", config_.jobs}});
+    pool.parallel_for(cells_.size() * reps, [&](std::size_t job) {
+      const std::size_t c = job / reps;
+      const std::size_t r = job % reps;
+      const RunnerCell& cell = cells_[c];
+      CLR_TRACE_SPAN(cell_span, trace::Category::Exp, "exp.cell",
+                     {{"cell", c},
+                      {"rep", r},
+                      {"label", cell.label},
+                      {"policy", policy_name(cell.params.kind)},
+                      {"p_rc", cell.params.p_rc},
+                      {"fault_rate", cell.params.faults.transient_rate},
+                      {"seed", replication_seed(cell.seed, r)}});
+      const rt::DrcMatrix* drc =
+          cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
+      const rel::ClrSpace* clr_space = cell.app != nullptr ? &cell.app->clr_space() : nullptr;
+      const auto start = std::chrono::steady_clock::now();
+      runs[c][r] =
+          evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
+                               replication_seed(cell.seed, r), clr_space);
+      wall[c][r] = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      metrics_.counter("runner.jobs").add();
+    });
+  }
 
   // Phase 3: aggregate sequentially in cell/replication order.
   std::vector<CellResult> results;
@@ -142,15 +170,6 @@ std::vector<CellResult> Runner::run() {
 }
 
 namespace {
-
-const char* policy_name(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::Baseline: return "baseline";
-    case PolicyKind::Ura: return "ura";
-    case PolicyKind::Aura: return "aura";
-  }
-  return "unknown";
-}
 
 io::Json summary_json(const util::Summary& s) {
   return io::JsonObject{{"mean", io::Json(s.mean)},   {"stddev", io::Json(s.stddev)},

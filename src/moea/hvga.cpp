@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "moea/hypervolume.hpp"
+#include "trace/trace.hpp"
 
 namespace clr::moea {
 
@@ -60,6 +61,7 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
   }
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    CLR_TRACE_SPAN(gen_span, trace::Category::Dse, "hvga.generation", {{"gen", gen}});
     // Generate phase: every RNG draw (tournaments, crossover, mutation)
     // happens here, sequentially on the master Rng — the draw order is
     // independent of how the subsequent evaluations are scheduled.
@@ -83,7 +85,17 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
     }
 
     // Evaluate phase: one parallel, memoized batch per generation.
-    evaluate_all(offspring);
+    {
+      CLR_TRACE_SPAN(eval_span, trace::Category::Dse, "hvga.eval_batch",
+                     {{"gen", gen}, {"batch", offspring.size()}});
+      evaluate_all(offspring);
+    }
+    if (eval_opts.cache != nullptr) {
+      CLR_TRACE_COUNTER(trace::Category::Dse, "hvga.eval_cache.hits",
+                        static_cast<double>(eval_opts.cache->hits()));
+      CLR_TRACE_COUNTER(trace::Category::Dse, "hvga.eval_cache.misses",
+                        static_cast<double>(eval_opts.cache->misses()));
+    }
     for (auto& child : offspring) {
       child.fitness = fitness_of(child.eval);
       result.archive.insert(child);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace clr::moea {
 
@@ -130,6 +131,7 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
   }
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    CLR_TRACE_SPAN(gen_span, trace::Category::Dse, "nsga2.generation", {{"gen", gen}});
     // Generate phase: offspring genomes via the binary-operator pipeline —
     // every RNG draw happens here, sequentially on the master Rng.
     std::vector<Individual> offspring;
@@ -152,7 +154,17 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
     }
 
     // Evaluate phase: one parallel, memoized batch per generation.
-    evaluate_all(offspring);
+    {
+      CLR_TRACE_SPAN(eval_span, trace::Category::Dse, "nsga2.eval_batch",
+                     {{"gen", gen}, {"batch", offspring.size()}});
+      evaluate_all(offspring);
+    }
+    if (eval_opts.cache != nullptr) {
+      CLR_TRACE_COUNTER(trace::Category::Dse, "nsga2.eval_cache.hits",
+                        static_cast<double>(eval_opts.cache->hits()));
+      CLR_TRACE_COUNTER(trace::Category::Dse, "nsga2.eval_cache.misses",
+                        static_cast<double>(eval_opts.cache->misses()));
+    }
     for (auto& child : offspring) result.archive.insert(child);
 
     // Environmental selection over parents + offspring.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace clr::rt {
 
@@ -35,6 +36,8 @@ DrcMatrix::DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model)
 DrcMatrix::DrcMatrix(const dse::DesignDb& db, const recfg::ReconfigModel& model,
                      util::ThreadPool* pool)
     : n_(db.size()), costs_(db.size() * db.size(), 0.0) {
+  CLR_TRACE_SPAN(build_span, trace::Category::Drc, "drc.build",
+                 {{"points", n_}, {"parallel", pool != nullptr}});
   const auto fill_row = [&](std::size_t i) {
     for (std::size_t j = 0; j < n_; ++j) {
       if (i == j) continue;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace clr::rt {
 
 namespace {
@@ -25,6 +27,11 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
   }
 
   const bool faults_on = scenario != nullptr && scenario->params.enabled();
+
+  CLR_TRACE_SPAN(run_span, trace::Category::Runtime, "rt.run",
+                 {{"points", db.size()},
+                  {"cycles", params_.total_cycles},
+                  {"faults", faults_on}});
 
   RuntimeStats stats;
   stats.total_cycles = params_.total_cycles;
@@ -86,6 +93,8 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       if (!safe_mode) {
         safe_mode = true;
         ++stats.num_safe_mode_entries;
+        CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.safe_mode",
+                          {{"t", now}, {"reason", "no_alive_points"}});
       }
       violating = true;
       rec.infeasible = true;
@@ -101,6 +110,13 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       stats.downtime += d.drc;  // the migration is a service interruption
       repair_time += d.drc;
       ++repairs;
+      CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.reconfig",
+                        {{"t", now},
+                         {"from", current},
+                         {"to", d.point},
+                         {"drc", d.drc},
+                         {"reason", safe_mode ? "safe_mode_exit" : "evacuation"},
+                         {"qos_violation", viol}});
       current = d.point;
       safe_mode = false;
       violating = viol > 0.0;
@@ -111,6 +127,8 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       if (!safe_mode) {
         safe_mode = true;
         ++stats.num_safe_mode_entries;
+        CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.safe_mode",
+                          {{"t", now}, {"reason", "qos_beyond_tolerance"}});
       }
       violating = true;
       rec.infeasible = true;
@@ -141,7 +159,9 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
         ++stats.num_transient_faults;
         // A soft error only matters when it strikes a PE the active point is
         // actually running on; safe mode executes nothing.
-        if (!safe_mode && db.uses_pe(current, fe.pe)) {
+        const bool hit = !safe_mode && db.uses_pe(current, fe.pe);
+        bool recovered = false;
+        if (hit) {
           const auto& tasks = db.point(current).config.tasks;
           std::vector<std::size_t> on_pe;
           for (std::size_t t = 0; t < tasks.size(); ++t) {
@@ -153,6 +173,7 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
                   ? flt::recovery_probability(scenario->clr_space->config(struck.clr_index))
                   : scenario->params.fallback_coverage;
           if (injector->rng().chance(p_recover)) {
+            recovered = true;
             ++stats.num_recovered_transients;
             const double latency = scenario->params.recovery_latency;
             stats.downtime += latency;
@@ -166,9 +187,19 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
             ++stats.num_unrecovered_failures;
           }
         }
+        CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.fault.transient",
+                          {{"t", now},
+                           {"pe", fe.pe},
+                           {"hit_active_point", hit},
+                           {"recovered", recovered}});
       } else {  // permanent wear-out
         ++stats.num_permanent_faults;
         health->kill_pe(fe.pe);
+        CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.fault.permanent",
+                          {{"t", now},
+                           {"pe", fe.pe},
+                           {"alive_points", health->num_alive_points()},
+                           {"active_point_lost", !health->point_alive(current)}});
         if (!safe_mode && !health->point_alive(current)) resolve_degraded(rec);
       }
       rec.point = current;
@@ -186,6 +217,12 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       EventRecord rec{now, current, 0.0, false, false, flt::FaultKind::None, true, true};
       resolve_degraded(rec);
       if (rec.infeasible) ++stats.num_infeasible_events;
+      CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.qos_event",
+                        {{"t", now},
+                         {"point", current},
+                         {"reconfigured", rec.reconfigured},
+                         {"infeasible", rec.infeasible},
+                         {"violation", violating || safe_mode}});
       rec.point = current;
       rec.violation = violating || safe_mode;
       rec.safe_mode = safe_mode;
@@ -200,9 +237,21 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
         ++stats.num_reconfigs;
         stats.total_reconfig_cost += drc;
         stats.max_drc = std::max(stats.max_drc, drc);
+        CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.reconfig",
+                          {{"t", now},
+                           {"from", current},
+                           {"to", d.point},
+                           {"drc", drc},
+                           {"reason", "qos_change"}});
       }
       current = d.point;
       violating = !db.point(current).feasible_for(spec);
+      CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.qos_event",
+                        {{"t", now},
+                         {"point", d.point},
+                         {"reconfigured", reconfigured},
+                         {"infeasible", d.feasible_set_empty},
+                         {"violation", violating}});
       trace_push(EventRecord{now, d.point, drc, reconfigured, d.feasible_set_empty,
                              flt::FaultKind::None, violating, false});
     }

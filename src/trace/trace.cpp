@@ -1,0 +1,305 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "io/json.hpp"
+
+namespace clr::trace {
+
+namespace {
+
+constexpr Category kCategories[] = {Category::Dse, Category::Runtime, Category::Exp,
+                                    Category::Drc, Category::Bench};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Arg::Arg(const char* k, double v) : key(k), is_string(false) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  value = buf;
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::Dse: return "dse";
+    case Category::Runtime: return "runtime";
+    case Category::Exp: return "exp";
+    case Category::Drc: return "drc";
+    case Category::Bench: return "bench";
+  }
+  return "unknown";
+}
+
+std::uint32_t parse_categories(const std::string& csv) {
+  if (csv.empty() || csv == "all") return kAllCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', pos), csv.size());
+    std::string token = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!token.empty() && (token.front() == ' ' || token.front() == '\t')) token.erase(0, 1);
+    while (!token.empty() && (token.back() == ' ' || token.back() == '\t')) token.pop_back();
+    if (token.empty()) continue;
+    if (token == "all") {
+      mask = kAllCategories;
+      continue;
+    }
+    bool known = false;
+    for (Category c : kCategories) {
+      if (token == category_name(c)) {
+        mask |= static_cast<std::uint32_t>(c);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown trace category '" + token +
+                                  "' (use dse, runtime, exp, drc, bench or all)");
+    }
+  }
+  return mask;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::uint32_t mask) {
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+  mask_.store(mask, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { mask_.store(0, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  // Invalidate every thread's cached buffer pointer before freeing the
+  // buffers (control-plane op: callers guarantee no thread is recording).
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void Tracer::ThreadBuffer::push(Event ev) {
+  Chunk* c = current;
+  if (c == nullptr || c->count.load(std::memory_order_relaxed) == Chunk::kEvents) {
+    auto fresh = std::make_unique<Chunk>();
+    c = fresh.get();
+    std::lock_guard<std::mutex> lock(chunks_mu);
+    chunks.push_back(std::move(fresh));
+    current = c;
+  }
+  const std::size_t i = c->count.load(std::memory_order_relaxed);
+  c->events[i] = std::move(ev);
+  // Publish the slot: a collector that acquires `count` sees the event fully
+  // written. The owning thread is the only writer of slots and count.
+  c->count.store(i + 1, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer* Tracer::this_thread_buffer() {
+  struct Cache {
+    ThreadBuffer* buffer = nullptr;
+    std::uint64_t generation = 0;
+  };
+  thread_local Cache cache;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (cache.buffer == nullptr || cache.generation != gen) {
+    auto fresh = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    fresh->tid = static_cast<std::uint32_t>(buffers_.size());
+    cache.buffer = fresh.get();
+    cache.generation = gen;
+    buffers_.push_back(std::move(fresh));
+  }
+  return cache.buffer;
+}
+
+void Tracer::record(Event ev) {
+  ThreadBuffer* buf = this_thread_buffer();
+  ev.tid = buf->tid;
+  buf->push(std::move(ev));
+}
+
+void Tracer::instant(Category c, const char* name, std::initializer_list<Arg> args) {
+  if (!category_enabled(c)) return;
+  Event ev;
+  ev.name = name;
+  ev.category = c;
+  ev.phase = Phase::Instant;
+  ev.ts_ns = now_ns();
+  ev.args.assign(args.begin(), args.end());
+  record(std::move(ev));
+}
+
+void Tracer::counter(Category c, const char* name, double value) {
+  if (!category_enabled(c)) return;
+  Event ev;
+  ev.name = name;
+  ev.category = c;
+  ev.phase = Phase::Counter;
+  ev.ts_ns = now_ns();
+  ev.args.push_back(Arg("value", value));
+  record(std::move(ev));
+}
+
+std::vector<Event> Tracer::collect() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> chunk_lock(buf->chunks_mu);
+      for (const auto& chunk : buf->chunks) {
+        const std::size_t n = chunk->count.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(chunk->events[i]);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::size_t Tracer::num_events() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> chunk_lock(buf->chunks_mu);
+    for (const auto& chunk : buf->chunks) n += chunk->count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+io::Json Tracer::chrome_trace() const {
+  const auto events = collect();
+  io::JsonArray trace_events;
+  trace_events.reserve(events.size());
+  for (const auto& ev : events) {
+    io::JsonObject obj{
+        {"name", io::Json(ev.name)},
+        {"cat", io::Json(category_name(ev.category))},
+        {"ph", io::Json(std::string(1, static_cast<char>(ev.phase)))},
+        // Chrome's ts/dur unit is microseconds.
+        {"ts", io::Json(static_cast<double>(ev.ts_ns) / 1e3)},
+        {"pid", io::Json(1)},
+        {"tid", io::Json(ev.tid)},
+    };
+    if (ev.phase == Phase::Complete) {
+      obj.emplace_back("dur", io::Json(static_cast<double>(ev.dur_ns) / 1e3));
+    }
+    if (ev.phase == Phase::Instant) obj.emplace_back("s", io::Json("t"));
+    if (!ev.args.empty()) {
+      io::JsonObject args;
+      args.reserve(ev.args.size());
+      for (const auto& a : ev.args) {
+        if (a.is_string) {
+          args.emplace_back(a.key, io::Json(a.value));
+        } else if (a.value == "true" || a.value == "false") {
+          args.emplace_back(a.key, io::Json(a.value == "true"));
+        } else {
+          args.emplace_back(a.key, io::Json(std::strtod(a.value.c_str(), nullptr)));
+        }
+      }
+      obj.emplace_back("args", io::Json(std::move(args)));
+    }
+    trace_events.emplace_back(std::move(obj));
+  }
+  return io::Json(io::JsonObject{{"traceEvents", io::Json(std::move(trace_events))},
+                                 {"displayTimeUnit", io::Json("ms")}});
+}
+
+std::vector<SpanStats> Tracer::span_stats() const {
+  struct Key {
+    Category category;
+    std::string name;
+    bool operator<(const Key& o) const {
+      if (category != o.category) return category < o.category;
+      return name < o.name;
+    }
+  };
+  std::map<Key, std::vector<double>> durations;
+  for (const auto& ev : collect()) {
+    if (ev.phase != Phase::Complete) continue;
+    durations[{ev.category, ev.name}].push_back(static_cast<double>(ev.dur_ns) / 1e6);
+  }
+
+  std::vector<SpanStats> stats;
+  stats.reserve(durations.size());
+  for (auto& [key, ms] : durations) {
+    SpanStats s;
+    s.name = key.name;
+    s.category = key.category;
+    s.count = ms.size();
+    for (double d : ms) {
+      s.total_ms += d;
+      s.max_ms = std::max(s.max_ms, d);
+    }
+    s.p50_ms = util::percentile(ms, 0.50);
+    s.p95_ms = util::percentile(ms, 0.95);
+    stats.push_back(std::move(s));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const SpanStats& a, const SpanStats& b) { return a.total_ms > b.total_ms; });
+  return stats;
+}
+
+std::string Tracer::summary() const {
+  util::TextTable table("trace summary");
+  table.set_header({"category", "span", "count", "total ms", "p50 ms", "p95 ms", "max ms"});
+  for (const auto& s : span_stats()) {
+    table.add_row({category_name(s.category), s.name, std::to_string(s.count),
+                   util::TextTable::fmt(s.total_ms, 3), util::TextTable::fmt(s.p50_ms, 3),
+                   util::TextTable::fmt(s.p95_ms, 3), util::TextTable::fmt(s.max_ms, 3)});
+  }
+  return table.to_string();
+}
+
+Span::Span(Category c, const char* name, std::initializer_list<Arg> args)
+    : category_(c), name_(name) {
+  auto& tracer = Tracer::instance();
+  if (!tracer.category_enabled(c)) return;
+  active_ = true;
+  args_.assign(args.begin(), args.end());
+  start_ns_ = tracer.now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  auto& tracer = Tracer::instance();
+  Event ev;
+  ev.name = name_;
+  ev.category = category_;
+  ev.phase = Phase::Complete;
+  ev.ts_ns = start_ns_;
+  const std::uint64_t end = tracer.now_ns();
+  ev.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  ev.args = std::move(args_);
+  tracer.record(std::move(ev));
+}
+
+void Span::arg(Arg a) {
+  if (active_) args_.push_back(std::move(a));
+}
+
+}  // namespace clr::trace

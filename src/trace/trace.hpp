@@ -1,0 +1,249 @@
+#pragma once
+// Span-based tracing & profiling subsystem (DESIGN.md §5.8).
+//
+// A process-wide, thread-safe tracer that records nestable scoped spans,
+// instant events and counter samples into per-thread buffers, and exports
+// them as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing)
+// or as a compact per-span summary table (count / total / p50 / p95 / max).
+//
+// Design goals, in order:
+//
+//   1. Near-zero disabled cost. Tracing is compiled in everywhere but off by
+//      default; every CLR_TRACE_* macro guards on a single relaxed atomic
+//      load of the category mask before touching anything else. A disabled
+//      span constructs to two pointer-sized stores (see bench/trace_overhead).
+//   2. No effect on results. The tracer only *observes*: it never draws from
+//      an Rng, never reorders work, and never blocks the traced thread on
+//      another recording thread — traced runs are bit-for-bit identical to
+//      untraced ones at any job count (tests/experiments/test_trace_determinism).
+//   3. Lock-free hot path. Each thread appends to its own chunked buffer;
+//      slots are published with a release store of the chunk's count, so a
+//      later collector (acquire load) sees fully-written events without the
+//      recording threads ever taking a lock per event. Locks are only taken
+//      on the cold paths: first record on a thread, a chunk filling up, and
+//      collection itself.
+//
+// Control-plane contract: enable() / disable() / clear() / collect() are
+// *not* meant to race with recording threads. Call them from the driver
+// around parallel regions (enable before the run, collect after the pool has
+// joined) — exactly how clrtool, the benches and the tests use them.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clr::io {
+class Json;
+}
+
+namespace clr::trace {
+
+/// Trace categories: one bit each so the runtime filter (`--trace-categories
+/// dse,runtime`) is a mask test, not a string compare.
+enum class Category : std::uint32_t {
+  Dse = 1u << 0,      ///< design-time engines: HvGa/Nsga2 generations, ReD seeds
+  Runtime = 1u << 1,  ///< RuntimeSimulator QoS / reconfiguration / fault events
+  Exp = 1u << 2,      ///< exp::Runner grid, per-cell replication jobs
+  Drc = 1u << 3,      ///< DrcMatrix builds
+  Bench = 1u << 4,    ///< bench-harness phases
+};
+
+inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
+
+/// Enable-mask of a single category (combine with |).
+inline constexpr std::uint32_t mask_of(Category c) {
+  return static_cast<std::uint32_t>(c);
+}
+
+/// Short stable name ("dse", "runtime", ...) used in exports and CLI parsing.
+const char* category_name(Category c);
+
+/// Parse a comma-separated category list ("dse,runtime") into a mask.
+/// "all" (or an empty string) selects every category; unknown names throw
+/// std::invalid_argument with a one-line message listing the valid ones.
+std::uint32_t parse_categories(const std::string& csv);
+
+/// One key/value argument attached to an event. Values are rendered at
+/// record time into their final JSON token so the export path never has to
+/// re-interpret types.
+struct Arg {
+  Arg() = default;
+  Arg(const char* k, const char* v) : key(k), value(v), is_string(true) {}
+  Arg(const char* k, const std::string& v) : key(k), value(v), is_string(true) {}
+  Arg(const char* k, double v);
+  Arg(const char* k, bool v) : key(k), value(v ? "true" : "false"), is_string(false) {}
+  Arg(const char* k, int v) : key(k), value(std::to_string(v)), is_string(false) {}
+  Arg(const char* k, long v) : key(k), value(std::to_string(v)), is_string(false) {}
+  Arg(const char* k, long long v) : key(k), value(std::to_string(v)), is_string(false) {}
+  Arg(const char* k, unsigned v) : key(k), value(std::to_string(v)), is_string(false) {}
+  Arg(const char* k, unsigned long v) : key(k), value(std::to_string(v)), is_string(false) {}
+  Arg(const char* k, unsigned long long v)
+      : key(k), value(std::to_string(v)), is_string(false) {}
+
+  std::string key;
+  std::string value;      ///< rendered JSON token (numbers/bools) or raw text
+  bool is_string = true;  ///< raw text must be quoted/escaped on export
+};
+
+/// Chrome trace_event phases we emit.
+enum class Phase : char {
+  Complete = 'X',  ///< span with a duration
+  Instant = 'i',   ///< point event
+  Counter = 'C',   ///< sampled counter value
+};
+
+/// One recorded event. `ts_ns` is monotonic nanoseconds since the tracer's
+/// epoch (the last enable()/clear()).
+struct Event {
+  std::string name;
+  Category category = Category::Dse;
+  Phase phase = Phase::Instant;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< Complete events only
+  std::uint32_t tid = 0;     ///< registration-order thread id
+  std::vector<Arg> args;
+};
+
+/// Aggregated statistics of one (category, name) span population — the
+/// summary-table row.
+struct SpanStats {
+  std::string name;
+  Category category = Category::Dse;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// The process-wide tracer. All recording goes through instance().
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Start recording events whose category is in `mask`. Resets the
+  /// timestamp epoch but keeps previously collected events.
+  void enable(std::uint32_t mask = kAllCategories);
+  void disable();
+  /// Drop all recorded events and thread buffers. Not safe to race with
+  /// recording threads (see the control-plane contract above).
+  void clear();
+
+  bool enabled() const { return mask_.load(std::memory_order_relaxed) != 0; }
+  bool category_enabled(Category c) const {
+    return (mask_.load(std::memory_order_relaxed) & static_cast<std::uint32_t>(c)) != 0;
+  }
+  std::uint32_t mask() const { return mask_.load(std::memory_order_relaxed); }
+
+  /// Monotonic nanoseconds since the current epoch.
+  std::uint64_t now_ns() const;
+
+  /// Append one event to the calling thread's buffer. Callers are expected
+  /// to have checked category_enabled() first (the macros do).
+  void record(Event ev);
+
+  /// Convenience recorders. No-ops when the category is disabled.
+  void instant(Category c, const char* name, std::initializer_list<Arg> args = {});
+  void counter(Category c, const char* name, double value);
+
+  /// Merge every thread buffer into one timeline ordered by (ts, tid).
+  /// Call after the traced parallel region has joined.
+  std::vector<Event> collect() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...], "displayTimeUnit":
+  /// "ms"}) over collect() — loadable in Perfetto / chrome://tracing.
+  io::Json chrome_trace() const;
+
+  /// Per-(category, name) duration statistics over the Complete events of
+  /// collect(), sorted by descending total time.
+  std::vector<SpanStats> span_stats() const;
+
+  /// span_stats() rendered as a TextTable ("trace summary").
+  std::string summary() const;
+
+  std::size_t num_events() const;
+
+ private:
+  Tracer() = default;
+
+  // Chunked single-writer buffer: the owning thread fills slots and
+  // publishes them by storing the new count with release semantics; the
+  // collector reads counts with acquire and only touches published slots.
+  struct Chunk {
+    static constexpr std::size_t kEvents = 512;
+    std::atomic<std::size_t> count{0};
+    std::array<Event, kEvents> events;
+  };
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    mutable std::mutex chunks_mu;  ///< guards the chunk list, not the slots
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    Chunk* current = nullptr;  ///< owner thread only
+
+    void push(Event ev);
+  };
+
+  ThreadBuffer* this_thread_buffer();
+
+  std::atomic<std::uint32_t> mask_{0};
+  std::atomic<std::uint64_t> generation_{1};
+  std::atomic<std::uint64_t> epoch_ns_{0};
+  mutable std::mutex mu_;  ///< guards buffers_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII scoped span: measures construction-to-destruction and records one
+/// Complete event. When the category is disabled at construction the span is
+/// inert (no allocation, no clock read).
+class Span {
+ public:
+  Span(Category c, const char* name) : Span(c, name, {}) {}
+  Span(Category c, const char* name, std::initializer_list<Arg> args);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an argument after construction (e.g. a result computed inside
+  /// the span). No-op on an inert span.
+  void arg(Arg a);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  Category category_ = Category::Dse;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::vector<Arg> args_;
+};
+
+}  // namespace clr::trace
+
+// --- recording macros -------------------------------------------------------
+// All of them compile to a single relaxed atomic load when tracing is off.
+// CLR_TRACE_SPAN creates a block-scoped RAII span; extra arguments are
+// forwarded to the Span constructor, so brace-lists work:
+//   CLR_TRACE_SPAN(span, Category::Dse, "hvga.generation", {{"gen", g}});
+
+#define CLR_TRACE_CONCAT_IMPL(a, b) a##b
+#define CLR_TRACE_CONCAT(a, b) CLR_TRACE_CONCAT_IMPL(a, b)
+
+#define CLR_TRACE_SPAN(var, cat, ...) ::clr::trace::Span var(cat, __VA_ARGS__)
+
+#define CLR_TRACE_INSTANT(cat, ...)                                      \
+  do {                                                                   \
+    auto& _clr_tr = ::clr::trace::Tracer::instance();                    \
+    if (_clr_tr.category_enabled(cat)) _clr_tr.instant(cat, __VA_ARGS__); \
+  } while (0)
+
+#define CLR_TRACE_COUNTER(cat, name, value)                                    \
+  do {                                                                         \
+    auto& _clr_tr = ::clr::trace::Tracer::instance();                          \
+    if (_clr_tr.category_enabled(cat)) _clr_tr.counter(cat, name, value);      \
+  } while (0)

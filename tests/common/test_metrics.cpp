@@ -80,6 +80,33 @@ TEST(MetricsRegistry, ToStringMentionsEveryMetric) {
   EXPECT_NE(s.find("runner.cell"), std::string::npos);
 }
 
+TEST(MetricsRegistry, ConcurrentMixedIncrementsAreLossless) {
+  // Counters and timers hammered from many threads at once — the relaxed
+  // atomics must lose nothing and the registry must not race (run under
+  // TSan by the thread-sanitize CI job).
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 2000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        registry.counter("mixed.count").add(2);
+        registry.timer("mixed.time").add_ns(10);
+        registry.counter("mixed.per_thread." + std::to_string(t % 2)).add();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.counter("mixed.count").value(), kThreads * kIters * 2);
+  EXPECT_EQ(registry.timer("mixed.time").count(), kThreads * kIters);
+  EXPECT_DOUBLE_EQ(registry.timer("mixed.time").total_ms(),
+                   static_cast<double>(kThreads * kIters * 10) / 1e6);
+  EXPECT_EQ(registry.counter("mixed.per_thread.0").value() +
+                registry.counter("mixed.per_thread.1").value(),
+            kThreads * kIters);
+}
+
 TEST(MetricsRegistry, ConcurrentResolutionIsSafe) {
   MetricsRegistry registry;
   constexpr std::size_t kThreads = 8;

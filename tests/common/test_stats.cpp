@@ -170,6 +170,41 @@ TEST(Summarize, DegenerateCases) {
   EXPECT_DOUBLE_EQ(o.ci95, 0.0);  // no interval from a single sample
 }
 
+TEST(Summarize, SingleReplicationIsNanFree) {
+  // The replicated harness accepts --replications 1; every Summary field
+  // must stay finite (stddev/ci95 collapse to 0, min == mean == max).
+  RunningStats one;
+  one.add(42.5);
+  const Summary s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.5);
+  EXPECT_DOUBLE_EQ(s.max, 42.5);
+  for (double v : {s.mean, s.stddev, s.ci95, s.min, s.max}) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_FALSE(std::isinf(v));
+  }
+}
+
+TEST(StudentT95, SmallSampleEdgeCases) {
+  // df = 0 (one replication): no interval exists — the sentinel is +inf,
+  // and summarize() must never multiply by it (ci95 stays 0 for n = 1).
+  EXPECT_TRUE(std::isinf(student_t_95(0)));
+  EXPECT_NEAR(student_t_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_95(2), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_95(3), 3.182, 1e-3);
+  // Monotone decreasing in df, approaching the normal 1.96 from above.
+  double prev = student_t_95(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = student_t_95(df);
+    EXPECT_LE(t, prev + 1e-12) << "df " << df;
+    EXPECT_GT(t, 1.959) << "df " << df;
+    prev = t;
+  }
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);

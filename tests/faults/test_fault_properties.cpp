@@ -1,0 +1,141 @@
+// Randomized property tests for the run-time fault injector (many derived
+// seeds per property) plus exact golden values for recovery_probability on
+// representative CLR configurations. Complements test_fault_model.cpp, which
+// checks single hand-picked cases.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "faults/fault_model.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/techniques.hpp"
+
+namespace clr::flt {
+namespace {
+
+FaultParams mixed_params() {
+  FaultParams p;
+  p.transient_rate = 2e-3;
+  p.pe_mtbf = 5e3;
+  return p;
+}
+
+std::vector<FaultEvent> drain(FaultInjector& inj, double horizon) {
+  std::vector<FaultEvent> events;
+  while (inj.next_time() <= horizon) events.push_back(inj.pop());
+  return events;
+}
+
+TEST(FaultInjectorProperty, TimelineNondecreasingForManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    FaultInjector inj(mixed_params(), uniform_profiles(4), util::SplitMix64(seed).next());
+    double prev = 0.0;
+    std::size_t n = 0;
+    while (inj.next_time() < 2e4) {
+      const FaultEvent fe = inj.pop();
+      EXPECT_GE(fe.time, prev) << "seed " << seed << " event " << n;
+      EXPECT_LT(fe.pe, 4u) << "seed " << seed;
+      prev = fe.time;
+      ++n;
+    }
+    EXPECT_GT(n, 0u) << "seed " << seed << ": horizon long enough to see faults";
+  }
+}
+
+TEST(FaultInjectorProperty, SameSeedReproducesTheExactTimeline) {
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    FaultInjector a(mixed_params(), uniform_profiles(3), seed);
+    FaultInjector b(mixed_params(), uniform_profiles(3), seed);
+    const auto ea = drain(a, 1e4);
+    const auto eb = drain(b, 1e4);
+    ASSERT_EQ(ea.size(), eb.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].time, eb[i].time) << "seed " << seed << " event " << i;
+      EXPECT_EQ(ea[i].pe, eb[i].pe) << "seed " << seed << " event " << i;
+      EXPECT_EQ(ea[i].kind, eb[i].kind) << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+TEST(FaultInjectorProperty, DifferentSeedsDiverge) {
+  // Not a hard guarantee for any single pair, so check across a batch: at
+  // least 9 of 10 seed pairs must produce different first-event times.
+  std::size_t differing = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FaultInjector a(mixed_params(), uniform_profiles(3), 1000 + seed);
+    FaultInjector b(mixed_params(), uniform_profiles(3), 2000 + seed);
+    if (a.next_time() != b.next_time()) ++differing;
+  }
+  EXPECT_GE(differing, 9u);
+}
+
+TEST(FaultInjectorProperty, PermanentFaultPermanentlySilencesThePe) {
+  for (std::uint64_t seed = 7; seed < 15; ++seed) {
+    FaultParams p = mixed_params();
+    p.pe_mtbf = 1e3;  // die early so every PE's death lands in the horizon
+    FaultInjector inj(p, uniform_profiles(3), seed);
+    std::vector<bool> dead(3, false);
+    while (inj.next_time() < std::numeric_limits<double>::infinity()) {
+      const FaultEvent fe = inj.pop();
+      EXPECT_FALSE(dead[fe.pe]) << "seed " << seed << ": event on retired PE " << fe.pe;
+      if (fe.kind == FaultKind::Permanent) dead[fe.pe] = true;
+    }
+    for (std::size_t pe = 0; pe < 3; ++pe) EXPECT_TRUE(dead[pe]) << "seed " << seed;
+  }
+}
+
+TEST(FaultInjectorProperty, TransientCountTracksTheConfiguredRate) {
+  // With rate r per PE per cycle over horizon T and n PEs (no permanents),
+  // the expected transient count is r*T*n; a 25k-cycle run should land
+  // within ±25% for every seed in the batch.
+  FaultParams p;
+  p.transient_rate = 2e-3;
+  const double horizon = 25e3;
+  const double expected = p.transient_rate * horizon * 2;
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    FaultInjector inj(p, uniform_profiles(2), util::SplitMix64(seed).next());
+    const auto events = drain(inj, horizon);
+    EXPECT_GT(static_cast<double>(events.size()), 0.75 * expected) << "seed " << seed;
+    EXPECT_LT(static_cast<double>(events.size()), 1.25 * expected) << "seed " << seed;
+  }
+}
+
+// Exact golden values for the recovery chain (captured from the model; see
+// tests/experiments/test_golden.cpp for the re-capture recipe). Unprotected
+// tasks recover nothing; each layer contributes per its traits table.
+TEST(RecoveryProbabilityGolden, PinnedConfigurations) {
+  using rel::AswTechnique;
+  using rel::HwTechnique;
+  using rel::SswTechnique;
+  const rel::ClrConfig unprotected{};
+  const rel::ClrConfig full{HwTechnique::PartialTmr, SswTechnique::Checkpoint,
+                            AswTechnique::Hamming, 2};
+  const rel::ClrConfig retry{HwTechnique::None, SswTechnique::Retry, AswTechnique::Hamming, 3};
+  const rel::ClrConfig hw_only{HwTechnique::Hardening, SswTechnique::None, AswTechnique::None,
+                               0};
+  const rel::ClrConfig asw_only{HwTechnique::None, SswTechnique::None,
+                                AswTechnique::CodeTripling, 0};
+  EXPECT_DOUBLE_EQ(recovery_probability(unprotected), 0.0);
+  EXPECT_DOUBLE_EQ(recovery_probability(full), 0.99760000000000004);
+  EXPECT_DOUBLE_EQ(recovery_probability(retry), 0.96999999999999997);
+  EXPECT_DOUBLE_EQ(recovery_probability(hw_only), 0.69999999999999996);
+  EXPECT_DOUBLE_EQ(recovery_probability(asw_only), 0.94999999999999996);
+}
+
+TEST(RecoveryProbabilityGolden, AlwaysAValidProbability) {
+  // Sweep the full enumerated space: the chain must stay inside [0, 1].
+  const rel::ClrSpace space(rel::ClrGranularity::Full);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const double p = recovery_probability(space.config(i));
+    EXPECT_GE(p, 0.0) << "config " << i;
+    EXPECT_LE(p, 1.0) << "config " << i;
+    EXPECT_FALSE(std::isnan(p)) << "config " << i;
+  }
+}
+
+}  // namespace
+}  // namespace clr::flt

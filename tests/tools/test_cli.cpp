@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -103,6 +104,60 @@ TEST(CliHappyPath, GenerateSucceeds) {
   const auto [code, out] = run_tool("generate --tasks 5 --seed 3");
   EXPECT_EQ(code, 0);
   EXPECT_NE(out.find("generated 5-task application"), std::string::npos);
+}
+
+TEST(CliTrace, UnknownCategoryIsRejected) {
+  const auto [code, out] =
+      run_tool("simulate --tasks 5 --trace /tmp/t.json --trace-categories dse,bogus");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("option --trace-categories"), std::string::npos);
+  EXPECT_NE(out.find("'bogus'"), std::string::npos);
+}
+
+TEST(CliTrace, CategoriesWithoutTraceIsRejected) {
+  const auto [code, out] = run_tool("simulate --tasks 5 --trace-categories dse");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--trace-categories requires --trace"), std::string::npos);
+}
+
+TEST(CliTrace, SimulateWritesAChromeTraceWithSummary) {
+  // The one-shot acceptance path: no --db, so the design flow runs inline and
+  // the trace covers DSE + runner + runtime in a single timeline.
+  const std::string path = ::testing::TempDir() + "clrtool_trace.json";
+  const auto [code, out] = run_tool(
+      "simulate --tasks 6 --seed 3 --pop 8 --gens 3 --cycles 2e4 --replications 2 "
+      "--jobs 2 --fault-rate 2e-4 --trace " +
+      path);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("trace summary"), std::string::npos);
+  EXPECT_NE(out.find("written to"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  // DSE generation spans, runner cell spans and runtime QoS events all
+  // present in one file — the tentpole's acceptance criterion.
+  EXPECT_NE(text.find("\"nsga2.generation\""), std::string::npos);
+  EXPECT_NE(text.find("\"exp.cell\""), std::string::npos);
+  EXPECT_NE(text.find("\"rt.qos_event\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTrace, CategoriesFilterTheTimeline) {
+  const std::string path = ::testing::TempDir() + "clrtool_trace_filtered.json";
+  const auto [code, out] = run_tool(
+      "simulate --tasks 6 --seed 3 --pop 8 --gens 3 --cycles 1e4 "
+      "--trace " + path + " --trace-categories runtime");
+  EXPECT_EQ(code, 0) << out;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"rt.qos_event\""), std::string::npos);
+  EXPECT_EQ(text.find("\"nsga2.generation\""), std::string::npos);  // dse filtered out
+  EXPECT_EQ(text.find("\"exp.cell\""), std::string::npos);          // exp filtered out
+  std::remove(path.c_str());
 }
 
 }  // namespace

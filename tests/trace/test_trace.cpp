@@ -1,0 +1,297 @@
+// Core tests of the tracing subsystem (DESIGN.md §5.8): category parsing,
+// the disabled no-op guarantee, span nesting and timing, typed argument
+// rendering, Chrome trace_event export (validated through io::Json::parse),
+// the summary-table aggregation, and concurrent multi-thread recording.
+//
+// The Tracer is a process-wide singleton, so every test scrubs it
+// (disable + clear) on entry and exit via the fixture.
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+#include "trace/trace.hpp"
+
+namespace clr::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scrub(); }
+  void TearDown() override { scrub(); }
+  static void scrub() {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, CategoryNamesAreStable) {
+  EXPECT_STREQ(category_name(Category::Dse), "dse");
+  EXPECT_STREQ(category_name(Category::Runtime), "runtime");
+  EXPECT_STREQ(category_name(Category::Exp), "exp");
+  EXPECT_STREQ(category_name(Category::Drc), "drc");
+  EXPECT_STREQ(category_name(Category::Bench), "bench");
+}
+
+TEST_F(TraceTest, ParseCategories) {
+  EXPECT_EQ(parse_categories("dse"), mask_of(Category::Dse));
+  EXPECT_EQ(parse_categories("dse,runtime"),
+            mask_of(Category::Dse) | mask_of(Category::Runtime));
+  EXPECT_EQ(parse_categories("runtime, exp"),  // tolerate spaces
+            mask_of(Category::Runtime) | mask_of(Category::Exp));
+  EXPECT_EQ(parse_categories("all"), kAllCategories);
+  EXPECT_EQ(parse_categories(""), kAllCategories);
+  EXPECT_THROW(parse_categories("dse,bogus"), std::invalid_argument);
+  try {
+    parse_categories("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("dse"), std::string::npos);  // lists the valid names
+  }
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  auto& tracer = Tracer::instance();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    CLR_TRACE_SPAN(span, Category::Dse, "noop", {{"k", 1}});
+    EXPECT_FALSE(span.active());
+    CLR_TRACE_INSTANT(Category::Runtime, "noop.instant");
+    CLR_TRACE_COUNTER(Category::Exp, "noop.counter", 1.0);
+  }
+  EXPECT_EQ(tracer.num_events(), 0u);
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST_F(TraceTest, MaskFiltersByCategory) {
+  auto& tracer = Tracer::instance();
+  tracer.enable(mask_of(Category::Dse));
+  EXPECT_TRUE(tracer.category_enabled(Category::Dse));
+  EXPECT_FALSE(tracer.category_enabled(Category::Runtime));
+  {
+    CLR_TRACE_SPAN(kept, Category::Dse, "kept");
+    EXPECT_TRUE(kept.active());
+    CLR_TRACE_SPAN(dropped, Category::Runtime, "dropped");
+    EXPECT_FALSE(dropped.active());
+    CLR_TRACE_INSTANT(Category::Runtime, "dropped.instant");
+  }
+  tracer.disable();
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "kept");
+  EXPECT_EQ(events[0].category, Category::Dse);
+}
+
+TEST_F(TraceTest, SpansNestAndCarryDurations) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    CLR_TRACE_SPAN(outer, Category::Dse, "outer");
+    {
+      CLR_TRACE_SPAN(inner, Category::Dse, "inner", {{"depth", 2}});
+    }
+  }
+  tracer.disable();
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order records inner first, but collect() sorts by start ts.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].phase, Phase::Complete);
+  // The outer span fully contains the inner one.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].ts_ns + events[0].dur_ns, events[1].ts_ns + events[1].dur_ns);
+}
+
+TEST_F(TraceTest, SpanArgAttachesAfterConstruction) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    CLR_TRACE_SPAN(span, Category::Exp, "with_result");
+    span.arg({"result", 42});
+  }
+  tracer.disable();
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "result");
+  EXPECT_EQ(events[0].args[0].value, "42");
+  EXPECT_FALSE(events[0].args[0].is_string);
+}
+
+TEST_F(TraceTest, InstantAndCounterEvents) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  tracer.instant(Category::Runtime, "marker", {{"why", "test"}});
+  tracer.counter(Category::Dse, "cache.hits", 17.0);
+  tracer.disable();
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, Phase::Instant);
+  EXPECT_EQ(events[0].name, "marker");
+  EXPECT_EQ(events[1].phase, Phase::Counter);
+  EXPECT_EQ(events[1].name, "cache.hits");
+}
+
+TEST_F(TraceTest, CollectIsSortedByTimestamp) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  for (int i = 0; i < 100; ++i) tracer.instant(Category::Bench, "tick", {{"i", i}});
+  tracer.disable();
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const Event& a, const Event& b) { return a.ts_ns < b.ts_ns; }));
+}
+
+TEST_F(TraceTest, ChromeTraceIsValidAndTyped) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  {
+    CLR_TRACE_SPAN(span, Category::Dse, "typed",
+                   {{"text", "hello"}, {"count", 3}, {"ratio", 0.25}, {"flag", true}});
+  }
+  tracer.instant(Category::Runtime, "point");
+  tracer.counter(Category::Dse, "gauge", 2.5);
+  tracer.disable();
+
+  // Round-trip through the repo's own JSON parser: the export must be valid.
+  const io::Json parsed = io::Json::parse(tracer.chrome_trace().dump());
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+
+  const auto find = [&](const std::string& name) -> const io::Json& {
+    for (const auto& e : events) {
+      if (e.at("name").as_string() == name) return e;
+    }
+    throw std::runtime_error("event not found: " + name);
+  };
+
+  const auto& span = find("typed");
+  EXPECT_EQ(span.at("ph").as_string(), "X");
+  EXPECT_EQ(span.at("cat").as_string(), "dse");
+  EXPECT_GE(span.at("dur").as_number(), 0.0);
+  EXPECT_EQ(span.at("pid").as_int(), 1);
+  const auto& args = span.at("args");
+  EXPECT_EQ(args.at("text").as_string(), "hello");
+  EXPECT_DOUBLE_EQ(args.at("count").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(args.at("ratio").as_number(), 0.25);
+  EXPECT_EQ(args.at("flag").as_bool(), true);
+
+  const auto& instant = find("point");
+  EXPECT_EQ(instant.at("ph").as_string(), "i");
+  EXPECT_EQ(instant.at("s").as_string(), "t");
+
+  const auto& counter = find("gauge");
+  EXPECT_EQ(counter.at("ph").as_string(), "C");
+}
+
+TEST_F(TraceTest, StringArgsAreEscaped) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  tracer.instant(Category::Exp, "escapes", {{"label", "a \"quoted\"\nline"}});
+  tracer.disable();
+  const io::Json parsed = io::Json::parse(tracer.chrome_trace().dump());
+  const auto& ev = parsed.at("traceEvents").as_array().at(0);
+  EXPECT_EQ(ev.at("args").at("label").as_string(), "a \"quoted\"\nline");
+}
+
+TEST_F(TraceTest, SpanStatsAggregateByName) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  for (int i = 0; i < 5; ++i) {
+    CLR_TRACE_SPAN(a, Category::Dse, "alpha");
+  }
+  for (int i = 0; i < 3; ++i) {
+    CLR_TRACE_SPAN(b, Category::Runtime, "beta");
+  }
+  tracer.instant(Category::Dse, "ignored.by.stats");
+  tracer.disable();
+
+  const auto stats = tracer.span_stats();
+  ASSERT_EQ(stats.size(), 2u);  // instants don't contribute rows
+  const auto alpha = std::find_if(stats.begin(), stats.end(),
+                                  [](const SpanStats& s) { return s.name == "alpha"; });
+  const auto beta = std::find_if(stats.begin(), stats.end(),
+                                 [](const SpanStats& s) { return s.name == "beta"; });
+  ASSERT_NE(alpha, stats.end());
+  ASSERT_NE(beta, stats.end());
+  EXPECT_EQ(alpha->count, 5u);
+  EXPECT_EQ(beta->count, 3u);
+  EXPECT_GE(alpha->max_ms, alpha->p95_ms);
+  EXPECT_GE(alpha->p95_ms, alpha->p50_ms);
+  EXPECT_GE(alpha->total_ms, alpha->max_ms);
+
+  const std::string table = tracer.summary();
+  EXPECT_NE(table.find("trace summary"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEverything) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  tracer.instant(Category::Dse, "gone");
+  tracer.disable();
+  EXPECT_EQ(tracer.num_events(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.num_events(), 0u);
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST_F(TraceTest, ConcurrentRecordingLosesNothing) {
+  // Per-thread buffers: many threads record at once, the collector sees every
+  // event exactly once, and each thread's events carry one consistent tid.
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 1500;  // > Chunk::kEvents to force growth
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        CLR_TRACE_SPAN(span, Category::Bench, "worker",
+                       {{"t", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  tracer.disable();
+  const auto events = tracer.collect();
+  EXPECT_EQ(events.size(), kThreads * kPerThread);
+  std::vector<std::size_t> per_tid;
+  for (const auto& ev : events) {
+    if (ev.tid >= per_tid.size()) per_tid.resize(ev.tid + 1, 0);
+    ++per_tid[ev.tid];
+  }
+  std::size_t writers = 0;
+  for (std::size_t n : per_tid) {
+    if (n > 0) {
+      ++writers;
+      EXPECT_EQ(n % kPerThread, 0u);  // threads may reuse a buffer slot id
+    }
+  }
+  EXPECT_GE(writers, 1u);
+  EXPECT_LE(writers, kThreads);
+}
+
+TEST_F(TraceTest, ReEnableStartsAFreshEpochButKeepsEvents) {
+  auto& tracer = Tracer::instance();
+  tracer.enable();
+  tracer.instant(Category::Dse, "first");
+  tracer.disable();
+  tracer.enable();
+  tracer.instant(Category::Dse, "second");
+  tracer.disable();
+  EXPECT_EQ(tracer.num_events(), 2u);
+}
+
+}  // namespace
+}  // namespace clr::trace

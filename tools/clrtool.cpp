@@ -11,12 +11,14 @@
 //       design-point database. --jobs sets the evaluation concurrency
 //       (default: all hardware threads); results are identical at any J.
 //
-//   clrtool simulate --tasks N [--seed S] --db DB.json [--policy ura|aura|baseline]
+//   clrtool simulate --tasks N [--seed S] [--db DB.json] [--policy ura|aura|baseline]
 //                    [--prc X] [--cycles C] [--sim-seed S2]
 //                    [--fault-rate R] [--pe-mtbf M] [--qos-tolerance T]
 //                    [--replications R] [--jobs J] [--report F.json]
 //       Load a database produced by `explore` for the same (tasks, seed)
-//       application and run the Monte-Carlo run-time adaptation. With
+//       application and run the Monte-Carlo run-time adaptation. Without
+//       --db, the design-time flow runs inline first (one process covering
+//       DSE + runtime — the single-command tracing path). With
 //       --replications > 1 the run goes through the replicated exp::Runner
 //       harness (R derived-seed replications fanned over J workers; results
 //       identical at any J) and the table reports mean ± 95% CI; --report
@@ -38,6 +40,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -49,6 +52,7 @@
 #include "schedule/gantt.hpp"
 #include "schedule/heft.hpp"
 #include "sim/fault_injection.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -150,13 +154,50 @@ int usage() {
                "usage: clrtool <generate|explore|simulate|inspect|validate> [options]\n"
                "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
                "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
-               "           [--db-out F]\n"
-               "  simulate --tasks N [--seed S] --db F [--policy ura|aura|baseline] [--prc X]\n"
+               "           [--db-out F] [--trace F2] [--trace-categories C]\n"
+               "  simulate --tasks N [--seed S] [--db F] [--policy ura|aura|baseline] [--prc X]\n"
                "           [--cycles C] [--sim-seed S2] [--fault-rate R] [--pe-mtbf M]\n"
                "           [--qos-tolerance T] [--replications R] [--jobs J] [--report F]\n"
+               "           [--pop P] [--gens G] [--trace F2] [--trace-categories C]\n"
+               "           (without --db the design-time flow runs inline first)\n"
                "  inspect  --db F\n"
-               "  validate --tasks N [--seed S] --db F [--runs R] [--points K] [--sim-seed S2]\n");
+               "  validate --tasks N [--seed S] --db F [--runs R] [--points K] [--sim-seed S2]\n"
+               "--trace writes a Chrome trace_event JSON timeline (Perfetto /\n"
+               "chrome://tracing) and prints a per-span summary; --trace-categories\n"
+               "filters it to a comma list of dse,runtime,exp,drc,bench (default all).\n");
   return 2;
+}
+
+/// Turn tracing on when --trace is present. Returns the output path ("" =
+/// tracing off). Must run before the traced work starts.
+std::string setup_trace(const Args& args) {
+  if (!args.has("trace")) {
+    if (args.has("trace-categories")) {
+      throw std::runtime_error("option --trace-categories requires --trace");
+    }
+    return "";
+  }
+  const std::string path = args.str("trace");
+  if (path.empty()) throw std::runtime_error("option --trace: expected an output path");
+  std::uint32_t mask = trace::kAllCategories;
+  try {
+    mask = trace::parse_categories(args.str("trace-categories", "all"));
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("option --trace-categories: ") + e.what());
+  }
+  trace::Tracer::instance().enable(mask);
+  return path;
+}
+
+/// Stop tracing, write the Chrome JSON file and print the summary table.
+void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  auto& tracer = trace::Tracer::instance();
+  tracer.disable();
+  util::write_file(path, tracer.chrome_trace().dump() + "\n");
+  std::printf("%s", tracer.summary().c_str());
+  std::printf("trace (%zu events) written to %s\n", tracer.num_events(), path.c_str());
+  tracer.clear();
 }
 
 int cmd_generate(const Args& args) {
@@ -183,9 +224,11 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_explore(const Args& args) {
-  args.expect_only({"tasks", "seed", "pop", "gens", "csp", "jobs", "db-out"});
+  args.expect_only(
+      {"tasks", "seed", "pop", "gens", "csp", "jobs", "db-out", "trace", "trace-categories"});
   const auto tasks = size_arg(args, "tasks", 20, 1);
   const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
+  const std::string trace_path = setup_trace(args);
   const auto app = exp::make_synthetic_app(tasks, seed);
 
   exp::FlowParams params;
@@ -204,16 +247,14 @@ int cmd_explore(const Args& args) {
     io::save_design_db(args.str("db-out"), flow.red, app->clr_space());
     std::printf("database written to %s\n", args.str("db-out").c_str());
   }
+  finish_trace(trace_path);
   return 0;
 }
 
 int cmd_simulate(const Args& args) {
   args.expect_only({"tasks", "seed", "db", "policy", "prc", "cycles", "sim-seed", "fault-rate",
-                    "pe-mtbf", "qos-tolerance", "replications", "jobs", "report"});
-  if (!args.has("db")) {
-    std::fprintf(stderr, "simulate: --db is required\n");
-    return usage();
-  }
+                    "pe-mtbf", "qos-tolerance", "replications", "jobs", "report", "trace",
+                    "trace-categories", "pop", "gens"});
   // Validate every option before touching the filesystem, so a typo'd flag
   // value fails fast with the option-level message.
   const auto tasks = size_arg(args, "tasks", 20, 1);
@@ -247,20 +288,40 @@ int cmd_simulate(const Args& args) {
 
   const auto sim_seed = static_cast<std::uint64_t>(size_arg(args, "sim-seed", 7));
   const auto replications = size_arg(args, "replications", 1, 1);
+  const std::string trace_path = setup_trace(args);
 
-  const auto loaded = io::load_design_db(args.str("db"));
-  // Rebuild the identical application (the database stores indices into its
-  // implementation sets, which regenerate deterministically per seed).
-  const auto app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+  // Design database: load one produced by `explore` (--db), or — without
+  // --db — run the design-time flow inline first (one-shot explore+simulate,
+  // the path that traces DSE and runtime into a single timeline).
+  std::unique_ptr<exp::AppInstance> app;
+  dse::DesignDb db;
+  if (args.has("db")) {
+    const auto loaded = io::load_design_db(args.str("db"));
+    // Rebuild the identical application (the database stores indices into its
+    // implementation sets, which regenerate deterministically per seed).
+    app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+    db = loaded.db;
+  } else {
+    app = exp::make_synthetic_app(tasks, seed);
+    exp::FlowParams flow_params;
+    flow_params.dse.base_ga.population = size_arg(args, "pop", 64, 2);
+    flow_params.dse.base_ga.generations = size_arg(args, "gens", 60, 1);
+    flow_params.dse.threads = size_arg(args, "jobs", 0);
+    util::Rng flow_rng(seed ^ 0xD5EULL);
+    db = exp::run_design_flow(*app, flow_params, flow_rng).red;
+    std::printf("explored inline: %zu stored design points (pass --db to reuse a saved "
+                "database)\n",
+                db.size());
+  }
 
-  // QoS box from the loaded database's own ranges, widened like qos_ranges().
-  const auto r = loaded.db.ranges();
+  // QoS box from the database's own ranges, widened like qos_ranges().
+  const auto r = db.ranges();
   dse::MetricRanges box = r;
   box.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
   box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
 
   if (replications <= 1 && !args.has("report")) {
-    const auto stats = exp::evaluate_policy(*app, loaded.db, box, params, sim_seed);
+    const auto stats = exp::evaluate_policy(*app, db, box, params, sim_seed);
     util::TextTable table("simulation result");
     table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
                       "QoS violations", "availability", "MTTR", "unrecovered"});
@@ -274,6 +335,7 @@ int cmd_simulate(const Args& args) {
                    util::TextTable::fmt(stats.mttr, 1),
                    std::to_string(stats.num_unrecovered_failures)});
     std::printf("%s", table.to_string().c_str());
+    finish_trace(trace_path);
     return 0;
   }
 
@@ -284,7 +346,7 @@ int cmd_simulate(const Args& args) {
   exp::Runner runner(config);
   exp::RunnerCell cell;
   cell.app = app.get();
-  cell.db = &loaded.db;
+  cell.db = &db;
   cell.ranges = box;
   cell.params = params;
   cell.seed = sim_seed;
@@ -312,6 +374,7 @@ int cmd_simulate(const Args& args) {
     util::write_file(args.str("report"), report.dump(2) + "\n");
     std::printf("report written to %s\n", args.str("report").c_str());
   }
+  finish_trace(trace_path);
   return 0;
 }
 
