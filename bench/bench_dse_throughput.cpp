@@ -114,5 +114,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reports.front().lookups -
                                               reports.front().schedule_runs),
               static_cast<unsigned long long>(reports.front().lookups));
+
+  // Machine-readable companion to BENCH_schedule.json (written when
+  // CLR_REPORT_DIR is set; see EXPERIMENTS.md).
+  io::JsonArray runs;
+  for (const auto& r : reports) {
+    runs.push_back(io::Json(io::JsonObject{
+        {"threads", io::Json(static_cast<std::uint64_t>(r.threads))},
+        {"wall_seconds", io::Json(r.seconds)},
+        {"schedule_runs", io::Json(r.schedule_runs)},
+        {"evals_per_sec", io::Json(static_cast<double>(r.schedule_runs) / r.seconds)},
+        {"cache_hit_rate", io::Json(r.hit_rate)},
+        {"speedup_vs_1t", io::Json(reports.front().seconds / r.seconds)},
+    }));
+  }
+  bench::write_report("BENCH_dse_throughput",
+                      io::Json(io::JsonObject{
+                          {"tasks", io::Json(static_cast<std::uint64_t>(tasks))},
+                          {"seed", io::Json(seed)},
+                          {"fronts_identical", io::Json(identical)},
+                          {"runs", io::Json(std::move(runs))},
+                      }));
   return identical ? 0 : 1;
 }

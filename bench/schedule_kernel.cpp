@@ -1,0 +1,265 @@
+// Schedule-evaluation kernel micro-bench (ISSUE 5 / DESIGN.md §5.9):
+// single-thread throughput of the flat CompiledGraph kernel vs the
+// pointer-based ReferenceScheduler on the Fig. 5 workload, plus a heap
+// instrumentation that counts allocations per evaluation through a replaced
+// global operator new (the kernel contract is 0 on a warm scratch).
+//
+// Emits machine-readable BENCH_schedule.json to $CLR_REPORT_DIR (or the
+// working directory when unset):
+//   reference.ns_per_eval / kernel.ns_per_eval / speedup  — this machine
+//   normalized_ratio = kernel_ns / reference_ns           — machine-free
+//   kernel.allocs_per_eval, bit_identical                 — contract checks
+//
+// CI regression gate: `schedule_kernel --check-baseline <baseline.json>`
+// re-measures and fails (exit 1) when the normalized ratio regresses more
+// than 20% over the checked-in baseline (the ratio divides out absolute
+// machine speed; see EXPERIMENTS.md), when any allocation leaks into the
+// steady-state kernel loop, when the kernel diverges from the reference
+// oracle, or when the single-thread speedup drops below the 3x floor.
+//
+// Usage: schedule_kernel [--check-baseline <path>] [tasks] [seed]
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dse/mapping_problem.hpp"
+#include "io/json.hpp"
+#include "schedule/compiled_graph.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace clr;
+
+struct Measurement {
+  double ns_per_eval = 0.0;
+  double evals_per_sec = 0.0;
+  std::uint64_t evals = 0;
+  std::uint64_t allocs = 0;
+};
+
+/// Run passes of `pass` (each = `batch` evaluations) until `target_seconds`
+/// of wall clock have accumulated; reports per-eval cost and allocations.
+template <typename F>
+Measurement measure(double target_seconds, std::size_t batch, F&& pass) {
+  using clock = std::chrono::steady_clock;
+  Measurement m;
+  const std::uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = clock::now();
+  double elapsed = 0.0;
+  do {
+    pass();
+    m.evals += batch;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < target_seconds);
+  m.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
+  m.ns_per_eval = elapsed * 1e9 / static_cast<double>(m.evals);
+  m.evals_per_sec = static_cast<double>(m.evals) / elapsed;
+  return m;
+}
+
+bool identical(const sched::ScheduleResult& a, const sched::ScheduleResult& b) {
+  if (a.makespan != b.makespan || a.func_rel != b.func_rel || a.peak_power != b.peak_power ||
+      a.energy != b.energy || a.system_mttf != b.system_mttf ||
+      a.tasks.size() != b.tasks.size()) {
+    return false;
+  }
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    if (a.tasks[t].start != b.tasks[t].start || a.tasks[t].end != b.tasks[t].end) return false;
+  }
+  return true;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("schedule_kernel: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::size_t tasks = !positional.empty()
+                                ? static_cast<std::size_t>(std::atol(positional[0]))
+                                : (bench::smoke() ? 10 : 40);
+  const std::uint64_t seed = positional.size() > 1
+                                 ? static_cast<std::uint64_t>(std::atoll(positional[1]))
+                                 : exp::derive_seed(0xF165u, tasks);
+
+  // The Fig. 5 workload: one synthetic app on the default HMPSoC with the
+  // full CLR space; candidate configurations sampled uniformly from the
+  // MappingProblem gene domains (the distribution the GA hot loop sees).
+  const auto app = exp::make_synthetic_app(tasks, seed);
+  const sched::EvalContext& ctx = app->context();
+  const dse::MappingProblem problem(ctx, {1e9, 0.0}, dse::ObjectiveMode::EnergyQos);
+  const std::size_t num_configs = bench::smoke() ? 64 : 256;
+
+  util::Rng rng(exp::derive_seed(0xF165u ^ 0xBE7Cu, tasks));
+  std::vector<sched::Configuration> configs;
+  configs.reserve(num_configs);
+  std::vector<int> genes(problem.num_genes());
+  for (std::size_t c = 0; c < num_configs; ++c) {
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+      genes[i] = static_cast<int>(rng.index(static_cast<std::size_t>(problem.domain_size(i))));
+    }
+    configs.push_back(problem.decode(genes));
+  }
+
+  const sched::CompiledGraph cg(ctx);
+  const sched::ReferenceScheduler reference;
+  sched::EvalScratch scratch;
+
+  // Contract check first: every sampled configuration must evaluate
+  // bit-identically through both paths.
+  bool bit_identical = true;
+  for (const auto& cfg : configs) {
+    if (!identical(reference.run(ctx, cfg), cg.schedule(cfg, scratch))) {
+      bit_identical = false;
+      break;
+    }
+  }
+
+  // Interleave short reference/kernel repetitions and keep the *fastest*
+  // repetition of each: scheduler noise (this may be a single-core box) then
+  // inflates both sides equally instead of landing on whichever side happened
+  // to be measured when the interruption hit.
+  const int reps = 5;
+  const double target = (bench::smoke() ? 0.05 : 0.5) / reps;
+  sched::KernelMetrics last{};
+  Measurement ref, kern;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto r = measure(target, configs.size(), [&] {
+      for (const auto& cfg : configs) {
+        const auto res = reference.run(ctx, cfg);
+        (void)res;
+      }
+    });
+    // Kernel loop (scratch is warm from the contract check above).
+    const auto k = measure(target, configs.size(), [&] {
+      for (const auto& cfg : configs) last = cg.evaluate(cfg, scratch);
+    });
+    if (rep == 0 || r.ns_per_eval < ref.ns_per_eval) ref = r;
+    if (rep == 0 || k.ns_per_eval < kern.ns_per_eval) kern = k;
+    kern.allocs = std::max(kern.allocs, k.allocs);  // any rep allocating is a failure
+  }
+
+  const double speedup = ref.ns_per_eval / kern.ns_per_eval;
+  const double ratio = kern.ns_per_eval / ref.ns_per_eval;
+  const double allocs_per_eval =
+      static_cast<double>(kern.allocs) / static_cast<double>(kern.evals);
+
+  std::printf("schedule-evaluation kernel: %zu tasks, seed %llu, %zu configs, CLR space %zu\n",
+              tasks, static_cast<unsigned long long>(seed), configs.size(),
+              ctx.clr_space->size());
+  std::printf("  reference: %9.1f ns/eval  (%.0f evals/sec, %llu evals)\n", ref.ns_per_eval,
+              ref.evals_per_sec, static_cast<unsigned long long>(ref.evals));
+  std::printf("  kernel:    %9.1f ns/eval  (%.0f evals/sec, %llu evals)\n", kern.ns_per_eval,
+              kern.evals_per_sec, static_cast<unsigned long long>(kern.evals));
+  std::printf("  speedup: %.2fx   allocs/eval: %.4f   bit-identical: %s\n", speedup,
+              allocs_per_eval, bit_identical ? "yes" : "NO (BUG)");
+  (void)last;
+
+  io::Json report(io::JsonObject{
+      {"workload", io::Json(io::JsonObject{{"tasks", io::Json(tasks)},
+                                           {"seed", io::Json(seed)},
+                                           {"num_configs", io::Json(configs.size())},
+                                           {"clr_configs", io::Json(ctx.clr_space->size())}})},
+      {"reference", io::Json(io::JsonObject{{"ns_per_eval", io::Json(ref.ns_per_eval)},
+                                            {"evals_per_sec", io::Json(ref.evals_per_sec)}})},
+      {"kernel", io::Json(io::JsonObject{{"ns_per_eval", io::Json(kern.ns_per_eval)},
+                                         {"evals_per_sec", io::Json(kern.evals_per_sec)},
+                                         {"allocs_per_eval", io::Json(allocs_per_eval)}})},
+      {"speedup", io::Json(speedup)},
+      {"normalized_ratio", io::Json(ratio)},
+      {"bit_identical", io::Json(bit_identical)},
+  });
+
+  const char* dir = std::getenv("CLR_REPORT_DIR");
+  const std::string out_path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string())
+      + "BENCH_schedule.json";
+  util::write_file(out_path, report.dump(2) + "\n");
+  std::printf("[report] %s\n", out_path.c_str());
+
+  bool ok = bit_identical;
+  if (allocs_per_eval > 0.0) {
+    std::printf("FAIL: kernel steady-state loop allocated (%.4f allocs/eval, want 0)\n",
+                allocs_per_eval);
+    ok = false;
+  }
+  if (!baseline_path.empty()) {
+    const io::Json baseline = io::Json::parse(read_text_file(baseline_path));
+    const double base_ratio = baseline.at("normalized_ratio").as_number();
+    const double limit = base_ratio * 1.2;
+    std::printf("baseline check: normalized ratio %.4f vs baseline %.4f (limit %.4f)\n", ratio,
+                base_ratio, limit);
+    if (ratio > limit) {
+      std::printf("FAIL: kernel ns/eval regressed >20%% vs baseline\n");
+      ok = false;
+    }
+    if (speedup < 3.0) {
+      std::printf("FAIL: single-thread speedup %.2fx below the 3x acceptance floor\n", speedup);
+      ok = false;
+    }
+  }
+  if (!bit_identical) std::printf("FAIL: kernel diverges from ReferenceScheduler\n");
+  return ok ? 0 : 1;
+}

@@ -151,7 +151,7 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
     // restricts the binding domain (e.g. a failed PE is excluded) its seed
     // may not be expressible — skip it rather than fail the exploration.
     try {
-      seeds.push_back(problem_->encode(sched::heft_seed(problem_->context())));
+      seeds.push_back(problem_->encode(sched::heft_seed(problem_->compiled())));
     } catch (const std::invalid_argument&) {
     }
   }

@@ -5,9 +5,27 @@
 
 namespace clr::dse {
 
+namespace {
+
+/// Per-thread reusable kernel state: the scratch arena plus a decode target,
+/// so steady-state evaluation (cache miss -> decode -> kernel) performs zero
+/// heap allocations once warm. Shared across problems; EvalScratch::bind and
+/// decode_into re-size on shape changes.
+struct ThreadEvalState {
+  sched::EvalScratch scratch;
+  sched::Configuration cfg;
+};
+
+ThreadEvalState& thread_eval_state() {
+  thread_local ThreadEvalState state;
+  return state;
+}
+
+}  // namespace
+
 MappingProblem::MappingProblem(const sched::EvalContext& ctx, QosSpec spec, ObjectiveMode mode,
                                std::vector<plat::PeId> excluded_pes)
-    : ctx_(&ctx), spec_(spec), mode_(mode), num_tasks_(ctx.graph->num_tasks()) {
+    : ctx_(&ctx), compiled_(ctx), spec_(spec), mode_(mode), num_tasks_(ctx.graph->num_tasks()) {
   ctx.check();
   if (spec.max_makespan <= 0.0) throw std::invalid_argument("MappingProblem: SSPEC must be > 0");
   if (spec.min_func_rel < 0.0 || spec.min_func_rel > 1.0) {
@@ -51,8 +69,14 @@ int MappingProblem::domain_size(std::size_t locus) const {
 }
 
 sched::Configuration MappingProblem::decode(const std::vector<int>& genes) const {
-  if (genes.size() != num_genes()) throw std::invalid_argument("decode: gene count mismatch");
   sched::Configuration cfg;
+  decode_into(genes, &cfg);
+  return cfg;
+}
+
+void MappingProblem::decode_into(const std::vector<int>& genes, sched::Configuration* out) const {
+  if (genes.size() != num_genes()) throw std::invalid_argument("decode: gene count mismatch");
+  sched::Configuration& cfg = *out;
   cfg.tasks.resize(num_tasks_);
   for (tg::TaskId t = 0; t < num_tasks_; ++t) {
     const int g_pe = genes[4 * t];
@@ -68,7 +92,6 @@ sched::Configuration MappingProblem::decode(const std::vector<int>& genes) const
     a.clr_index = static_cast<std::uint32_t>(static_cast<std::size_t>(g_clr) % ctx_->clr_space->size());
     a.priority = g_prio;
   }
-  return cfg;
 }
 
 std::vector<int> MappingProblem::encode(const sched::Configuration& cfg) const {
@@ -93,13 +116,18 @@ std::vector<int> MappingProblem::encode(const sched::Configuration& cfg) const {
 
 sched::ScheduleResult MappingProblem::evaluate_schedule(const sched::Configuration& cfg) const {
   schedule_runs_.fetch_add(1, std::memory_order_relaxed);
-  return sched::ListScheduler{}.run(*ctx_, cfg);
+  return compiled_.schedule(cfg, thread_eval_state().scratch);
 }
 
 ScheduleMetrics MappingProblem::evaluate_metrics(const std::vector<int>& genes) const {
   ScheduleMetrics m;
   if (schedule_cache_.lookup(genes, &m)) return m;
-  m = ScheduleMetrics::of(evaluate_schedule(decode(genes)));
+  // Miss: decode + kernel run against the calling thread's arena. Only the
+  // memo store below touches the heap.
+  ThreadEvalState& state = thread_eval_state();
+  decode_into(genes, &state.cfg);
+  schedule_runs_.fetch_add(1, std::memory_order_relaxed);
+  m = ScheduleMetrics::of(compiled_.evaluate(state.cfg, state.scratch));
   schedule_cache_.store(genes, m);
   return m;
 }

@@ -11,6 +11,7 @@
 
 #include "moea/eval_cache.hpp"
 #include "moea/problem.hpp"
+#include "schedule/compiled_graph.hpp"
 #include "schedule/scheduler.hpp"
 
 namespace clr::dse {
@@ -51,6 +52,9 @@ struct ScheduleMetrics {
   static ScheduleMetrics of(const sched::ScheduleResult& res) {
     return {res.makespan, res.func_rel, res.peak_power, res.energy, res.system_mttf};
   }
+  static ScheduleMetrics of(const sched::KernelMetrics& m) {
+    return {m.makespan, m.func_rel, m.peak_power, m.energy, m.system_mttf};
+  }
 };
 
 /// moea::Problem adapter over the list-scheduler evaluation.
@@ -77,12 +81,17 @@ class MappingProblem : public moea::Problem {
   /// PE/implementation compatibility is guaranteed by construction).
   sched::Configuration decode(const std::vector<int>& genes) const;
 
+  /// decode() into caller-owned storage — allocation-free once `out` is warm
+  /// for this problem's task count (the steady-state evaluation path).
+  void decode_into(const std::vector<int>& genes, sched::Configuration* out) const;
+
   /// Inverse of decode (used to seed the ReD stage from BaseD points).
   /// Throws std::invalid_argument when cfg uses a (pe, impl) pair that the
   /// encoding cannot express.
   std::vector<int> encode(const sched::Configuration& cfg) const;
 
-  /// Full schedule evaluation of a decoded configuration (uncached).
+  /// Full schedule evaluation of a decoded configuration (uncached). Runs
+  /// the flat CompiledGraph kernel — bit-identical to ListScheduler.
   sched::ScheduleResult evaluate_schedule(const sched::Configuration& cfg) const;
 
   /// Memoized decode + schedule keyed by chromosome: a genome is run through
@@ -92,6 +101,11 @@ class MappingProblem : public moea::Problem {
   ScheduleMetrics evaluate_metrics(const std::vector<int>& genes) const;
 
   const sched::EvalContext& context() const { return *ctx_; }
+
+  /// The flat evaluation kernel compiled from this problem's context (shared,
+  /// read-only; used by the GA hot loop and the HEFT seeding overloads).
+  const sched::CompiledGraph& compiled() const { return compiled_; }
+
   const QosSpec& spec() const { return spec_; }
   ObjectiveMode mode() const { return mode_; }
 
@@ -110,6 +124,7 @@ class MappingProblem : public moea::Problem {
 
  private:
   const sched::EvalContext* ctx_;
+  sched::CompiledGraph compiled_;
   QosSpec spec_;
   ObjectiveMode mode_;
   std::size_t num_tasks_;

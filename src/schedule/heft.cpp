@@ -1,6 +1,8 @@
 #include "schedule/heft.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -85,6 +87,76 @@ Configuration heft_seed(const EvalContext& ctx) {
     cfg[t].clr_index = 0;  // unprotected; the GA layers reliability on top
     // Priority encodes the HEFT order: earlier tasks get higher priority.
     cfg[t].priority = static_cast<std::int32_t>(g.num_tasks() - pos - 1);
+  }
+  return cfg;
+}
+
+double mean_execution_time(const CompiledGraph& cg, tg::TaskId t) {
+  const double mean = cg.mean_exec(t);
+  if (std::isnan(mean)) throw std::logic_error("mean_execution_time: task has no option");
+  return mean;
+}
+
+std::vector<double> upward_ranks(const CompiledGraph& cg) {
+  std::vector<double> rank(cg.num_tasks(), 0.0);
+  const auto order = cg.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const tg::TaskId t = *it;
+    double succ_term = 0.0;
+    const auto succ = cg.successors(t);
+    const auto comm = cg.successor_comm(t);
+    for (std::size_t k = 0; k < succ.size(); ++k) {
+      succ_term = std::max(succ_term, comm[k] + rank[succ[k]]);
+    }
+    rank[t] = mean_execution_time(cg, t) + succ_term;
+  }
+  return rank;
+}
+
+Configuration heft_seed(const CompiledGraph& cg) {
+  const std::size_t n = cg.num_tasks();
+  const std::size_t num_pes = cg.num_pes();
+  const auto ranks = upward_ranks(cg);
+
+  std::vector<tg::TaskId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](tg::TaskId a, tg::TaskId b) {
+    if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+    return a < b;
+  });
+
+  Configuration cfg;
+  cfg.tasks.resize(n);
+  std::vector<double> pe_free(num_pes, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<plat::PeId> placed_on(n, 0);
+
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const tg::TaskId t = order[pos];
+    const auto preds = cg.predecessors(t);
+    const auto pred_comm = cg.predecessor_comm(t);
+    double best_eft = std::numeric_limits<double>::infinity();
+    for (plat::PeId pe = 0; pe < num_pes; ++pe) {
+      for (std::uint32_t i : cg.compatible_impls(t, pe)) {
+        const double exec = cg.exec_time(t, i);
+        double est = pe_free[pe];
+        for (std::size_t k = 0; k < preds.size(); ++k) {
+          est = std::max(est, finish[preds[k]] + (placed_on[preds[k]] != pe ? pred_comm[k] : 0.0));
+        }
+        const double eft = est + exec;
+        if (eft < best_eft) {
+          best_eft = eft;
+          cfg[t].pe = pe;
+          cfg[t].impl_index = i;
+        }
+      }
+    }
+    if (!std::isfinite(best_eft)) throw std::logic_error("heft_seed: unmappable task");
+    finish[t] = best_eft;
+    placed_on[t] = cfg[t].pe;
+    pe_free[cfg[t].pe] = best_eft;
+    cfg[t].clr_index = 0;  // unprotected; the GA layers reliability on top
+    cfg[t].priority = static_cast<std::int32_t>(n - pos - 1);
   }
   return cfg;
 }

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "schedule/compiled_graph.hpp"
 #include "schedule/configuration.hpp"
 #include "schedule/scheduler.hpp"
 
@@ -23,5 +24,17 @@ std::vector<double> upward_ranks(const EvalContext& ctx);
 /// everywhere (reliability is left for the GA to add). Priorities encode the
 /// rank order, so the ListScheduler reproduces the HEFT order.
 Configuration heft_seed(const EvalContext& ctx);
+
+// --- CompiledGraph overloads (DESIGN.md §5.9). Bit-identical to the
+// EvalContext versions, but read the precomputed CSR topology, flattened
+// execution-time table and per-(task, PE) compatibility lists instead of
+// copying ImplementationSet::compatible_with vectors inside the (task × PE)
+// loop. The design-time flow seeds through these via
+// MappingProblem::compiled(). ---
+
+/// Throws std::logic_error when the task has no (PE, implementation) option.
+double mean_execution_time(const CompiledGraph& cg, tg::TaskId t);
+std::vector<double> upward_ranks(const CompiledGraph& cg);
+Configuration heft_seed(const CompiledGraph& cg);
 
 }  // namespace clr::sched

@@ -41,7 +41,7 @@ rel::TaskMetrics task_metrics_for(const EvalContext& ctx, const Configuration& c
 
 }  // namespace
 
-ScheduleResult ListScheduler::run(const EvalContext& ctx, const Configuration& cfg) const {
+ScheduleResult ReferenceScheduler::run(const EvalContext& ctx, const Configuration& cfg) const {
   ctx.check();
   const tg::TaskGraph& g = *ctx.graph;
   if (cfg.size() != g.num_tasks()) {
@@ -156,6 +156,10 @@ ScheduleResult ListScheduler::run(const EvalContext& ctx, const Configuration& c
   }
 
   return result;
+}
+
+ScheduleResult ListScheduler::run(const EvalContext& ctx, const Configuration& cfg) const {
+  return ReferenceScheduler{}.run(ctx, cfg);
 }
 
 std::string validate_schedule(const EvalContext& ctx, const Configuration& cfg,

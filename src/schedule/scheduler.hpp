@@ -54,6 +54,16 @@ struct EvalContext {
   void check() const;
 };
 
+/// The original pointer-based list-scheduler implementation, kept verbatim as
+/// the differential oracle for the flat CompiledGraph kernel (DESIGN.md §5.9):
+/// it re-derives per-task metrics through MetricsModel and walks the graph's
+/// edge-id lists on every call. tests/schedule/test_differential.cpp proves
+/// the fast kernel bit-identical to this path over fuzzed graphs.
+class ReferenceScheduler {
+ public:
+  ScheduleResult run(const EvalContext& ctx, const Configuration& cfg) const;
+};
+
 /// Priority-driven list scheduler over a fixed task-to-PE binding.
 ///
 /// Semantics: a task becomes ready when all predecessors have finished and
@@ -61,6 +71,11 @@ struct EvalContext {
 /// highest `priority` (ties: lower task id) is scheduled next at its earliest
 /// start on its bound PE. Average execution times (AvgExT) give the average
 /// makespan of Eq. (1).
+///
+/// This is the one-shot convenience API (it delegates to ReferenceScheduler).
+/// Hot loops that evaluate many configurations against one context should
+/// build a schedule::CompiledGraph once and reuse a per-thread EvalScratch —
+/// that is what dse::MappingProblem does; results are bit-identical.
 class ListScheduler {
  public:
   /// Evaluate configuration `cfg`. Throws std::invalid_argument when an

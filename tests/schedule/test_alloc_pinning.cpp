@@ -1,0 +1,126 @@
+// Allocation pinning for the flat evaluation kernel (ISSUE 5 / DESIGN.md
+// §5.9): once a per-thread EvalScratch is warm for a problem shape, a
+// CompiledGraph evaluation must perform *zero* heap allocations, and the
+// MappingProblem steady-state paths (decode_into + cache-hit
+// evaluate_metrics) must stay allocation-free too. The count is enforced by
+// replacing the global operator new/delete with counting versions, which is
+// why this suite lives in its own binary (alloc_tests) — the override is
+// program-wide.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "dse/mapping_problem.hpp"
+#include "experiments/app.hpp"
+#include "schedule/compiled_graph.hpp"
+#include "schedule/heft.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align, n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace clr {
+namespace {
+
+std::uint64_t allocs() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+// The instrument itself must observe ordinary allocations, otherwise a
+// zero-count result proves nothing.
+TEST(AllocPinning, InstrumentCountsHeapAllocations) {
+  const std::uint64_t before = allocs();
+  auto* v = new std::vector<int>(1024, 7);
+  const std::uint64_t delta = allocs() - before;
+  delete v;
+  EXPECT_GE(delta, 2u);  // the vector object + its buffer
+}
+
+TEST(AllocPinning, WarmKernelEvaluationIsAllocationFree) {
+  const auto app = exp::make_synthetic_app(24, exp::derive_seed(0xA110Cu, 24));
+  const sched::CompiledGraph cg(app->context());
+  const sched::Configuration cfg = sched::heft_seed(cg);
+
+  sched::EvalScratch scratch;
+  sched::KernelMetrics warm = cg.evaluate(cfg, scratch);  // sizes the arena
+
+  const std::uint64_t before = allocs();
+  sched::KernelMetrics m;
+  for (int i = 0; i < 100; ++i) m = cg.evaluate(cfg, scratch);
+  const std::uint64_t delta = allocs() - before;
+
+  EXPECT_EQ(delta, 0u) << "kernel evaluation allocated on the warm path";
+  EXPECT_EQ(m.makespan, warm.makespan);  // and still computes the same result
+  EXPECT_EQ(m.energy, warm.energy);
+}
+
+TEST(AllocPinning, WarmDecodeIntoIsAllocationFree) {
+  const auto app = exp::make_synthetic_app(16, exp::derive_seed(0xA110Cu, 16));
+  const dse::MappingProblem problem(app->context(), {1e9, 0.0}, dse::ObjectiveMode::EnergyQos);
+  const std::vector<int> genes = problem.encode(sched::heft_seed(problem.compiled()));
+
+  sched::Configuration cfg;
+  problem.decode_into(genes, &cfg);  // warm the target
+
+  const std::uint64_t before = allocs();
+  for (int i = 0; i < 100; ++i) problem.decode_into(genes, &cfg);
+  const std::uint64_t delta = allocs() - before;
+  EXPECT_EQ(delta, 0u) << "decode_into allocated on the warm path";
+}
+
+TEST(AllocPinning, CacheHitEvaluateMetricsIsAllocationFree) {
+  const auto app = exp::make_synthetic_app(16, exp::derive_seed(0xA110Cu, 16));
+  const dse::MappingProblem problem(app->context(), {1e9, 0.0}, dse::ObjectiveMode::EnergyQos);
+  const std::vector<int> genes = problem.encode(sched::heft_seed(problem.compiled()));
+
+  const dse::ScheduleMetrics first = problem.evaluate_metrics(genes);  // miss: memo store
+
+  const std::uint64_t before = allocs();
+  dse::ScheduleMetrics m;
+  for (int i = 0; i < 100; ++i) m = problem.evaluate_metrics(genes);
+  const std::uint64_t delta = allocs() - before;
+
+  EXPECT_EQ(delta, 0u) << "memo-cache hit path allocated";
+  EXPECT_EQ(m.makespan, first.makespan);
+  EXPECT_EQ(problem.schedule_runs(), 1u);  // every counted call was a hit
+}
+
+}  // namespace
+}  // namespace clr

@@ -1,0 +1,238 @@
+// Generator fuzzing + CompiledGraph topology round-trips (ISSUE 5, DESIGN.md
+// §5.9). Part 1 checks the TGFF-style generator's structural guarantees over
+// seeded random parameter sweeps: exact task count, acyclic, weakly
+// connected, degree limits respected, attribute values inside the configured
+// ranges and depth bounded by the task count. Part 2 checks that the flat
+// CSR topology inside sched::CompiledGraph round-trips the pointer-based
+// TaskGraph exactly — successor/predecessor sets in edge-insertion order,
+// aligned communication times and an identical Kahn topological order — for
+// degenerate shapes (single task, chain, fork-join, zero-cost edges) and for
+// generated graphs.
+
+#include "taskgraph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform/platform.hpp"
+#include "reliability/clr_config.hpp"
+#include "reliability/implementation.hpp"
+#include "reliability/metrics.hpp"
+#include "schedule/compiled_graph.hpp"
+#include "taskgraph/graph.hpp"
+
+namespace clr::tg {
+namespace {
+
+/// Undirected (weak) connectivity via BFS over both edge directions.
+bool weakly_connected(const TaskGraph& g) {
+  if (g.num_tasks() == 0) return true;
+  std::vector<char> seen(g.num_tasks(), 0);
+  std::vector<TaskId> queue{0};
+  seen[0] = 1;
+  while (!queue.empty()) {
+    const TaskId t = queue.back();
+    queue.pop_back();
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId d = g.edge(e).dst;
+      if (!seen[d]) seen[d] = 1, queue.push_back(d);
+    }
+    for (EdgeId e : g.in_edges(t)) {
+      const TaskId s = g.edge(e).src;
+      if (!seen[s]) seen[s] = 1, queue.push_back(s);
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+}
+
+/// Longest path in edges (depth); graphs from the generator must fit inside
+/// num_tasks - 1 by acyclicity.
+std::size_t depth_of(const TaskGraph& g) {
+  std::vector<std::size_t> depth(g.num_tasks(), 0);
+  std::size_t best = 0;
+  for (TaskId t : g.topological_order()) {
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId d = g.edge(e).dst;
+      depth[d] = std::max(depth[d], depth[t] + 1);
+      best = std::max(best, depth[d]);
+    }
+  }
+  return best;
+}
+
+TEST(GeneratorFuzz, StructuralInvariantsOverParameterSweep) {
+  for (std::size_t i = 0; i < 200; ++i) {
+    GeneratorParams p;
+    p.num_tasks = 1 + (i * 7) % 64;
+    p.num_task_types = 1 + i % 10;
+    p.max_out_degree = 1 + i % 6;
+    p.max_in_degree = 2 + i % 4;
+    p.fan_in_prob = 0.1 * static_cast<double>(i % 10);
+    p.comm_time_min = 0.0;  // exercise 0-cost edges
+    p.comm_time_max = 0.5 + static_cast<double>(i % 8);
+    p.criticality_min = 0.25;
+    p.criticality_max = 3.0;
+    util::Rng rng(0x6F22u + i);
+    const TaskGraph g = TgffGenerator(p).generate(rng);
+    SCOPED_TRACE(::testing::Message() << "sweep case " << i);
+
+    EXPECT_EQ(g.num_tasks(), p.num_tasks);
+    EXPECT_TRUE(g.is_acyclic());
+    EXPECT_TRUE(weakly_connected(g));
+    EXPECT_LT(depth_of(g), p.num_tasks == 1 ? 1 : p.num_tasks);
+
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_LE(g.out_edges(t).size(), p.max_out_degree) << "task " << t;
+      EXPECT_LE(g.in_edges(t).size(), p.max_in_degree) << "task " << t;
+      EXPECT_GE(g.task(t).criticality, p.criticality_min);
+      EXPECT_LE(g.task(t).criticality, p.criticality_max);
+      EXPECT_EQ(g.task(t).id, t);
+      EXPECT_LT(g.task(t).type, p.num_task_types);
+    }
+    for (const Edge& e : g.edges()) {
+      EXPECT_GE(e.comm_time, p.comm_time_min);
+      EXPECT_LE(e.comm_time, p.comm_time_max);
+      EXPECT_GE(e.data_bytes, p.data_bytes_min);
+      EXPECT_LE(e.data_bytes, p.data_bytes_max);
+      EXPECT_NE(e.src, e.dst);
+      EXPECT_LT(e.src, g.num_tasks());
+      EXPECT_LT(e.dst, g.num_tasks());
+    }
+    // Topological order is a permutation respecting every edge.
+    const auto order = g.topological_order();
+    ASSERT_EQ(order.size(), g.num_tasks());
+    std::vector<std::size_t> pos(g.num_tasks());
+    for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+    for (const Edge& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+  }
+}
+
+/// Minimal single-PE context so a CompiledGraph can be built around an
+/// arbitrary graph: one GP type, one implementation per task, HwOnly space.
+class RoundTripFixture {
+ public:
+  explicit RoundTripFixture(TaskGraph graph) : graph_(std::move(graph)) {
+    plat::PeType t;
+    t.kind = plat::PeKind::GeneralPurpose;
+    const auto tid = hw_.add_pe_type(t);
+    hw_.add_pe(tid);
+    hw_.add_pe(tid);
+    impls_.resize(graph_.num_tasks());
+    for (TaskId id = 0; id < graph_.num_tasks(); ++id) {
+      rel::Implementation impl;
+      impl.pe_type = tid;
+      impl.base_time = 5.0 + id;
+      impls_.add(id, impl);
+    }
+    ctx_.graph = &graph_;
+    ctx_.platform = &hw_;
+    ctx_.impls = &impls_;
+    ctx_.clr_space = &clr_;
+  }
+
+  const sched::EvalContext& context() const { return ctx_; }
+  const TaskGraph& graph() const { return graph_; }
+
+ private:
+  TaskGraph graph_;
+  plat::Platform hw_;
+  rel::ImplementationSet impls_;
+  rel::ClrSpace clr_{rel::ClrGranularity::HwOnly};
+  sched::EvalContext ctx_;
+};
+
+void expect_round_trip(const TaskGraph& g, const sched::CompiledGraph& cg) {
+  ASSERT_EQ(cg.num_tasks(), g.num_tasks());
+  ASSERT_EQ(cg.num_edges(), g.num_edges());
+
+  const auto order = g.topological_order();
+  const auto flat_order = cg.topo_order();
+  ASSERT_EQ(flat_order.size(), order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) EXPECT_EQ(flat_order[k], order[k]);
+
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    SCOPED_TRACE(::testing::Message() << "task " << t);
+    const auto succ = cg.successors(t);
+    const auto succ_comm = cg.successor_comm(t);
+    const auto& out = g.out_edges(t);
+    ASSERT_EQ(succ.size(), out.size());
+    ASSERT_EQ(succ_comm.size(), out.size());
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      EXPECT_EQ(succ[k], g.edge(out[k]).dst);
+      EXPECT_EQ(succ_comm[k], g.edge(out[k]).comm_time);
+    }
+    const auto pred = cg.predecessors(t);
+    const auto pred_comm = cg.predecessor_comm(t);
+    const auto& in = g.in_edges(t);
+    ASSERT_EQ(pred.size(), in.size());
+    ASSERT_EQ(pred_comm.size(), in.size());
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      EXPECT_EQ(pred[k], g.edge(in[k]).src);
+      EXPECT_EQ(pred_comm[k], g.edge(in[k]).comm_time);
+    }
+    EXPECT_EQ(cg.normalized_criticality(t), g.normalized_criticality(t));
+  }
+}
+
+TEST(CompiledGraphRoundTrip, SingleTask) {
+  TaskGraph g;
+  g.add_task(0, 1.0);
+  RoundTripFixture fx(std::move(g));
+  expect_round_trip(fx.graph(), sched::CompiledGraph(fx.context()));
+}
+
+TEST(CompiledGraphRoundTrip, Chain) {
+  TaskGraph g;
+  for (int i = 0; i < 12; ++i) g.add_task(0, 1.0 + i);
+  for (TaskId t = 0; t + 1 < 12; ++t) g.add_edge(t, t + 1, 1.5 * t, 64);
+  RoundTripFixture fx(std::move(g));
+  expect_round_trip(fx.graph(), sched::CompiledGraph(fx.context()));
+}
+
+TEST(CompiledGraphRoundTrip, ForkJoin) {
+  TaskGraph g;
+  const TaskId src = g.add_task(0);
+  std::vector<TaskId> mid;
+  for (int i = 0; i < 5; ++i) mid.push_back(g.add_task(1));
+  const TaskId sink = g.add_task(2);
+  for (TaskId m : mid) {
+    g.add_edge(src, m, 2.0, 128);
+    g.add_edge(m, sink, 3.0, 256);
+  }
+  RoundTripFixture fx(std::move(g));
+  expect_round_trip(fx.graph(), sched::CompiledGraph(fx.context()));
+}
+
+TEST(CompiledGraphRoundTrip, ZeroCostEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task(0);
+  const TaskId b = g.add_task(0);
+  const TaskId c = g.add_task(0);
+  g.add_edge(a, b, 0.0, 0);
+  g.add_edge(a, c, 0.0, 0);
+  g.add_edge(b, c, 0.0, 0);
+  RoundTripFixture fx(std::move(g));
+  expect_round_trip(fx.graph(), sched::CompiledGraph(fx.context()));
+}
+
+TEST(CompiledGraphRoundTrip, GeneratedGraphs) {
+  for (std::size_t i = 0; i < 60; ++i) {
+    GeneratorParams p;
+    p.num_tasks = 1 + (i * 5) % 48;
+    p.max_out_degree = 2 + i % 5;
+    p.max_in_degree = 2 + i % 3;
+    p.fan_in_prob = 0.35;
+    p.comm_time_min = 0.0;
+    util::Rng rng(0xC5A0u + i);
+    SCOPED_TRACE(::testing::Message() << "generated case " << i);
+    RoundTripFixture fx(TgffGenerator(p).generate(rng));
+    expect_round_trip(fx.graph(), sched::CompiledGraph(fx.context()));
+  }
+}
+
+}  // namespace
+}  // namespace clr::tg
