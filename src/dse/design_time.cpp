@@ -62,6 +62,18 @@ moea::Evaluation RedProblem::evaluate(const std::vector<int>& genes) const {
   return eval;
 }
 
+void RedProblem::evaluate_batch(std::span<moea::Individual* const> batch) const {
+  // Stage the whole batch's schedule metrics through the SoA kernel; the
+  // evaluate() calls below then hit the memo and only pay for the dRC and
+  // constraint tail, which is not scheduler-bound.
+  std::vector<const std::vector<int>*> genes;
+  genes.reserve(batch.size());
+  for (const moea::Individual* ind : batch) genes.push_back(&ind->genes);
+  std::vector<ScheduleMetrics> metrics(batch.size());
+  mapping_->evaluate_metrics_batch({genes.data(), genes.size()}, metrics.data());
+  for (moea::Individual* ind : batch) ind->eval = evaluate(ind->genes);
+}
+
 DesignTimeDse::DesignTimeDse(const MappingProblem& problem, const recfg::ReconfigModel& reconfig,
                              DseConfig cfg)
     : problem_(&problem), reconfig_(&reconfig), cfg_(cfg) {}
@@ -93,7 +105,7 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
                  {{"pop", cfg_.base_ga.population}, {"gens", cfg_.base_ga.generations}});
   util::ThreadPool pool(cfg_.threads);
   moea::EvalCache cache(cfg_.eval_cache_capacity);
-  const moea::EvalOptions eval_opts{&pool, &cache};
+  const moea::EvalOptions eval_opts{&pool, &cache, cfg_.batched_eval};
 
   // Calibrate the Eq. (5) reference point and objective scales from random
   // samples of the space, so the signed hypervolume is well-conditioned.
@@ -234,7 +246,7 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
     }
 
     moea::EvalCache eval_cache(cfg_.eval_cache_capacity);
-    const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache});
+    const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache, cfg_.batched_eval});
     CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.hits",
                       static_cast<double>(drc_cache.hits()));
     CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.misses",

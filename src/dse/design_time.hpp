@@ -57,6 +57,11 @@ struct DseConfig {
   /// 0 = std::thread::hardware_concurrency(). Results are identical at any
   /// thread count — see DESIGN.md "Parallel evaluation & determinism".
   std::size_t threads = 0;
+  /// Route GA evaluation through the batched SIMD kernel
+  /// (CompiledGraph::evaluate_batch) instead of per-genome scalar calls.
+  /// Bit-identical either way (DESIGN.md §5.10); the switch exists for the
+  /// side-by-side throughput bench and A/B debugging.
+  bool batched_eval = true;
   /// Capacity of the chromosome -> Evaluation memo handed to the engines.
   /// The BaseD run keeps one across all generations; each ReD run gets a
   /// fresh one (its constraint violations are seed-relative), with the
@@ -80,6 +85,11 @@ class RedProblem : public moea::Problem {
   int domain_size(std::size_t locus) const override { return mapping_->domain_size(locus); }
   std::size_t num_objectives() const override { return 2; }
   moea::Evaluation evaluate(const std::vector<int>& genes) const override;
+
+  /// Primes the mapping problem's schedule memo through the SIMD batch
+  /// kernel, then runs the per-genome tail (dRC memo + tolerance
+  /// constraints). Bit-identical to sequential evaluate() calls.
+  void evaluate_batch(std::span<moea::Individual* const> batch) const override;
 
  private:
   const MappingProblem* mapping_;

@@ -3,17 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "schedule/batch.hpp"
+
 namespace clr::dse {
 
 namespace {
 
-/// Per-thread reusable kernel state: the scratch arena plus a decode target,
-/// so steady-state evaluation (cache miss -> decode -> kernel) performs zero
-/// heap allocations once warm. Shared across problems; EvalScratch::bind and
-/// decode_into re-size on shape changes.
+/// Per-thread reusable kernel state: the scratch arenas plus a decode
+/// target, so steady-state evaluation (cache miss -> decode -> kernel)
+/// performs zero heap allocations once warm. Shared across problems;
+/// EvalScratch::bind / BatchScratch::bind and decode_into re-size on shape
+/// changes.
 struct ThreadEvalState {
   sched::EvalScratch scratch;
+  sched::BatchScratch batch_scratch;
   sched::Configuration cfg;
+  // evaluate_batch / evaluate_metrics_batch staging (reused, so the steady
+  // state stays allocation-free once the vectors have grown to batch size).
+  std::vector<std::size_t> miss_idx;
+  std::vector<const std::vector<int>*> gene_ptrs;
+  std::vector<dse::ScheduleMetrics> metrics;
 };
 
 ThreadEvalState& thread_eval_state() {
@@ -144,9 +153,55 @@ std::vector<double> MappingProblem::objectives_of(const ScheduleMetrics& m) cons
   throw std::logic_error("MappingProblem: unknown objective mode");
 }
 
-moea::Evaluation MappingProblem::evaluate(const std::vector<int>& genes) const {
-  const ScheduleMetrics result = evaluate_metrics(genes);
+void MappingProblem::evaluate_metrics_batch(std::span<const std::vector<int>* const> genes,
+                                            ScheduleMetrics* out) const {
+  static_assert(sched::BatchGenomes::kLanes == 8,
+                "BatchEvaluator's chunk size assumes 8-lane blocks");
+  constexpr std::size_t kL = sched::BatchGenomes::kLanes;
+  ThreadEvalState& state = thread_eval_state();
 
+  // Resolve memo hits first; the misses are evaluated in SoA blocks. The
+  // block composition is fixed by miss order, and each lane's result is
+  // independent of its co-lanes, so partitioning can never change bits.
+  state.miss_idx.clear();
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (!schedule_cache_.lookup(*genes[i], &out[i])) state.miss_idx.push_back(i);
+  }
+
+  sched::KernelMetrics km[kL];
+  state.batch_scratch.genomes.bind(num_tasks_);
+  for (std::size_t base = 0; base < state.miss_idx.size(); base += kL) {
+    const std::size_t lanes = std::min(kL, state.miss_idx.size() - base);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      decode_into(*genes[state.miss_idx[base + l]], &state.cfg);
+      state.batch_scratch.genomes.set(l, state.cfg);
+    }
+    schedule_runs_.fetch_add(lanes, std::memory_order_relaxed);
+    compiled_.evaluate_block(state.batch_scratch.genomes, lanes, state.batch_scratch, km);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t i = state.miss_idx[base + l];
+      out[i] = ScheduleMetrics::of(km[l]);
+      schedule_cache_.store(*genes[i], out[i]);
+    }
+  }
+}
+
+void MappingProblem::evaluate_batch(std::span<moea::Individual* const> batch) const {
+  ThreadEvalState& state = thread_eval_state();
+  state.gene_ptrs.clear();
+  for (const moea::Individual* ind : batch) state.gene_ptrs.push_back(&ind->genes);
+  state.metrics.resize(batch.size());
+  evaluate_metrics_batch({state.gene_ptrs.data(), state.gene_ptrs.size()}, state.metrics.data());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->eval = evaluation_of(state.metrics[i]);
+  }
+}
+
+moea::Evaluation MappingProblem::evaluate(const std::vector<int>& genes) const {
+  return evaluation_of(evaluate_metrics(genes));
+}
+
+moea::Evaluation MappingProblem::evaluation_of(const ScheduleMetrics& result) const {
   moea::Evaluation eval;
   eval.objectives = objectives_of(result);
 

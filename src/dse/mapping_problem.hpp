@@ -77,6 +77,20 @@ class MappingProblem : public moea::Problem {
   }
   moea::Evaluation evaluate(const std::vector<int>& genes) const override;
 
+  /// Batched evaluation (DESIGN.md §5.10): resolves schedule-cache hits,
+  /// then decodes the misses into SoA blocks and runs them through
+  /// CompiledGraph::evaluate_batch. Bit-identical to per-genome evaluate()
+  /// at any batch size/partitioning.
+  void evaluate_batch(std::span<moea::Individual* const> batch) const override;
+
+  /// Batched evaluate_metrics: out[i] receives evaluate_metrics(*genes[i]),
+  /// with cache misses evaluated in SoA blocks through the SIMD kernel.
+  /// Bit-identical to the scalar path; duplicate genomes within one call may
+  /// each count as a schedule run (the scalar sequence would memo-hit the
+  /// second), so callers wanting exact run counts should dedup first.
+  void evaluate_metrics_batch(std::span<const std::vector<int>* const> genes,
+                              ScheduleMetrics* out) const;
+
   /// Decode a chromosome into a concrete configuration (always valid:
   /// PE/implementation compatibility is guaranteed by construction).
   sched::Configuration decode(const std::vector<int>& genes) const;
@@ -111,6 +125,11 @@ class MappingProblem : public moea::Problem {
 
   /// Objective vector for a schedule result under this mode.
   std::vector<double> objectives_of(const ScheduleMetrics& m) const;
+
+  /// Full Evaluation (objectives + Eq. (5) constraint violations) for
+  /// already-computed metrics — the shared tail of evaluate() and
+  /// evaluate_batch().
+  moea::Evaluation evaluation_of(const ScheduleMetrics& m) const;
   std::vector<double> objectives_of(const sched::ScheduleResult& result) const {
     return objectives_of(ScheduleMetrics::of(result));
   }

@@ -1,5 +1,7 @@
 #include "moea/eval_cache.hpp"
 
+#include <algorithm>
+
 #include "common/parallel.hpp"
 
 namespace clr::moea {
@@ -42,9 +44,26 @@ void BatchEvaluator::evaluate(const std::vector<Individual*>& batch) const {
   }
 
   // Each iteration writes only its own individual's eval — safe to fan out.
+  // Batched mode hands the pool SoA-block-sized chunks so every pool task
+  // amortizes one full SIMD block through Problem::evaluate_batch; the chunk
+  // boundaries are fixed by index arithmetic, so block composition — and
+  // with it every result bit — is identical at any thread count (the
+  // sequential path evaluates the same [0,8), [8,16), ... blocks).
+  constexpr std::size_t kChunk = 8;  // == sched::BatchGenomes::kLanes
   if (pool_ != nullptr) {
-    pool_->parallel_for(unique.size(),
-                        [&](std::size_t i) { unique[i]->eval = problem_->evaluate(unique[i]->genes); });
+    if (batched_) {
+      const std::size_t chunks = (unique.size() + kChunk - 1) / kChunk;
+      pool_->parallel_for(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kChunk;
+        const std::size_t count = std::min(kChunk, unique.size() - begin);
+        problem_->evaluate_batch({unique.data() + begin, count});
+      });
+    } else {
+      pool_->parallel_for(
+          unique.size(), [&](std::size_t i) { unique[i]->eval = problem_->evaluate(unique[i]->genes); });
+    }
+  } else if (batched_) {
+    problem_->evaluate_batch({unique.data(), unique.size()});
   } else {
     for (Individual* ind : unique) ind->eval = problem_->evaluate(ind->genes);
   }

@@ -143,17 +143,21 @@ using EvalCache = GenomeCache<Evaluation>;
 struct EvalOptions {
   util::ThreadPool* pool = nullptr;
   EvalCache* cache = nullptr;
+  /// Route misses through Problem::evaluate_batch in SoA-block-sized chunks
+  /// (bit-identical to the scalar path; off = per-genome evaluate(), kept
+  /// for the side-by-side throughput bench and A/B debugging).
+  bool batched = true;
 };
 
 /// Evaluates a batch of individuals against a Problem: consults the cache,
 /// deduplicates identical genomes within the batch, fans the remaining
 /// misses out over the pool, and stores the results back. Results are
 /// independent of thread count and batch order because Problem::evaluate is
-/// deterministic.
+/// deterministic and the batched chunking is fixed by index arithmetic.
 class BatchEvaluator {
  public:
   BatchEvaluator(const Problem& problem, const EvalOptions& opts)
-      : problem_(&problem), pool_(opts.pool), cache_(opts.cache) {}
+      : problem_(&problem), pool_(opts.pool), cache_(opts.cache), batched_(opts.batched) {}
 
   /// Fill ind->eval for every individual in the batch.
   void evaluate(const std::vector<Individual*>& batch) const;
@@ -162,6 +166,7 @@ class BatchEvaluator {
   const Problem* problem_;
   util::ThreadPool* pool_;
   EvalCache* cache_;
+  bool batched_;
 };
 
 }  // namespace clr::moea

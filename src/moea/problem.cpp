@@ -4,6 +4,10 @@
 
 namespace clr::moea {
 
+void Problem::evaluate_batch(std::span<Individual* const> batch) const {
+  for (Individual* ind : batch) ind->eval = evaluate(ind->genes);
+}
+
 std::vector<int> Problem::random_genes(util::Rng& rng) const {
   std::vector<int> genes(num_genes());
   for (std::size_t i = 0; i < genes.size(); ++i) {

@@ -3,6 +3,7 @@
 // implements this for the CLR-integrated mapping space of Eq. (4).
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,6 +26,13 @@ class Problem {
 
   /// Evaluate a chromosome. Must be deterministic.
   virtual Evaluation evaluate(const std::vector<int>& genes) const = 0;
+
+  /// Evaluate a batch, filling ind->eval for every individual. Semantically
+  /// identical to calling evaluate() per individual — the default does
+  /// exactly that; problems with a vectorized kernel override it
+  /// (dse::MappingProblem routes through CompiledGraph::evaluate_batch).
+  /// Results must not depend on how callers partition work into batches.
+  virtual void evaluate_batch(std::span<Individual* const> batch) const;
 
   /// Uniform-random chromosome within the domains.
   std::vector<int> random_genes(util::Rng& rng) const;

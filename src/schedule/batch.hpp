@@ -1,0 +1,232 @@
+#pragma once
+// Structure-of-arrays population slice + scratch arena for the batched
+// schedule-evaluation kernel, CompiledGraph::evaluate_batch (DESIGN.md
+// §5.10).
+//
+// A BatchGenomes transposes up to kLanes configurations into per-gene lanes:
+// gene arrays are laid out [task][lane], so the metric-accumulation loops of
+// the kernel read kLanes consecutive doubles per task and vectorize across
+// *genomes* instead of across tasks. kLanes is fixed at 8 — a multiple of
+// every simd:: backend width (AVX2 = 4, SSE2/NEON = 2, scalar = 1), and two
+// cache lines per gene row — so block composition, and therefore results,
+// never depend on which backend the dispatcher picked.
+//
+// The inherently sequential list-scheduling pass stays per-genome (lane by
+// lane) but runs cache-blocked over the batch: all lanes of a block share
+// one warm set of topology/metric lines. Everything mutable lives in
+// BatchScratch; a warm scratch makes evaluate_batch allocation-free
+// (pinned by tests/schedule/test_alloc_pinning.cpp).
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "schedule/compiled_graph.hpp"
+#include "schedule/configuration.hpp"
+
+namespace clr::sched {
+
+/// SoA transpose of up to kLanes configurations (one "block").
+class BatchGenomes {
+ public:
+  static constexpr std::size_t kLanes = 8;
+
+  /// Size the gene arrays for `num_tasks`; allocation-free when warm.
+  void bind(std::size_t num_tasks) {
+    if (num_tasks_ == num_tasks) return;
+    num_tasks_ = num_tasks;
+    pe_.resize(num_tasks * kLanes);
+    impl_.resize(num_tasks * kLanes);
+    clr_.resize(num_tasks * kLanes);
+    prio_.resize(num_tasks * kLanes);
+  }
+
+  std::size_t num_tasks() const { return num_tasks_; }
+
+  /// Transpose one configuration into lane `lane`. Throws exactly like the
+  /// scalar kernel on a size mismatch; all other validation happens inside
+  /// evaluate_block, in lane order.
+  void set(std::size_t lane, const Configuration& cfg) {
+    if (cfg.size() != num_tasks_) {
+      throw std::invalid_argument("ListScheduler: configuration size mismatch");
+    }
+    for (std::size_t t = 0; t < num_tasks_; ++t) {
+      const TaskAssignment& a = cfg[t];
+      pe_[t * kLanes + lane] = a.pe;
+      impl_[t * kLanes + lane] = a.impl_index;
+      clr_[t * kLanes + lane] = a.clr_index;
+      prio_[t * kLanes + lane] = a.priority;
+    }
+  }
+
+  /// Replicate lane `lanes - 1` into the unused lanes [lanes, kLanes) so the
+  /// vector phases can process all kLanes lanes unconditionally: a padded
+  /// lane duplicates a real (validated) genome, so it can neither throw nor
+  /// read out of bounds, and its results are simply never written out.
+  /// evaluate_block calls this itself.
+  void pad(std::size_t lanes) {
+    if (lanes == 0 || lanes > kLanes) {
+      throw std::invalid_argument("BatchGenomes: lane count out of range");
+    }
+    const std::size_t from = lanes - 1;
+    for (std::size_t t = 0; t < num_tasks_; ++t) {
+      for (std::size_t l = lanes; l < kLanes; ++l) {
+        pe_[t * kLanes + l] = pe_[t * kLanes + from];
+        impl_[t * kLanes + l] = impl_[t * kLanes + from];
+        clr_[t * kLanes + l] = clr_[t * kLanes + from];
+        prio_[t * kLanes + l] = prio_[t * kLanes + from];
+      }
+    }
+  }
+
+  // Raw [task][lane] gene rows for the kernel.
+  const std::uint32_t* pe() const { return pe_.data(); }
+  const std::uint32_t* impl() const { return impl_.data(); }
+  const std::uint32_t* clr() const { return clr_.data(); }
+  const std::int32_t* prio() const { return prio_.data(); }
+
+ private:
+  std::size_t num_tasks_ = static_cast<std::size_t>(-1);
+  std::vector<std::uint32_t> pe_, impl_, clr_;
+  std::vector<std::int32_t> prio_;
+};
+
+/// Batcher merge-exchange sorting network for `count` elements (Knuth,
+/// TAOCP 5.2.2 Algorithm M — valid for any count, ~count/4 * lg^2(count)
+/// compare-exchanges). The pair sequence depends only on `count`, so every
+/// lane of a batch can execute it in SIMD lockstep; pairs are packed as
+/// (i << 16 | j), i < j.
+inline void build_merge_exchange_network(std::size_t count, std::vector<std::uint32_t>& net) {
+  net.clear();
+  if (count < 2) return;
+  std::size_t t = 0;
+  while ((std::size_t{1} << t) < count) ++t;
+  for (std::size_t p = std::size_t{1} << (t - 1); p > 0; p >>= 1) {
+    std::size_t q = std::size_t{1} << (t - 1);
+    std::size_t r = 0;
+    std::size_t d = p;
+    for (;;) {
+      for (std::size_t i = 0; i + d < count; ++i) {
+        if ((i & p) == r) {
+          net.push_back(static_cast<std::uint32_t>((i << 16) | (i + d)));
+        }
+      }
+      if (q == p) break;
+      d = q - p;
+      q >>= 1;
+      r = p;
+    }
+  }
+}
+
+/// Reusable working memory for evaluate_batch / evaluate_block — the batched
+/// counterpart of EvalScratch (one per thread). [task][lane] arrays carry
+/// per-lane state; per-PE and per-priority structures are shared and reused
+/// lane-sequentially by the scheduling and sweep passes.
+struct BatchScratch {
+  static constexpr std::size_t kLanes = BatchGenomes::kLanes;
+
+  /// Transpose target used by CompiledGraph::evaluate_batch (callers of
+  /// evaluate_block may supply their own BatchGenomes instead).
+  BatchGenomes genomes;
+
+  std::vector<std::uint32_t> mrow;  ///< [t][lane]: row into the packed table
+  // Gathered packed-metric columns, [t][lane] — the SoA feed of the vector
+  // metric loops.
+  std::vector<double> ext, pow, err, mttf;
+  std::vector<double> start, end;  ///< [t][lane]: windows of the last block
+
+  /// kLanes runs of 2n power events (lane slabs; slab l starts at l * 2n).
+  std::vector<EvalScratch::Event> events;
+  std::vector<EvalScratch::Event> events2;  ///< shared merge ping-pong (2n)
+  std::vector<std::uint32_t> run_off;       ///< per lane: P+1 run offsets
+  std::vector<std::uint32_t> run_off2;      ///< shared merged-run offsets
+  std::vector<std::uint32_t> run_pos;       ///< shared per-PE fill cursors
+  std::vector<std::uint32_t> pending;       ///< shared per-task indegree
+  std::vector<std::uint32_t> ready;         ///< shared fallback ready set
+  std::vector<double> pe_free;              ///< shared per-PE next-free time
+  std::vector<double> aging;                ///< [pe][lane] aging rates
+
+  // Two-level ready-set bitmap of the per-lane scheduler: one id-bitmask row
+  // per priority level plus an occupancy bitmap over the levels (and a
+  // per-level population count when rows span several words).
+  std::vector<std::uint64_t> bucket;        ///< n rows x bucket_words
+  std::vector<std::uint64_t> occ;           ///< occupancy over the levels
+  std::vector<std::uint32_t> bucket_count;  ///< per level: ready tasks in row
+  std::size_t bucket_words = 0;
+
+  // Lane-interleaved (lockstep) scheduler state — [x][lane] copies of the
+  // per-lane structures above, so the hot n <= 64 path can advance all
+  // kLanes selection chains together (see batch_kernel.inl).
+  std::vector<std::uint32_t> pend_b;     ///< [t][lane] outstanding preds
+  std::vector<double> pe_free_b;         ///< [pe][lane] next-free time
+  std::vector<std::uint32_t> run_pos_b;  ///< [pe][lane] event fill cursor
+  std::vector<std::uint64_t> bucket_b;   ///< [priority][lane] ready-id masks
+  std::vector<std::uint32_t> order;      ///< [step][lane] selection sequence
+
+  // Vectorized Wapp sweep state of the AVX2 kernel (see batch_kernel.inl):
+  // power events as integer sort keys in [slot][lane] layout, sorted by a
+  // fixed compare-exchange network so all lanes sweep in SIMD lockstep.
+  std::vector<std::uint64_t> tkey;      ///< [slot][lane] time keys
+  std::vector<std::uint64_t> dkey;      ///< [slot][lane] delta keys
+  std::vector<std::uint32_t> sort_net;  ///< (i << 16 | j) compare-exchanges
+
+  // Sorted-key selection state of the lockstep scheduler's pass A: per-lane
+  // (priority, id) selection keys sorted once by a second, n-element network,
+  // and the inverse task -> sorted-position map (see batch_kernel.inl).
+  std::vector<std::uint32_t> sel_key;       ///< [pos][lane] keys, then task ids
+  std::vector<std::uint32_t> pos_of;        ///< [task][lane] sorted position
+  std::vector<std::uint32_t> sort_net_sel;  ///< n-element network
+
+  // Per-lane accumulators / flags of the current block.
+  alignas(32) double lane_tmp[kLanes];
+  alignas(32) double acc_frel[kLanes];
+  alignas(32) double acc_energy[kLanes];
+  alignas(32) double acc_ms[kLanes];
+  alignas(32) double acc_mttf[kLanes];
+  double peak[kLanes];
+  bool bucketable[kLanes];
+  bool zero_len[kLanes];
+  bool key_unsafe[kLanes];  ///< lane needs the exact (non-key) sweep path
+
+  /// Size the arena (and the embedded genome block) for a (tasks, PEs)
+  /// shape; no-op and allocation-free when the shape is unchanged.
+  void bind(std::size_t num_tasks, std::size_t num_pes) {
+    genomes.bind(num_tasks);
+    if (mrow.size() == num_tasks * kLanes && pe_free.size() == num_pes) return;
+    mrow.resize(num_tasks * kLanes);
+    ext.resize(num_tasks * kLanes);
+    pow.resize(num_tasks * kLanes);
+    err.resize(num_tasks * kLanes);
+    mttf.resize(num_tasks * kLanes);
+    start.resize(num_tasks * kLanes);
+    end.resize(num_tasks * kLanes);
+    events.resize(2 * num_tasks * kLanes);
+    events2.resize(2 * num_tasks);
+    run_off.resize((num_pes + 1) * kLanes);
+    run_off2.resize(num_pes + 1);
+    run_pos.resize(num_pes);
+    pending.resize(num_tasks);
+    ready.resize(num_tasks);
+    pe_free.resize(num_pes);
+    aging.resize(num_pes * kLanes);
+    bucket_words = (num_tasks + 63) / 64;
+    bucket.resize(num_tasks * bucket_words);
+    occ.resize(bucket_words);
+    bucket_count.resize(num_tasks);
+    pend_b.resize(num_tasks * kLanes);
+    pe_free_b.resize(num_pes * kLanes);
+    run_pos_b.resize(num_pes * kLanes);
+    bucket_b.resize(num_tasks * kLanes);
+    order.resize(num_tasks * kLanes);
+    tkey.resize(2 * num_tasks * kLanes);
+    dkey.resize(2 * num_tasks * kLanes);
+    build_merge_exchange_network(2 * num_tasks, sort_net);
+    sel_key.resize(num_tasks * kLanes);
+    pos_of.resize(num_tasks * kLanes);
+    build_merge_exchange_network(num_tasks, sort_net_sel);
+  }
+};
+
+}  // namespace clr::sched

@@ -1,0 +1,883 @@
+// Batched schedule-evaluation block kernel (DESIGN.md §5.10). This file is
+// the single source of the kernel body; it is included by exactly two
+// translation units, each defining CLR_BATCH_KERNEL_FN first:
+//
+//   batch_kernel_portable.cpp  -> evaluate_block_portable (default flags)
+//   batch_kernel_avx2.cpp      -> evaluate_block_avx2     (-mavx2)
+//
+// The common/simd.hpp shim resolves to a different backend in each TU;
+// everything else is identical. CompiledGraph::evaluate_block selects one of
+// the two at runtime (see compiled_graph.cpp).
+//
+// Determinism contract (referee: tests/schedule/test_batch_differential.cpp):
+// every lane of a block computes bit-for-bit what the scalar kernel — and
+// therefore ReferenceScheduler — computes for that configuration, because
+// each phase performs the same IEEE operations in the same order per lane:
+//
+//   1. Validation resolves metric rows lane-major (genome i's exceptions
+//      fire before genome i+1 is examined) — integer-only.
+//   2. The packed metric columns are gathered into [task][lane] SoA rows —
+//      bitwise copies.
+//   3. List scheduling runs per lane with the scalar selection semantics
+//      (argmax of (priority, -id) is unique, so any structure that yields it
+//      schedules the identical sequence); EST/EFT arithmetic is verbatim.
+//   4. Fapp/Japp/Sapp accumulate vectorized ACROSS lanes in ascending task
+//      order — per lane, the identical value sequence into each independent
+//      accumulator; no horizontal reduction, no reassociation, no FMA.
+//   5. Aging divisions vectorize across lanes the same way; the per-PE
+//      scatter stays scalar in (task-outer, lane-inner) order, preserving
+//      each (lane, PE) accumulation order. min-MTTF uses 1/rate with
+//      1/0 = +inf, which is absorbed by min exactly as the scalar path's
+//      rate > 0 skip.
+//   6. The Wapp sweep reuses the scalar path's helpers per lane.
+//
+// Unused lanes of a partial block are padded with a copy of the last real
+// genome (BatchGenomes::pad): phases 1-2 and 4-5 then process all kLanes
+// lanes unconditionally (a duplicate can neither throw nor read out of
+// bounds), while the per-lane phases 3 and 6 and the output writes cover
+// active lanes only.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "common/simd.hpp"
+#include "schedule/batch_kernel_detail.hpp"
+
+// The vectorized sorting-network Wapp sweep needs 64-bit integer compares
+// and blends (AVX2); the portable instantiation keeps the scalar kernel's
+// exact per-lane sweep helpers instead.
+#if defined(__AVX2__) && !defined(CLR_FORCE_SCALAR)
+#define CLR_BATCH_SORTNET 1
+#include <immintrin.h>
+#endif
+
+#ifndef CLR_BATCH_KERNEL_FN
+#error "define CLR_BATCH_KERNEL_FN before including batch_kernel.inl"
+#endif
+
+namespace clr::sched::detail {
+
+namespace {
+
+constexpr std::size_t kL = BatchGenomes::kLanes;
+
+/// Everything the per-lane scheduling pass reads, hoisted once per block.
+struct LaneSchedCtx {
+  std::size_t n = 0;
+  std::size_t num_pes = 0;
+  const std::size_t* in_off = nullptr;
+  const std::size_t* out_off = nullptr;
+  const tg::TaskId* pred = nullptr;
+  const tg::TaskId* succ = nullptr;
+  const double* pred_comm = nullptr;
+  const double* comm_factor = nullptr;
+  const std::uint32_t* bpe = nullptr;
+  const std::int32_t* bprio = nullptr;
+};
+
+#ifdef CLR_BATCH_SORTNET
+/// Order-preserving involution on double bit patterns: x < y (as doubles; no
+/// NaNs) iff signed_key(bits(x)) < signed_key(bits(y)) as SIGNED integers.
+/// Applying it twice restores the original bits. -0.0 maps strictly below
+/// +0.0 — lanes where that distinction could matter are flagged key_unsafe
+/// and re-swept exactly (see schedule_block_lockstep).
+inline std::uint64_t signed_key(std::uint64_t b) {
+  return b ^ (static_cast<std::uint64_t>(static_cast<std::int64_t>(b) >> 63) >> 1);
+}
+#endif
+
+/// Schedule one selected task in lane `l`: earliest start on its bound PE
+/// after all predecessor data arrives, then emit its power events into the
+/// PE's run slab. Branch-free zero-length emission: the two events swap
+/// slots when start == end, exactly like the scalar kernel's swapped stores.
+/// The per-PE state arrays are indexed pe * S: S = 1 for the lane-sequential
+/// paths (shared pe_free/run_pos), S = kLanes for the lockstep path
+/// ([pe][lane] arrays, caller passes the lane-offset base pointer).
+template <std::size_t S>
+inline bool run_lane_task(const LaneSchedCtx& c, BatchScratch& s, std::size_t l, std::size_t t,
+                          EvalScratch::Event* ev, double* pe_free, std::uint32_t* run_pos) {
+  const std::uint32_t pe = c.bpe[t * kL + l];
+  double est = pe_free[pe * S];
+  for (std::size_t k = c.in_off[t]; k < c.in_off[t + 1]; ++k) {
+    const tg::TaskId src = c.pred[k];
+    // The product is computed unconditionally so the same-PE test selects
+    // between two ready values (no data-dependent branch); a same-PE edge
+    // still contributes exactly 0.0, as in the reference.
+    const double cross = c.pred_comm[k] * c.comm_factor[c.bpe[src * kL + l] * c.num_pes + pe];
+    const double comm = c.bpe[src * kL + l] != pe ? cross : 0.0;
+    est = std::max(est, s.end[src * kL + l] + comm);
+  }
+  const double fin = est + s.ext[t * kL + l];
+  s.start[t * kL + l] = est;
+  s.end[t * kL + l] = fin;
+  pe_free[pe * S] = fin;
+
+  const double pw = s.pow[t * kL + l];
+  const std::uint32_t slot = run_pos[pe * S];
+  run_pos[pe * S] = slot + 2;
+  const std::uint32_t zl = est == fin ? 1u : 0u;
+  ev[slot + zl] = {est, pw};
+  ev[slot + 1 - zl] = {fin, -pw};
+  return zl != 0;
+}
+
+/// Priority-driven list scheduling of lane `l` when every priority lies in
+/// [0, n) — always true for decoded genomes and HEFT seeds. The ready set is
+/// a two-level bitmap: one id-bitmask row per priority level plus an
+/// occupancy bitmap over the levels, so selection is a couple of bit scans
+/// instead of the scalar path's mispredicting level walk. Selection order is
+/// identical: highest priority, ties to the lowest task id.
+/// kSingleWord specializes the common n <= 64 shape where each level is one
+/// word and the occupancy bitmap is one word.
+template <bool kSingleWord>
+void schedule_lane_bucketed(const LaneSchedCtx& c, BatchScratch& s, std::size_t l) {
+  const std::size_t n = c.n;
+  const std::size_t W = kSingleWord ? 1 : s.bucket_words;
+  std::uint64_t* bucket = s.bucket.data();
+  std::uint64_t* occ = s.occ.data();
+  std::uint32_t* count = s.bucket_count.data();
+  std::fill(bucket, bucket + n * W, std::uint64_t{0});
+  std::fill(occ, occ + W, std::uint64_t{0});
+  if (!kSingleWord) std::fill(count, count + n, 0u);
+
+  const auto push = [&](std::size_t t) {
+    const auto pr = static_cast<std::size_t>(c.bprio[t * kL + l]);
+    if (kSingleWord) {
+      bucket[pr] |= std::uint64_t{1} << t;
+      occ[0] |= std::uint64_t{1} << pr;
+    } else {
+      bucket[pr * W + (t >> 6)] |= std::uint64_t{1} << (t & 63);
+      occ[pr >> 6] |= std::uint64_t{1} << (pr & 63);
+      ++count[pr];
+    }
+  };
+
+  for (std::size_t t = 0; t < n; ++t) {
+    s.pending[t] = static_cast<std::uint32_t>(c.in_off[t + 1] - c.in_off[t]);
+    if (s.pending[t] == 0) push(t);
+  }
+
+  EvalScratch::Event* ev = s.events.data() + l * 2 * n;
+  bool zero_len = false;
+  std::size_t top = W;  // highest occupancy word that may be non-zero
+  for (std::size_t done = 0; done < n; ++done) {
+    std::size_t t;
+    if (kSingleWord) {
+      if (occ[0] == 0) throw std::logic_error("ListScheduler: no ready task (cyclic graph?)");
+      const auto pr = static_cast<std::size_t>(63 - std::countl_zero(occ[0]));
+      std::uint64_t w = bucket[pr];
+      t = static_cast<std::size_t>(std::countr_zero(w));
+      w &= w - 1;  // pop the lowest id at the highest priority
+      bucket[pr] = w;
+      occ[0] &= ~(static_cast<std::uint64_t>(w == 0 ? 1 : 0) << pr);
+    } else {
+      while (top > 0 && occ[top - 1] == 0) --top;
+      if (top == 0) throw std::logic_error("ListScheduler: no ready task (cyclic graph?)");
+      const std::size_t wp = top - 1;
+      const auto pr = wp * 64 + static_cast<std::size_t>(63 - std::countl_zero(occ[wp]));
+      const std::uint64_t* row = bucket + pr * W;
+      std::size_t wi = 0;
+      while (row[wi] == 0) ++wi;  // lowest id word; guaranteed non-empty
+      std::uint64_t& word = bucket[pr * W + wi];
+      t = wi * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (--count[pr] == 0) occ[wp] &= ~(std::uint64_t{1} << (pr & 63));
+    }
+    zero_len |= run_lane_task<1>(c, s, l, t, ev, s.pe_free.data(), s.run_pos.data());
+    for (std::size_t k = c.out_off[t]; k < c.out_off[t + 1]; ++k) {
+      const tg::TaskId dst = c.succ[k];
+      if (--s.pending[dst] == 0) {
+        push(dst);
+        if (!kSingleWord) {
+          const auto pr = static_cast<std::size_t>(c.bprio[dst * kL + l]) >> 6;
+          if (pr + 1 > top) top = pr + 1;
+        }
+      }
+    }
+  }
+  s.zero_len[l] = zero_len;
+}
+
+/// Lockstep scheduling of a whole block when every lane is bucketable and
+/// n <= 64 (one bucket word per priority level) — the hot path for decoded
+/// genomes. Three things distinguish it from schedule_lane_bucketed<true>:
+///
+///   * Step-major interleaving: lane-major scheduling is one long dependency
+///     chain per lane (pop -> EST -> push feeds the next pop); advancing all
+///     kLanes chains together gives the core kLanes independent chains to
+///     overlap.
+///   * The selection pass is split from the time pass. Selection depends
+///     only on (graph, priorities) — never on computed times — so pass A
+///     records each lane's schedule sequence integer-only, and pass B
+///     replays it doing nothing but the EST/EFT dataflow and event
+///     emission. Each loop carries roughly half the live state of the fused
+///     form, which keeps the hot bodies out of register-spill territory.
+///   * The ready-update is masked instead of branched: whether a pending
+///     count hits zero depends on the lane's priorities, so a branch there
+///     mispredicts constantly; the masked form is three extra ALU ops.
+///
+/// Per lane, both passes perform the scalar kernel's operations in the
+/// scalar kernel's order — pass A pops the same unique (priority, -id)
+/// argmax sequence, pass B runs run_lane_task's arithmetic verbatim — so
+/// results stay bitwise identical to the per-lane path. Padded lanes
+/// duplicate a real genome and are scheduled along (their output is never
+/// read); a cyclic graph empties every lane's ready set at the same step, so
+/// the lowest lane throws first, matching lane-major order.
+void schedule_block_lockstep(const LaneSchedCtx& c, BatchScratch& s) {
+  const std::size_t n = c.n;
+  const std::size_t P = c.num_pes;
+
+#ifdef CLR_BATCH_SORTNET
+  // --- Pass A: selection order via sorted keys. Selection is a pure argmax
+  // of (priority, -id) over the dynamic ready set, so embed both components
+  // in one integer key — (priority << 16) | (0xFFFF - id), unique per lane,
+  // total order matching the argmax — and sort each lane's n keys ONCE
+  // through an n-element merge-exchange network (8 lanes per __m256i row).
+  // The ready set then lives in a single per-lane word indexed by sorted
+  // position: each pop is one clz + bit clear, and each ready-push is one
+  // masked bit set through the task -> position map. Replaces the per-
+  // priority bucket rows + occupancy bitmap, whose pop walked two bitmap
+  // levels and touched a [priority][lane] row per step. ---
+  {
+    std::uint32_t* __restrict__ const order = s.order.data();
+    std::uint32_t* __restrict__ const pend = s.pend_b.data();
+    std::uint32_t* __restrict__ const sk = s.sel_key.data();
+    std::uint32_t* __restrict__ const pos_of = s.pos_of.data();
+    const std::int32_t* __restrict__ const bprio = c.bprio;
+    const std::size_t* __restrict__ const out_off = c.out_off;
+    const tg::TaskId* __restrict__ const succ = c.succ;
+
+    // Keys: priority < n <= 64 and id < n keep the key below 2^23, so the
+    // signed 32-bit network compares are exact.
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m256i pr =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bprio + t * kL));
+      const __m256i key = _mm256_or_si256(_mm256_slli_epi32(pr, 16),
+                                          _mm256_set1_epi32(0xFFFF - static_cast<int>(t)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sk + t * kL), key);
+    }
+    {
+      const std::uint32_t* const net = s.sort_net_sel.data();
+      const std::size_t ces = s.sort_net_sel.size();
+      for (std::size_t e = 0; e < ces; ++e) {
+        std::uint32_t* const ki = sk + (net[e] >> 16) * kL;
+        std::uint32_t* const kj = sk + (net[e] & 0xFFFFu) * kL;
+        const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ki));
+        const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kj));
+        const __m256i m = _mm256_cmpgt_epi32(a, b);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(ki), _mm256_blendv_epi8(a, b, m));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(kj), _mm256_blendv_epi8(b, a, m));
+      }
+    }
+    // Invert to task -> position and strip the keys down to task ids (the
+    // pop loop below only ever needs the id at a position).
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t l = 0; l < kL; ++l) {
+        const std::uint32_t t = 0xFFFFu - (sk[p * kL + l] & 0xFFFFu);
+        sk[p * kL + l] = t;
+        pos_of[t * kL + l] = static_cast<std::uint32_t>(p);
+      }
+    }
+
+    std::uint64_t w[kL] = {};  // bit p: task at sorted position p is ready
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto indeg = static_cast<std::uint32_t>(c.in_off[t + 1] - c.in_off[t]);
+      for (std::size_t l = 0; l < kL; ++l) pend[t * kL + l] = indeg;
+      if (indeg == 0) {
+        for (std::size_t l = 0; l < kL; ++l) w[l] |= std::uint64_t{1} << pos_of[t * kL + l];
+      }
+    }
+
+    for (std::size_t done = 0; done < n; ++done) {
+      for (std::size_t l = 0; l < kL; ++l) {
+        std::uint64_t wl = w[l];
+        if (wl == 0) throw std::logic_error("ListScheduler: no ready task (cyclic graph?)");
+        const auto p = static_cast<std::size_t>(63 - std::countl_zero(wl));
+        wl &= ~(std::uint64_t{1} << p);
+        const std::size_t t = sk[p * kL + l];
+        order[done * kL + l] = static_cast<std::uint32_t>(t);
+        for (std::size_t k = out_off[t]; k < out_off[t + 1]; ++k) {
+          const tg::TaskId dst = succ[k];
+          const std::uint32_t pnd = --pend[dst * kL + l];
+          const std::uint64_t m = pnd == 0 ? ~std::uint64_t{0} : std::uint64_t{0};
+          wl |= (std::uint64_t{1} << pos_of[dst * kL + l]) & m;
+        }
+        w[l] = wl;
+      }
+    }
+  }
+#else
+  // --- Pass A: selection order, integer-only (two-level priority bitmap;
+  // selection sequence provably identical to the sorted-key form above:
+  // both pop the unique argmax of (priority, -id) over the ready set). ---
+  {
+    std::uint32_t* __restrict__ const order = s.order.data();
+    std::uint32_t* __restrict__ const pend = s.pend_b.data();
+    std::uint64_t* __restrict__ const bucket = s.bucket_b.data();
+    const std::int32_t* __restrict__ const bprio = c.bprio;
+    const std::size_t* __restrict__ const out_off = c.out_off;
+    const tg::TaskId* __restrict__ const succ = c.succ;
+
+    std::fill(bucket, bucket + n * kL, std::uint64_t{0});
+    std::uint64_t occ[kL] = {};
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto indeg = static_cast<std::uint32_t>(c.in_off[t + 1] - c.in_off[t]);
+      for (std::size_t l = 0; l < kL; ++l) pend[t * kL + l] = indeg;
+      if (indeg == 0) {
+        for (std::size_t l = 0; l < kL; ++l) {
+          const auto pr = static_cast<std::size_t>(bprio[t * kL + l]);
+          bucket[pr * kL + l] |= std::uint64_t{1} << t;
+          occ[l] |= std::uint64_t{1} << pr;
+        }
+      }
+    }
+
+    for (std::size_t done = 0; done < n; ++done) {
+      for (std::size_t l = 0; l < kL; ++l) {
+        const std::uint64_t o = occ[l];
+        if (o == 0) throw std::logic_error("ListScheduler: no ready task (cyclic graph?)");
+        const auto pr = static_cast<std::size_t>(63 - std::countl_zero(o));
+        std::uint64_t w = bucket[pr * kL + l];
+        const auto t = static_cast<std::size_t>(std::countr_zero(w));
+        w &= w - 1;  // pop the lowest id at the highest priority
+        bucket[pr * kL + l] = w;
+        std::uint64_t on = o & ~(static_cast<std::uint64_t>(w == 0 ? 1 : 0) << pr);
+        order[done * kL + l] = static_cast<std::uint32_t>(t);
+        for (std::size_t k = out_off[t]; k < out_off[t + 1]; ++k) {
+          const tg::TaskId dst = succ[k];
+          const std::uint32_t pnd = --pend[dst * kL + l];
+          const std::uint64_t m = pnd == 0 ? ~std::uint64_t{0} : std::uint64_t{0};
+          const auto prd = static_cast<std::size_t>(bprio[dst * kL + l]);
+          bucket[prd * kL + l] |= (std::uint64_t{1} << dst) & m;
+          on |= (std::uint64_t{1} << prd) & m;
+        }
+        occ[l] = on;
+      }
+    }
+  }
+#endif
+
+  // --- Pass B: EST/EFT dataflow + event emission in the recorded order. ---
+  {
+    const std::uint32_t* __restrict__ const order = s.order.data();
+    double* __restrict__ const end = s.end.data();
+    double* __restrict__ const start = s.start.data();
+    double* __restrict__ const pe_free = s.pe_free_b.data();
+    std::uint32_t* __restrict__ const run_pos = s.run_pos_b.data();
+    const double* __restrict__ const ext = s.ext.data();
+    const double* __restrict__ const pow_ = s.pow.data();
+#ifdef CLR_BATCH_SORTNET
+    std::uint64_t* __restrict__ const tk = s.tkey.data();
+    std::uint64_t* __restrict__ const dk = s.dkey.data();
+#else
+    EvalScratch::Event* __restrict__ const ev = s.events.data();
+#endif
+    const std::uint32_t* __restrict__ const bpe = c.bpe;
+    const double* __restrict__ const comm_factor = c.comm_factor;
+    const std::size_t* __restrict__ const in_off = c.in_off;
+    const tg::TaskId* __restrict__ const pred = c.pred;
+    const double* __restrict__ const pred_comm = c.pred_comm;
+
+    for (std::size_t p = 0; p < P; ++p) {
+      for (std::size_t l = 0; l < kL; ++l) {
+        pe_free[p * kL + l] = 0.0;
+        run_pos[p * kL + l] = s.run_off[l * (P + 1) + p];
+      }
+    }
+    std::uint32_t zero_len = 0;  // bit l: lane l saw a zero-length interval
+    [[maybe_unused]] const std::size_t n2 = 2 * n;
+    for (std::size_t step = 0; step < n; ++step) {
+      for (std::size_t l = 0; l < kL; ++l) {
+        const std::size_t t = order[step * kL + l];
+        const std::uint32_t pe = bpe[t * kL + l];
+        double est = pe_free[pe * kL + l];
+        for (std::size_t k = in_off[t]; k < in_off[t + 1]; ++k) {
+          const tg::TaskId src = pred[k];
+          const double cross = pred_comm[k] * comm_factor[bpe[src * kL + l] * c.num_pes + pe];
+          const double comm = bpe[src * kL + l] != pe ? cross : 0.0;
+          est = std::max(est, end[src * kL + l] + comm);
+        }
+        const double fin = est + ext[t * kL + l];
+        start[t * kL + l] = est;
+        end[t * kL + l] = fin;
+        pe_free[pe * kL + l] = fin;
+        const double pw = pow_[t * kL + l];
+        const std::uint32_t slot = run_pos[pe * kL + l];
+        run_pos[pe * kL + l] = slot + 2;
+        const std::uint32_t zl = est == fin ? 1u : 0u;
+        zero_len |= zl << l;
+#ifdef CLR_BATCH_SORTNET
+        // Raw-bit emission for the sorting-network sweep, [slot][lane]
+        // transposed. Both the delta keying (signed_key) and the key-safety
+        // classification are deferred to a vectorized pre-pass in phase 6 —
+        // here the serial scheduling loop just stores the plain bit
+        // patterns. The zero-length slot swap is kept only so both emission
+        // forms stay line-for-line comparable — the full sort makes slot
+        // order irrelevant.
+        tk[(slot + zl) * kL + l] = std::bit_cast<std::uint64_t>(est);
+        dk[(slot + zl) * kL + l] = std::bit_cast<std::uint64_t>(pw);
+        tk[(slot + 1 - zl) * kL + l] = std::bit_cast<std::uint64_t>(fin);
+        dk[(slot + 1 - zl) * kL + l] = std::bit_cast<std::uint64_t>(-pw);
+#else
+        EvalScratch::Event* __restrict__ const lev = ev + l * n2;
+        lev[slot + zl] = {est, pw};
+        lev[slot + 1 - zl] = {fin, -pw};
+#endif
+      }
+    }
+    for (std::size_t l = 0; l < kL; ++l) {
+      s.zero_len[l] = (zero_len >> l) & 1u;
+    }
+  }
+}
+
+#ifdef CLR_BATCH_SORTNET
+/// Wapp sweep of a whole lockstep block in SIMD — the phase-6 counterpart of
+/// schedule_block_lockstep. The per-lane merge sweep (sweep_merge_runs) is
+/// latency-bound: every merge step is a serial chain of data-dependent
+/// selects with near-50/50 outcomes, so one lane at a time leaves the core
+/// mostly idle. This path removes the data dependence from the control
+/// structure entirely:
+///
+///   * Pass B emitted each event as a pair of integer sort keys in
+///     [slot][lane] layout — finite times >= 0 compare as raw bit patterns,
+///     deltas through the signed_key bijection.
+///   * A Batcher merge-exchange network sorts all kLanes slabs at once: the
+///     compare-exchange sequence is fixed by 2n alone, so every step is the
+///     same 64-bit SIMD compare+blend on all lanes regardless of the data —
+///     no branches, no merge cursors, full lane parallelism. The network
+///     also absorbs locally-unsorted runs from zero-length intervals, so
+///     the zero_len full-sort special case disappears on this path.
+///   * The running-sum/peak scan then reads the sorted [slot][lane] delta
+///     rows vectorized across lanes: per lane it is the scalar helper's
+///     exact add/max sequence into an independent accumulator.
+///
+/// Tie freedom: with key_unsafe lanes excluded (±0.0 deltas, negative/NaN
+/// times), events with equal (time, delta) doubles are bitwise identical and
+/// so are their keys — any sorted order the network produces yields the
+/// reference's value sequence bit for bit. Writes s.peak for every lane;
+/// key_unsafe lanes are overwritten by the exact fallback afterwards.
+void sweep_block_sorted(std::size_t n2, BatchScratch& s) {
+  std::uint64_t* const tk = s.tkey.data();
+  std::uint64_t* const dk = s.dkey.data();
+  const std::uint32_t* const net = s.sort_net.data();
+  const std::size_t ces = s.sort_net.size();
+  for (std::size_t e = 0; e < ces; ++e) {
+    const std::size_t i = net[e] >> 16;
+    const std::size_t j = net[e] & 0xFFFFu;
+    std::uint64_t* const ti = tk + i * kL;
+    std::uint64_t* const tj = tk + j * kL;
+    std::uint64_t* const di = dk + i * kL;
+    std::uint64_t* const dj = dk + j * kL;
+    for (std::size_t v = 0; v < kL; v += 4) {
+      const __m256i ta = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ti + v));
+      const __m256i tb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tj + v));
+      const __m256i da = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(di + v));
+      const __m256i db = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dj + v));
+      // Exchange where (tb, db) <lex (ta, da), strictly — equal keys stay put.
+      const __m256i m = _mm256_or_si256(
+          _mm256_cmpgt_epi64(ta, tb),
+          _mm256_and_si256(_mm256_cmpeq_epi64(ta, tb), _mm256_cmpgt_epi64(da, db)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ti + v), _mm256_blendv_epi8(ta, tb, m));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(tj + v), _mm256_blendv_epi8(tb, ta, m));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(di + v), _mm256_blendv_epi8(da, db, m));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dj + v), _mm256_blendv_epi8(db, da, m));
+    }
+  }
+  // Fused running-sum/peak scan over the sorted delta rows, all lanes at
+  // once. max operand order matches std::max(peak, current): current is the
+  // first maxpd operand so peak survives when the compare is false.
+  const __m256i zero = _mm256_setzero_si256();
+  __m256d cur0 = _mm256_setzero_pd(), cur1 = _mm256_setzero_pd();
+  __m256d pk0 = _mm256_setzero_pd(), pk1 = _mm256_setzero_pd();
+  for (std::size_t k2 = 0; k2 < n2; ++k2) {
+    const __m256i kd0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dk + k2 * kL));
+    const __m256i kd1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dk + k2 * kL + 4));
+    // signed_key is an involution: key ^ (arith-shift(key) >> 1) restores
+    // the delta's bit pattern (cmpgt gives the all-ones mask for key < 0).
+    const __m256i b0 = _mm256_xor_si256(kd0, _mm256_srli_epi64(_mm256_cmpgt_epi64(zero, kd0), 1));
+    const __m256i b1 = _mm256_xor_si256(kd1, _mm256_srli_epi64(_mm256_cmpgt_epi64(zero, kd1), 1));
+    cur0 = _mm256_add_pd(cur0, _mm256_castsi256_pd(b0));
+    cur1 = _mm256_add_pd(cur1, _mm256_castsi256_pd(b1));
+    pk0 = _mm256_max_pd(cur0, pk0);
+    pk1 = _mm256_max_pd(cur1, pk1);
+  }
+  _mm256_storeu_pd(s.peak, pk0);
+  _mm256_storeu_pd(s.peak + 4, pk1);
+}
+#endif
+
+/// Linear-scan fallback for lanes with out-of-range priorities — the same
+/// selection loop as the scalar kernel's fallback.
+void schedule_lane_linear(const LaneSchedCtx& c, BatchScratch& s, std::size_t l) {
+  const std::size_t n = c.n;
+  std::size_t ready_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    s.pending[t] = static_cast<std::uint32_t>(c.in_off[t + 1] - c.in_off[t]);
+    if (s.pending[t] == 0) s.ready[ready_count++] = static_cast<std::uint32_t>(t);
+  }
+  EvalScratch::Event* ev = s.events.data() + l * 2 * n;
+  bool zero_len = false;
+  for (std::size_t done = 0; done < n; ++done) {
+    if (ready_count == 0) throw std::logic_error("ListScheduler: no ready task (cyclic graph?)");
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < ready_count; ++k) {
+      const tg::TaskId a = s.ready[k];
+      const tg::TaskId b = s.ready[best];
+      if (c.bprio[a * kL + l] != c.bprio[b * kL + l]) {
+        if (c.bprio[a * kL + l] > c.bprio[b * kL + l]) best = k;
+      } else if (a < b) {
+        best = k;
+      }
+    }
+    const tg::TaskId t = s.ready[best];
+    s.ready[best] = s.ready[--ready_count];
+    zero_len |= run_lane_task<1>(c, s, l, t, ev, s.pe_free.data(), s.run_pos.data());
+    for (std::size_t k = c.out_off[t]; k < c.out_off[t + 1]; ++k) {
+      const tg::TaskId dst = c.succ[k];
+      if (--s.pending[dst] == 0) s.ready[ready_count++] = dst;
+    }
+  }
+  s.zero_len[l] = zero_len;
+}
+
+}  // namespace
+
+void CLR_BATCH_KERNEL_FN(const CompiledGraph& g, const BatchGenomes& bg, std::size_t lanes,
+                         BatchScratch& s, KernelMetrics* out) {
+  namespace sv = clr::simd;
+  using A = BatchKernelAccess;
+  static_assert(kL % sv::kWidth == 0, "kLanes must be a multiple of the backend width");
+  constexpr std::size_t NV = kL / sv::kWidth;
+
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = g.num_pes();
+  const std::size_t clr_size = A::clr_size(g);
+  const std::size_t* impl_off = A::impl_off(g);
+  const plat::PeTypeId* impl_pe_type = A::impl_pe_type(g);
+  const plat::PeTypeId* pe_type_of = A::pe_type_of(g);
+  const A::Packed* kt = A::kernel_table(g);
+  const double* norm_crit = A::norm_crit(g);
+  const std::uint32_t* bpe = bg.pe();
+  const std::uint32_t* bimpl = bg.impl();
+  const std::uint32_t* bclr = bg.clr();
+  const std::int32_t* bprio = bg.prio();
+
+  // --- Phase 1: validation + metric-row resolution + per-lane power-run
+  // layout. Same checks, order and messages as the scalar kernel, lane-major
+  // so a sequential evaluation of the same genomes would throw first on the
+  // same (genome, task). ---
+#ifdef CLR_BATCH_SORTNET
+  // Vectorized fast path: all four range/compatibility checks fold into one
+  // accumulated violation mask (8 lanes per __m256i row), gathers run over
+  // clamped indices so they stay in-bounds even for out-of-range genes, and
+  // the metric row resolves arithmetically. Genomes decoded from the GA never
+  // violate, so the mask test fails essentially never; when it does fire, the
+  // whole phase re-runs through the scalar lane-major loop below, which
+  // throws the exact exception, on the same (genome, task), as a sequential
+  // evaluation would.
+  bool phase1_fallback = false;
+  {
+    std::fill(s.run_off.begin(), s.run_off.end(), 0u);
+    __m256i bad = _mm256_setzero_si256();
+    __m256i okb = _mm256_set1_epi32(-1);
+    const __m256i vn = _mm256_set1_epi32(static_cast<int>(n));
+    const __m256i vP = _mm256_set1_epi32(static_cast<int>(P));
+    const __m256i pclamp = _mm256_set1_epi32(static_cast<int>(P - 1));
+    const __m256i vclr = _mm256_set1_epi32(static_cast<int>(clr_size));
+    const __m256i ones = _mm256_set1_epi32(-1);
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto icnt = static_cast<std::uint32_t>(impl_off[t + 1] - impl_off[t]);
+      if (icnt == 0) {  // no implementation can be valid; message order moot
+        bad = ones;
+        continue;
+      }
+      const __m256i vi =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bimpl + t * kL));
+      const __m256i vcnt = _mm256_set1_epi32(static_cast<int>(icnt));
+      // Unsigned x >= limit as max_epu32(x, limit) == x.
+      bad = _mm256_or_si256(bad, _mm256_cmpeq_epi32(_mm256_max_epu32(vi, vcnt), vi));
+      const __m256i vp = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bpe + t * kL));
+      bad = _mm256_or_si256(bad, _mm256_cmpeq_epi32(_mm256_max_epu32(vp, vP), vp));
+      const __m256i vi_c = _mm256_min_epu32(vi, _mm256_set1_epi32(static_cast<int>(icnt - 1)));
+      const __m256i vp_c = _mm256_min_epu32(vp, pclamp);
+      const __m256i trow = _mm256_add_epi32(vi_c, _mm256_set1_epi32(static_cast<int>(impl_off[t])));
+      const __m256i ty_impl =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(impl_pe_type), trow, 4);
+      const __m256i ty_pe =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(pe_type_of), vp_c, 4);
+      bad = _mm256_or_si256(bad, _mm256_xor_si256(_mm256_cmpeq_epi32(ty_impl, ty_pe), ones));
+      const __m256i vc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bclr + t * kL));
+      bad = _mm256_or_si256(bad, _mm256_cmpeq_epi32(_mm256_max_epu32(vc, vclr), vc));
+      const __m256i mrow = _mm256_add_epi32(_mm256_mullo_epi32(trow, vclr), vc);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s.mrow.data() + t * kL), mrow);
+      const __m256i pr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bprio + t * kL));
+      okb = _mm256_and_si256(
+          okb, _mm256_and_si256(_mm256_cmpgt_epi32(pr, ones), _mm256_cmpgt_epi32(vn, pr)));
+      for (std::size_t l = 0; l < kL; ++l) {
+        s.run_off[l * (P + 1) + bpe[t * kL + l] + 1] += 2;
+      }
+    }
+    phase1_fallback = _mm256_movemask_epi8(bad) != 0;
+    if (!phase1_fallback) {
+      const int okm = _mm256_movemask_ps(_mm256_castsi256_ps(okb));
+      for (std::size_t l = 0; l < kL; ++l) {
+        std::uint32_t* ro = s.run_off.data() + l * (P + 1);
+        for (std::size_t p = 0; p < P; ++p) ro[p + 1] += ro[p];
+        s.bucketable[l] = ((okm >> l) & 1) != 0;
+      }
+    }
+  }
+  if (phase1_fallback)
+#endif
+  for (std::size_t l = 0; l < kL; ++l) {
+    std::uint32_t* ro = s.run_off.data() + l * (P + 1);
+    std::fill(ro, ro + P + 1, 0u);
+    bool bucketable = true;
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint32_t impl_index = bimpl[t * kL + l];
+      if (impl_index >= impl_off[t + 1] - impl_off[t]) {
+        throw std::invalid_argument("ListScheduler: impl_index out of range");
+      }
+      const std::uint32_t pe = bpe[t * kL + l];
+      if (pe >= P) {
+        throw std::invalid_argument("ListScheduler: PE id out of range");
+      }
+      const std::size_t row = impl_off[t] + impl_index;
+      if (impl_pe_type[row] != pe_type_of[pe]) {
+        throw std::invalid_argument("ListScheduler: implementation incompatible with bound PE");
+      }
+      const std::uint32_t clr = bclr[t * kL + l];
+      if (clr >= clr_size) {
+        throw std::invalid_argument("ListScheduler: clr_index out of range");
+      }
+      s.mrow[t * kL + l] = static_cast<std::uint32_t>(row * clr_size + clr);
+      ro[pe + 1] += 2;
+      const std::int32_t pr = bprio[t * kL + l];
+      bucketable = bucketable && pr >= 0 && static_cast<std::size_t>(pr) < n;
+    }
+    for (std::size_t p = 0; p < P; ++p) ro[p + 1] += ro[p];
+    s.bucketable[l] = bucketable;
+  }
+
+  // --- Phase 2: gather the packed metric columns into [task][lane] SoA rows
+  // (bitwise copies; each row of the packed table is half a cache line, and
+  // the 8 lanes of a task give the gather natural memory-level parallelism).
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::uint32_t* mr = s.mrow.data() + t * kL;
+    double* ex = s.ext.data() + t * kL;
+    double* pw = s.pow.data() + t * kL;
+    double* er = s.err.data() + t * kL;
+    double* mt = s.mttf.data() + t * kL;
+    for (std::size_t l = 0; l < kL; ++l) {
+      const A::Packed& pm = kt[mr[l]];
+      ex[l] = pm.avg_ext;
+      pw[l] = pm.avg_power;
+      er[l] = pm.err_prob;
+      mt[l] = pm.mttf;
+    }
+  }
+
+  // --- Phase 3: per-lane list scheduling, cache-blocked over the batch (all
+  // lanes share the warm topology/metric lines fetched above). Only active
+  // lanes are scheduled; padded lanes keep stale windows that the vector
+  // phases read (finite values) and the output writes never touch. ---
+  LaneSchedCtx c;
+  c.n = n;
+  c.num_pes = P;
+  c.in_off = A::in_off(g);
+  c.out_off = A::out_off(g);
+  c.pred = A::pred(g);
+  c.succ = A::succ(g);
+  c.pred_comm = A::pred_comm(g);
+  c.comm_factor = A::comm_factor(g);
+  c.bpe = bpe;
+  c.bprio = bprio;
+  bool all_bucketable = true;
+  for (std::size_t l = 0; l < kL; ++l) all_bucketable = all_bucketable && s.bucketable[l];
+  const bool lockstep = all_bucketable && n <= 64;
+  if (lockstep) {
+    schedule_block_lockstep(c, s);
+  } else {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::fill(s.pe_free.begin(), s.pe_free.end(), 0.0);
+      const std::uint32_t* ro = s.run_off.data() + l * (P + 1);
+      for (std::size_t p = 0; p < P; ++p) s.run_pos[p] = ro[p];
+      if (!s.bucketable[l]) {
+        schedule_lane_linear(c, s, l);
+      } else if (n <= 64) {
+        schedule_lane_bucketed<true>(c, s, l);
+      } else {
+        schedule_lane_bucketed<false>(c, s, l);
+      }
+    }
+  }
+
+  // --- Phase 4: Table 3 accumulators, vectorized across lanes. Ascending
+  // task order per lane = the scalar kernel's exact value sequence into each
+  // independent accumulator. ---
+  {
+    sv::VecD frel[NV], en[NV], ms[NV];
+    for (std::size_t v = 0; v < NV; ++v) frel[v] = en[v] = ms[v] = sv::set1(0.0);
+    const sv::VecD one = sv::set1(1.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const sv::VecD crit = sv::set1(norm_crit[t]);
+      const double* er = s.err.data() + t * kL;
+      const double* ex = s.ext.data() + t * kL;
+      const double* pw = s.pow.data() + t * kL;
+      const double* fin = s.end.data() + t * kL;
+      for (std::size_t v = 0; v < NV; ++v) {
+        const std::size_t o = v * sv::kWidth;
+        frel[v] = sv::add(frel[v], sv::mul(sv::sub(one, sv::load(er + o)), crit));
+        en[v] = sv::add(en[v], sv::mul(sv::load(ex + o), sv::load(pw + o)));
+        ms[v] = sv::max(ms[v], sv::load(fin + o));
+      }
+    }
+    for (std::size_t v = 0; v < NV; ++v) {
+      sv::store(s.acc_frel + v * sv::kWidth, frel[v]);
+      sv::store(s.acc_energy + v * sv::kWidth, en[v]);
+      sv::store(s.acc_ms + v * sv::kWidth, ms[v]);
+    }
+  }
+
+  // --- Phase 5: aging-limited lifetime. The ~2n divisions dominate the
+  // scalar metric phase; here they vectorize across lanes, while the per-PE
+  // scatter stays scalar in (task-outer, lane-inner) order so every
+  // (lane, PE) accumulator sees the scalar kernel's addition order. Lanes
+  // with makespan 0 scatter nothing, leaving all their rates 0, so the
+  // 1/0 = +inf reduction below lands them on system_mttf = 0 exactly like
+  // the scalar path's skipped block. ---
+  std::fill(s.aging.begin(), s.aging.end(), 0.0);
+  {
+    sv::VecD msv[NV];
+    for (std::size_t v = 0; v < NV; ++v) msv[v] = sv::load(s.acc_ms + v * sv::kWidth);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double* ex = s.ext.data() + t * kL;
+      const double* mt = s.mttf.data() + t * kL;
+      for (std::size_t v = 0; v < NV; ++v) {
+        const std::size_t o = v * sv::kWidth;
+        sv::store(s.lane_tmp + o, sv::div(sv::div(sv::load(ex + o), msv[v]), sv::load(mt + o)));
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (mt[l] > 0.0 && s.acc_ms[l] > 0.0) {
+          s.aging[bpe[t * kL + l] * kL + l] += s.lane_tmp[l];
+        }
+      }
+    }
+    sv::VecD minv[NV];
+    const sv::VecD one = sv::set1(1.0);
+    for (std::size_t v = 0; v < NV; ++v) {
+      minv[v] = sv::set1(std::numeric_limits<double>::infinity());
+    }
+    for (std::size_t p = 0; p < P; ++p) {
+      const double* ar = s.aging.data() + p * kL;
+      for (std::size_t v = 0; v < NV; ++v) {
+        // 1/0 = +inf never wins the min — identical to skipping rate == 0.
+        minv[v] = sv::min(minv[v], sv::div(one, sv::load(ar + v * sv::kWidth)));
+      }
+    }
+    for (std::size_t v = 0; v < NV; ++v) sv::store(s.acc_mttf + v * sv::kWidth, minv[v]);
+  }
+
+  // --- Phase 6: Wapp sweep. On the AVX2 TU the lockstep path emitted
+  // key-form events and sweeps the whole block through the sorting network;
+  // key_unsafe lanes are reconstructed from the keys BEFORE the network
+  // scrambles the emission order, then re-swept through the scalar kernel's
+  // exact helper dispatch (zero_len -> full sort, else per-PE-run merge) so
+  // even pathological inputs (±0.0 power, non-finite times) reproduce the
+  // scalar path bit for bit. The per-lane scheduling paths (and the whole
+  // portable TU) emit plain events and use those helpers directly. ---
+#ifdef CLR_BATCH_SORTNET
+  if (lockstep) {
+    // Fused key-safety scan + delta keying over the raw-bit emission of
+    // Pass B, all lanes at once. A lane is key-safe when every time is
+    // >= 0.0 as a double (raw bits then order like signed integers), every
+    // delta is nonzero and ordered (signed_key then orders like doubles;
+    // _CMP_NEQ_OQ rejects ±0.0 and NaN), and every execution time is
+    // >= 0.0 (with est >= 0 this gives fin >= est per interval). That is a
+    // conservative subset of the per-emission criterion the scheduling
+    // loop used to compute — over-flagged lanes just take the exact
+    // fallback below. The same loop keys the delta rows in place.
+    {
+      std::uint64_t* const dkp = s.dkey.data();
+      const std::uint64_t* const tkp = s.tkey.data();
+      const __m256d dzero = _mm256_setzero_pd();
+      const __m256i izero = _mm256_setzero_si256();
+      __m256d ok0 = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+      __m256d ok1 = ok0;
+      for (std::size_t k2 = 0; k2 < 2 * n; ++k2) {
+        const double* const tr = reinterpret_cast<const double*>(tkp + k2 * kL);
+        ok0 = _mm256_and_pd(ok0, _mm256_cmp_pd(_mm256_loadu_pd(tr), dzero, _CMP_GE_OQ));
+        ok1 = _mm256_and_pd(ok1, _mm256_cmp_pd(_mm256_loadu_pd(tr + 4), dzero, _CMP_GE_OQ));
+        __m256i* const dr = reinterpret_cast<__m256i*>(dkp + k2 * kL);
+        const __m256i d0 = _mm256_loadu_si256(dr);
+        const __m256i d1 = _mm256_loadu_si256(dr + 1);
+        ok0 = _mm256_and_pd(ok0, _mm256_cmp_pd(_mm256_castsi256_pd(d0), dzero, _CMP_NEQ_OQ));
+        ok1 = _mm256_and_pd(ok1, _mm256_cmp_pd(_mm256_castsi256_pd(d1), dzero, _CMP_NEQ_OQ));
+        // signed_key, lane-parallel: b ^ ((b >> 63 arithmetic) >> 1).
+        _mm256_storeu_si256(
+            dr, _mm256_xor_si256(d0, _mm256_srli_epi64(_mm256_cmpgt_epi64(izero, d0), 1)));
+        _mm256_storeu_si256(
+            dr + 1, _mm256_xor_si256(d1, _mm256_srli_epi64(_mm256_cmpgt_epi64(izero, d1), 1)));
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        const double* const xr = s.ext.data() + t * kL;
+        ok0 = _mm256_and_pd(ok0, _mm256_cmp_pd(_mm256_loadu_pd(xr), dzero, _CMP_GE_OQ));
+        ok1 = _mm256_and_pd(ok1, _mm256_cmp_pd(_mm256_loadu_pd(xr + 4), dzero, _CMP_GE_OQ));
+      }
+      const int okm = _mm256_movemask_pd(ok0) | (_mm256_movemask_pd(ok1) << 4);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        s.key_unsafe[l] = ((okm >> l) & 1) == 0;
+      }
+    }
+    bool unsafe_any = false;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (!s.key_unsafe[l]) continue;
+      unsafe_any = true;
+      // signed_key is an involution, so un-keying restores the exact bits
+      // run_lane_task would have emitted, in the same slots.
+      EvalScratch::Event* ev = s.events.data() + l * 2 * n;
+      for (std::size_t k2 = 0; k2 < 2 * n; ++k2) {
+        ev[k2].time = std::bit_cast<double>(s.tkey[k2 * kL + l]);
+        ev[k2].delta = std::bit_cast<double>(signed_key(s.dkey[k2 * kL + l]));
+      }
+    }
+    sweep_block_sorted(2 * n, s);
+    if (unsafe_any) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if (!s.key_unsafe[l]) continue;
+        EvalScratch::Event* ev = s.events.data() + l * 2 * n;
+        s.peak[l] = s.zero_len[l]
+                        ? sweep_sorted_events(ev, 2 * n)
+                        : sweep_merge_runs(ev, s.events2.data(), s.run_off.data() + l * (P + 1),
+                                           s.run_off2.data(), P, 2 * n);
+      }
+    }
+  } else
+#endif
+  {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      EvalScratch::Event* ev = s.events.data() + l * 2 * n;
+      if (s.zero_len[l]) {
+        s.peak[l] = sweep_sorted_events(ev, 2 * n);
+      } else {
+        s.peak[l] = sweep_merge_runs(ev, s.events2.data(), s.run_off.data() + l * (P + 1),
+                                     s.run_off2.data(), P, 2 * n);
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    out[l].makespan = s.acc_ms[l];
+    out[l].func_rel = s.acc_frel[l];
+    out[l].peak_power = s.peak[l];
+    out[l].energy = s.acc_energy[l];
+    out[l].system_mttf =
+        s.acc_ms[l] > 0.0 && std::isfinite(s.acc_mttf[l]) ? s.acc_mttf[l] : 0.0;
+  }
+}
+
+}  // namespace clr::sched::detail

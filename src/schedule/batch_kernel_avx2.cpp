@@ -1,0 +1,8 @@
+// AVX2 instantiation of the batched block kernel. This translation unit is
+// only added to the build on x86-64 when the compiler accepts -mavx2 (see
+// src/schedule/CMakeLists.txt, CLR_HAVE_AVX2_TU); CompiledGraph::
+// evaluate_block dispatches to it via __builtin_cpu_supports("avx2").
+// -mfma is deliberately NOT enabled: fused multiply-add changes rounding
+// and would break the bit-identity contract.
+#define CLR_BATCH_KERNEL_FN evaluate_block_avx2
+#include "schedule/batch_kernel.inl"

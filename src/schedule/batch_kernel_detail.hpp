@@ -1,0 +1,150 @@
+#pragma once
+// Internals shared between the scalar kernel (compiled_graph.cpp) and the
+// two batched-kernel translation units (batch_kernel_portable.cpp /
+// batch_kernel_avx2.cpp — see batch_kernel.inl). Not part of the public
+// schedule/ API.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "schedule/batch.hpp"
+#include "schedule/compiled_graph.hpp"
+
+namespace clr::sched::detail {
+
+/// Private-table access for the out-of-class batched kernel; CompiledGraph
+/// befriends this struct so the hot tables stay private everywhere else.
+struct BatchKernelAccess {
+  using Packed = CompiledGraph::PackedMetrics;
+
+  static std::size_t clr_size(const CompiledGraph& g) { return g.clr_size_; }
+  static const std::size_t* out_off(const CompiledGraph& g) { return g.out_off_.data(); }
+  static const std::size_t* in_off(const CompiledGraph& g) { return g.in_off_.data(); }
+  static const tg::TaskId* succ(const CompiledGraph& g) { return g.succ_.data(); }
+  static const tg::TaskId* pred(const CompiledGraph& g) { return g.pred_.data(); }
+  static const double* pred_comm(const CompiledGraph& g) { return g.pred_comm_.data(); }
+  static const double* norm_crit(const CompiledGraph& g) { return g.norm_crit_.data(); }
+  static const std::size_t* impl_off(const CompiledGraph& g) { return g.impl_off_.data(); }
+  static const plat::PeTypeId* impl_pe_type(const CompiledGraph& g) {
+    return g.impl_pe_type_.data();
+  }
+  static const Packed* kernel_table(const CompiledGraph& g) { return g.kernel_table_.data(); }
+  static const plat::PeTypeId* pe_type_of(const CompiledGraph& g) { return g.pe_type_of_.data(); }
+  static const double* comm_factor(const CompiledGraph& g) { return g.comm_factor_.data(); }
+};
+
+/// Wapp sweep over 2n events that may contain zero-length intervals: a full
+/// (time, delta) sort followed by the running-sum scan. Any ordering sorted
+/// by that key yields the same value sequence — events with equal keys are
+/// bitwise identical — so this sums exactly what the reference's globally
+/// sorted sweep sums.
+inline double sweep_sorted_events(EvalScratch::Event* ev, std::size_t n2) {
+  std::sort(ev, ev + n2, [](const EvalScratch::Event& a, const EvalScratch::Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;  // releases before acquisitions at ties
+  });
+  double peak = 0.0;
+  double current = 0.0;
+  for (std::size_t k = 0; k < n2; ++k) {
+    current += ev[k].delta;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+/// Wapp sweep over `runs` per-PE sorted event runs (2n events total):
+/// bottom-up 4-way merge passes through the ping-pong buffer, with the final
+/// one-or-two-run pass fused into the running-sum sweep. All selects go
+/// through integers/cmovs — the comparison outcomes are data-dependent
+/// near-50/50 and branches here mispredict their way to dominating the whole
+/// kernel. Ties may resolve either way: equal-key events are bitwise
+/// identical. Consumes/overwrites all four arrays.
+inline double sweep_merge_runs(EvalScratch::Event* src, EvalScratch::Event* dst,
+                               std::uint32_t* off_cur, std::uint32_t* off_next, std::size_t runs,
+                               std::size_t n2) {
+  constexpr EvalScratch::Event kDrained{std::numeric_limits<double>::infinity(),
+                                        std::numeric_limits<double>::infinity()};
+  const auto before = [](const EvalScratch::Event& x, const EvalScratch::Event& y) {
+    return x.time < y.time || (x.time == y.time && x.delta < y.delta);
+  };
+  const std::uint32_t clamp = n2 > 0 ? static_cast<std::uint32_t>(n2 - 1) : 0u;
+  while (runs > 2) {
+    std::size_t out = 0;
+    off_next[0] = 0;
+    for (std::size_t r = 0; r < runs; r += 4) {
+      std::uint32_t cur[4];
+      std::uint32_t lim[4];
+      EvalScratch::Event h[4];
+      for (std::size_t q = 0; q < 4; ++q) {
+        cur[q] = off_cur[std::min(r + q, runs)];
+        lim[q] = off_cur[std::min(r + q + 1, runs)];
+        h[q] = cur[q] < lim[q] ? src[cur[q]] : kDrained;
+      }
+      const std::uint32_t k_end = lim[3];
+      for (std::uint32_t k = cur[0]; k < k_end; ++k) {
+        const std::uint32_t w01 = before(h[1], h[0]) ? 1u : 0u;
+        const std::uint32_t w23 = before(h[3], h[2]) ? 3u : 2u;
+        const std::uint32_t w = before(h[w23], h[w01]) ? w23 : w01;
+        dst[k] = h[w];
+        const std::uint32_t c = cur[w] + 1;
+        cur[w] = c;
+        // Clamped speculative load keeps the refill branch-free; the select
+        // swaps in the sentinel when the run is drained.
+        const EvalScratch::Event ld = src[c < lim[w] ? c : clamp];
+        h[w] = c < lim[w] ? ld : kDrained;
+      }
+      off_next[++out] = k_end;
+    }
+    std::swap(src, dst);
+    std::swap(off_cur, off_next);
+    runs = out;
+  }
+
+  double peak = 0.0;
+  double current = 0.0;
+  if (runs <= 1) {
+    for (std::size_t k = 0; k < n2; ++k) {
+      current += src[k].delta;
+      peak = std::max(peak, current);
+    }
+    return peak;
+  }
+  std::uint32_t i = off_cur[0];
+  const std::uint32_t i_end = off_cur[1];
+  std::uint32_t j = i_end;
+  const std::uint32_t j_end = off_cur[2];
+  while (i < i_end && j < j_end) {
+    const EvalScratch::Event& ea = src[i];
+    const EvalScratch::Event& eb = src[j];
+    const bool take_b = eb.time < ea.time || (eb.time == ea.time && eb.delta < ea.delta);
+    const std::uint32_t sel = take_b ? j : i;
+    current += src[sel].delta;
+    peak = std::max(peak, current);
+    i += static_cast<std::uint32_t>(!take_b);
+    j += static_cast<std::uint32_t>(take_b);
+  }
+  for (; i < i_end; ++i) {
+    current += src[i].delta;
+    peak = std::max(peak, current);
+  }
+  for (; j < j_end; ++j) {
+    current += src[j].delta;
+    peak = std::max(peak, current);
+  }
+  return peak;
+}
+
+// The batched block kernel, compiled once with portable flags and (on
+// x86-64, when the compiler supports it) once with -mavx2; CompiledGraph::
+// evaluate_block picks via __builtin_cpu_supports at first use. Both
+// instantiations perform identical IEEE operations — dispatch can never
+// change results (DESIGN.md §5.10).
+void evaluate_block_portable(const CompiledGraph& g, const BatchGenomes& bg, std::size_t lanes,
+                             BatchScratch& s, KernelMetrics* out);
+#if defined(CLR_HAVE_AVX2_TU)
+void evaluate_block_avx2(const CompiledGraph& g, const BatchGenomes& bg, std::size_t lanes,
+                         BatchScratch& s, KernelMetrics* out);
+#endif
+
+}  // namespace clr::sched::detail

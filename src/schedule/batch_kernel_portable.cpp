@@ -1,0 +1,6 @@
+// Portable instantiation of the batched block kernel: compiled with the
+// project's default flags, so common/simd.hpp resolves to SSE2 on x86-64,
+// NEON on aarch64 and the scalar fallback elsewhere (or everywhere under
+// CLR_FORCE_SCALAR). See batch_kernel.inl.
+#define CLR_BATCH_KERNEL_FN evaluate_block_portable
+#include "schedule/batch_kernel.inl"

@@ -6,6 +6,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+#include "schedule/batch.hpp"
+#include "schedule/batch_kernel_detail.hpp"
+
 namespace clr::sched {
 
 void EvalScratch::bind(std::size_t num_tasks, std::size_t num_pes) {
@@ -156,6 +160,7 @@ CompiledGraph::CompiledGraph(const EvalContext& ctx) : ctx_(&ctx) {
                               : std::numeric_limits<double>::quiet_NaN();
   }
 }
+
 
 KernelMetrics CompiledGraph::evaluate(const Configuration& cfg, EvalScratch& s) const {
   if (cfg.size() != num_tasks_) {
@@ -347,108 +352,57 @@ KernelMetrics CompiledGraph::evaluate(const Configuration& cfg, EvalScratch& s) 
     m.system_mttf = std::isfinite(min_mttf) ? min_mttf : 0.0;
   }
 
-  // Wapp sweep over the per-PE event runs. Any ordering that is sorted by
-  // (time, delta) yields the same value sequence — events with equal keys
-  // are bitwise-identical — so the k-way merge (or, in the degenerate
-  // zero-length case, a full sort) sums exactly what the reference's
-  // globally sorted sweep sums.
+  // Wapp sweep over the per-PE event runs (shared with the batched kernel;
+  // see batch_kernel_detail.hpp for the determinism argument).
   if (zero_len) {
-    std::sort(s.events.begin(), s.events.begin() + static_cast<std::ptrdiff_t>(2 * num_tasks_),
-              [](const EvalScratch::Event& a, const EvalScratch::Event& b) {
-                if (a.time != b.time) return a.time < b.time;
-                return a.delta < b.delta;  // releases before acquisitions at ties
-              });
-    double current = 0.0;
-    for (std::size_t k = 0; k < 2 * num_tasks_; ++k) {
-      current += s.events[k].delta;
-      m.peak_power = std::max(m.peak_power, current);
-    }
-    return m;
+    m.peak_power = detail::sweep_sorted_events(s.events.data(), 2 * num_tasks_);
+  } else {
+    m.peak_power = detail::sweep_merge_runs(s.events.data(), s.events2.data(), s.run_off.data(),
+                                            s.run_off2.data(), num_pes_, 2 * num_tasks_);
   }
-
-  // Bottom-up 4-way merge passes over the per-PE runs through the ping-pong
-  // buffer (runs may be empty; short groups are padded with empty runs whose
-  // head is a +inf sentinel). All selects go through integers/cmovs — the
-  // comparison outcomes are data-dependent near-50/50 and branches here
-  // mispredict their way to dominating the whole kernel. Ties may resolve
-  // either way: equal-key events are bitwise identical.
-  EvalScratch::Event* src = s.events.data();
-  EvalScratch::Event* dst = s.events2.data();
-  std::uint32_t* off_cur = s.run_off.data();
-  std::uint32_t* off_next = s.run_off2.data();
-  std::size_t runs = num_pes_;
-  constexpr EvalScratch::Event kDrained{std::numeric_limits<double>::infinity(),
-                                        std::numeric_limits<double>::infinity()};
-  const auto before = [](const EvalScratch::Event& x, const EvalScratch::Event& y) {
-    return x.time < y.time || (x.time == y.time && x.delta < y.delta);
-  };
-  const std::uint32_t clamp = static_cast<std::uint32_t>(2 * num_tasks_ - 1);
-  while (runs > 2) {
-    std::size_t out = 0;
-    off_next[0] = 0;
-    for (std::size_t r = 0; r < runs; r += 4) {
-      std::uint32_t cur[4];
-      std::uint32_t lim[4];
-      EvalScratch::Event h[4];
-      for (std::size_t q = 0; q < 4; ++q) {
-        cur[q] = off_cur[std::min(r + q, runs)];
-        lim[q] = off_cur[std::min(r + q + 1, runs)];
-        h[q] = cur[q] < lim[q] ? src[cur[q]] : kDrained;
-      }
-      const std::uint32_t k_end = lim[3];
-      for (std::uint32_t k = cur[0]; k < k_end; ++k) {
-        const std::uint32_t w01 = before(h[1], h[0]) ? 1u : 0u;
-        const std::uint32_t w23 = before(h[3], h[2]) ? 3u : 2u;
-        const std::uint32_t w = before(h[w23], h[w01]) ? w23 : w01;
-        dst[k] = h[w];
-        const std::uint32_t c = cur[w] + 1;
-        cur[w] = c;
-        // Clamped speculative load keeps the refill branch-free; the select
-        // swaps in the sentinel when the run is drained.
-        const EvalScratch::Event ld = src[c < lim[w] ? c : clamp];
-        h[w] = c < lim[w] ? ld : kDrained;
-      }
-      off_next[++out] = k_end;
-    }
-    std::swap(src, dst);
-    std::swap(off_cur, off_next);
-    runs = out;
-  }
-
-  // Final pass fused with the running-sum sweep: the last one or two runs
-  // feed the accumulator directly in merged order, never materialized.
-  double current = 0.0;
-  if (runs <= 1) {
-    for (std::size_t k = 0; k < 2 * num_tasks_; ++k) {
-      current += src[k].delta;
-      m.peak_power = std::max(m.peak_power, current);
-    }
-    return m;
-  }
-  std::uint32_t i = off_cur[0];
-  const std::uint32_t i_end = off_cur[1];
-  std::uint32_t j = i_end;
-  const std::uint32_t j_end = off_cur[2];
-  while (i < i_end && j < j_end) {
-    const EvalScratch::Event& ea = src[i];
-    const EvalScratch::Event& eb = src[j];
-    const bool take_b = eb.time < ea.time || (eb.time == ea.time && eb.delta < ea.delta);
-    const std::uint32_t sel = take_b ? j : i;
-    current += src[sel].delta;
-    m.peak_power = std::max(m.peak_power, current);
-    i += static_cast<std::uint32_t>(!take_b);
-    j += static_cast<std::uint32_t>(take_b);
-  }
-  for (; i < i_end; ++i) {
-    current += src[i].delta;
-    m.peak_power = std::max(m.peak_power, current);
-  }
-  for (; j < j_end; ++j) {
-    current += src[j].delta;
-    m.peak_power = std::max(m.peak_power, current);
-  }
-
   return m;
+}
+
+void CompiledGraph::evaluate_block(BatchGenomes& genomes, std::size_t lanes, BatchScratch& scratch,
+                                   KernelMetrics* out) const {
+  if (genomes.num_tasks() != num_tasks_) {
+    throw std::invalid_argument("ListScheduler: configuration size mismatch");
+  }
+  scratch.bind(num_tasks_, num_pes_);
+  genomes.pad(lanes);  // also range-checks `lanes`
+  // Resolve the widest kernel instantiation this machine can run, once. Both
+  // instantiations compute identical bits, so the choice is unobservable in
+  // results (DESIGN.md §5.10).
+#if defined(CLR_HAVE_AVX2_TU)
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) {
+    detail::evaluate_block_avx2(*this, genomes, lanes, scratch, out);
+    return;
+  }
+#endif
+  detail::evaluate_block_portable(*this, genomes, lanes, scratch, out);
+}
+
+const char* CompiledGraph::batch_backend() {
+#if defined(CLR_HAVE_AVX2_TU)
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+#endif
+  // This TU is built with the same baseline flags as the portable kernel TU,
+  // so its compile-time simd backend is the one the portable path runs.
+  return simd::kBackend;
+}
+
+void CompiledGraph::evaluate_batch(std::span<const Configuration> cfgs, BatchScratch& scratch,
+                                   std::span<KernelMetrics> out) const {
+  if (out.size() < cfgs.size()) {
+    throw std::invalid_argument("evaluate_batch: output span smaller than input");
+  }
+  scratch.bind(num_tasks_, num_pes_);
+  for (std::size_t base = 0; base < cfgs.size(); base += BatchGenomes::kLanes) {
+    const std::size_t lanes = std::min(BatchGenomes::kLanes, cfgs.size() - base);
+    for (std::size_t l = 0; l < lanes; ++l) scratch.genomes.set(l, cfgs[base + l]);
+    evaluate_block(scratch.genomes, lanes, scratch, out.data() + base);
+  }
 }
 
 ScheduleResult CompiledGraph::schedule(const Configuration& cfg, EvalScratch& s) const {

@@ -35,6 +35,12 @@
 
 namespace clr::sched {
 
+class BatchGenomes;
+struct BatchScratch;
+namespace detail {
+struct BatchKernelAccess;
+}
+
 /// Scalar Table 3 bundle produced by one kernel evaluation (the per-task
 /// windows stay in the scratch arena; see EvalScratch::start/end).
 struct KernelMetrics {
@@ -111,6 +117,29 @@ class CompiledGraph {
   /// identical to ReferenceScheduler::run.
   ScheduleResult schedule(const Configuration& cfg, EvalScratch& scratch) const;
 
+  /// Batched evaluation (DESIGN.md §5.10): cfgs[i] -> out[i], processed in
+  /// SoA blocks of BatchGenomes::kLanes through the SIMD kernel. Results are
+  /// bit-identical to evaluate() per configuration at any batch size and any
+  /// caller-side partitioning; zero heap allocations once `scratch` is warm.
+  /// Throws like evaluate() on invalid configurations (when several are
+  /// invalid, which one's exception surfaces first may differ from the
+  /// sequential order). out.size() must be >= cfgs.size().
+  void evaluate_batch(std::span<const Configuration> cfgs, BatchScratch& scratch,
+                      std::span<KernelMetrics> out) const;
+
+  /// One SoA block: evaluate lanes [0, lanes) of `genomes` into out[0..lanes).
+  /// Pads the unused lanes itself (see BatchGenomes::pad). Per-task windows
+  /// of the block are left in scratch.start/scratch.end ([task][lane]
+  /// layout). The backend (AVX2 vs portable) is picked once at runtime;
+  /// both compute identical bits.
+  void evaluate_block(BatchGenomes& genomes, std::size_t lanes, BatchScratch& scratch,
+                      KernelMetrics* out) const;
+
+  /// Name of the batch-kernel backend the runtime dispatcher selects on this
+  /// machine ("avx2" or the portable TU's simd backend). Provenance only —
+  /// both backends compute identical bits.
+  static const char* batch_backend();
+
   // --- CSR topology views (round-tripped against the pointer-based graph by
   // tests/taskgraph/test_graph_fuzz.cpp). ---
 
@@ -173,6 +202,11 @@ class CompiledGraph {
   }
 
  private:
+  /// The batched kernel lives in separate translation units (portable and
+  /// -mavx2 instantiations of batch_kernel.inl) and reads the tables below
+  /// through this accessor.
+  friend struct detail::BatchKernelAccess;
+
   const EvalContext* ctx_;
   std::size_t num_tasks_ = 0;
   std::size_t num_pes_ = 0;

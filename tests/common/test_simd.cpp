@@ -1,0 +1,163 @@
+// common/simd.hpp contract test: every backend op must reproduce its scalar
+// reference *bitwise*, element-wise, on the full cross product of IEEE-754
+// edge values — denormals, ±0.0, infinities, NaN, and magnitude boundaries.
+// The comparison is on raw bit patterns (std::bit_cast), not operator==:
+// the batched kernel's determinism proof (DESIGN.md §5.10) leans on the shim
+// performing exactly the scalar kernel's operations, including which operand
+// an x86 min/max returns on equal or unordered inputs. Both sides execute on
+// the same hardware in the same rounding mode, so even NaN payload
+// propagation must agree. The CI leg built with -DCLR_FORCE_SCALAR=ON runs
+// this same suite against the scalar fallback backend.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/simd.hpp"
+
+namespace clr {
+namespace {
+
+using limits = std::numeric_limits<double>;
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Edge values: signed zeros, smallest/largest denormals, normal boundaries,
+/// exact and inexact-sum magnitudes, infinities, quiet NaNs of both signs.
+std::vector<double> edge_values() {
+  return {
+      +0.0,
+      -0.0,
+      limits::denorm_min(),
+      -limits::denorm_min(),
+      limits::min() - limits::denorm_min(),  // largest denormal
+      limits::min(),
+      -limits::min(),
+      1.0,
+      -1.0,
+      1.0 + limits::epsilon(),
+      0.1,  // repeating binary fraction
+      -0.1,
+      3.5e15,  // sums with 1.0 round
+      limits::max(),
+      -limits::max(),
+      limits::infinity(),
+      -limits::infinity(),
+      limits::quiet_NaN(),
+      -limits::quiet_NaN(),
+  };
+}
+
+using ScalarOp = double (*)(double, double);
+using VecOp = simd::VecD (*)(simd::VecD, simd::VecD);
+
+struct NamedOp {
+  const char* name;
+  ScalarOp scalar;
+  VecOp vec;
+  /// Commutative IEEE arithmetic: when BOTH operands are NaN, which payload
+  /// propagates depends on the operand order the compiler happened to emit
+  /// (add/mul are commutative instructions), so only NaN-ness is required
+  /// there. Everywhere else — including a single NaN operand — the result
+  /// bits are fully determined and checked exactly. min/max are asymmetric
+  /// (the shim's operand swap is the point), so they stay strict throughout.
+  bool relax_double_nan;
+};
+
+const NamedOp kOps[] = {
+    {"add", simd::scalar_ref::add, simd::add, true},
+    {"sub", simd::scalar_ref::sub, simd::sub, true},
+    {"mul", simd::scalar_ref::mul, simd::mul, true},
+    {"div", simd::scalar_ref::div, simd::div, true},
+    {"max", simd::scalar_ref::max, simd::max, false},
+    {"min", simd::scalar_ref::min, simd::min, false},
+};
+
+TEST(SimdShim, EveryOpMatchesScalarRefBitwiseOnEdgeValues) {
+  const std::vector<double> vals = edge_values();
+  // All (a, b) pairs, packed kWidth pairs per vector op so neighboring lanes
+  // carry unrelated data (catches any cross-lane contamination).
+  std::vector<double> as, bs;
+  for (const double a : vals) {
+    for (const double b : vals) {
+      as.push_back(a);
+      bs.push_back(b);
+    }
+  }
+  while (as.size() % simd::kWidth != 0) {  // pad with a benign pair
+    as.push_back(1.0);
+    bs.push_back(2.0);
+  }
+
+  for (const NamedOp& op : kOps) {
+    for (std::size_t i = 0; i < as.size(); i += simd::kWidth) {
+      alignas(32) double out[simd::kWidth];
+      simd::store(out, op.vec(simd::load(as.data() + i), simd::load(bs.data() + i)));
+      for (std::size_t l = 0; l < simd::kWidth; ++l) {
+        const double want = op.scalar(as[i + l], bs[i + l]);
+        if (op.relax_double_nan && std::isnan(as[i + l]) && std::isnan(bs[i + l])) {
+          EXPECT_TRUE(std::isnan(out[l])) << op.name << " on two NaNs (lane " << l << ")";
+          continue;
+        }
+        EXPECT_EQ(bits(want), bits(out[l]))
+            << op.name << "(" << as[i + l] << ", " << bs[i + l] << ") = " << out[l]
+            << ", scalar_ref = " << want << " (backend " << simd::kBackend << ", lane " << l
+            << ")";
+      }
+    }
+  }
+}
+
+// min/max tie-breaking is part of the contract: on equal inputs (including
+// ±0.0, which compare equal) the result must be the FIRST argument, exactly
+// like std::max(a, b) = (a < b) ? b : a — x86 maxpd/minpd return their
+// second operand there, which is why the shim swaps operands.
+TEST(SimdShim, MinMaxReturnFirstArgumentOnTiesAndUnordered) {
+  const double cases[][2] = {
+      {+0.0, -0.0},
+      {-0.0, +0.0},
+      {1.0, 1.0},
+      {limits::quiet_NaN(), 1.0},
+      {1.0, limits::quiet_NaN()},
+      {limits::quiet_NaN(), limits::quiet_NaN()},
+  };
+  for (const auto& c : cases) {
+    alignas(32) double a[simd::kWidth], b[simd::kWidth], mx[simd::kWidth], mn[simd::kWidth];
+    for (std::size_t l = 0; l < simd::kWidth; ++l) {
+      a[l] = c[0];
+      b[l] = c[1];
+    }
+    simd::store(mx, simd::max(simd::load(a), simd::load(b)));
+    simd::store(mn, simd::min(simd::load(a), simd::load(b)));
+    for (std::size_t l = 0; l < simd::kWidth; ++l) {
+      EXPECT_EQ(bits(simd::scalar_ref::max(c[0], c[1])), bits(mx[l])) << c[0] << " vs " << c[1];
+      EXPECT_EQ(bits(simd::scalar_ref::min(c[0], c[1])), bits(mn[l])) << c[0] << " vs " << c[1];
+    }
+  }
+}
+
+TEST(SimdShim, LoadStoreSet1RoundTripPreservesBits) {
+  const std::vector<double> vals = edge_values();
+  for (const double x : vals) {
+    alignas(32) double in[simd::kWidth], out[simd::kWidth];
+    for (std::size_t l = 0; l < simd::kWidth; ++l) in[l] = x;
+    simd::store(out, simd::load(in));
+    for (std::size_t l = 0; l < simd::kWidth; ++l) EXPECT_EQ(bits(x), bits(out[l]));
+    simd::store(out, simd::set1(x));
+    for (std::size_t l = 0; l < simd::kWidth; ++l) EXPECT_EQ(bits(x), bits(out[l]));
+  }
+}
+
+// kLanes of the batch layout must be a multiple of every backend's width —
+// the property that makes block composition independent of the dispatcher.
+TEST(SimdShim, WidthDividesEight) {
+  EXPECT_EQ(8u % simd::kWidth, 0u) << "backend " << simd::kBackend;
+}
+
+}  // namespace
+}  // namespace clr

@@ -19,6 +19,7 @@
 
 #include "dse/mapping_problem.hpp"
 #include "experiments/app.hpp"
+#include "schedule/batch.hpp"
 #include "schedule/compiled_graph.hpp"
 #include "schedule/heft.hpp"
 
@@ -89,6 +90,41 @@ TEST(AllocPinning, WarmKernelEvaluationIsAllocationFree) {
   EXPECT_EQ(delta, 0u) << "kernel evaluation allocated on the warm path";
   EXPECT_EQ(m.makespan, warm.makespan);  // and still computes the same result
   EXPECT_EQ(m.energy, warm.energy);
+}
+
+// The batched entry point has the same contract (DESIGN.md §5.10): once the
+// BatchScratch is warm for the shape, evaluate_batch — including the per-lane
+// SoA transpose staging — performs zero heap allocations at any batch size.
+TEST(AllocPinning, WarmBatchedEvaluationIsAllocationFree) {
+  const auto app = exp::make_synthetic_app(24, exp::derive_seed(0xA110Cu, 24));
+  const sched::CompiledGraph cg(app->context());
+  const sched::Configuration seed = sched::heft_seed(cg);
+
+  // A population of distinct configurations (perturbed priorities) so the
+  // transpose writes real data every block, partial tail included.
+  std::vector<sched::Configuration> cfgs(3 * sched::BatchGenomes::kLanes + 5, seed);
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    for (std::size_t t = 0; t < cfgs[c].size(); ++t) {
+      cfgs[c][t].priority = static_cast<std::int32_t>((t + c) % cfgs[c].size());
+    }
+  }
+  std::vector<sched::KernelMetrics> out(cfgs.size());
+  sched::BatchScratch scratch;
+  cg.evaluate_batch({cfgs.data(), cfgs.size()}, scratch, {out.data(), out.size()});  // warm
+
+  const std::uint64_t before = allocs();
+  for (int i = 0; i < 50; ++i) {
+    cg.evaluate_batch({cfgs.data(), cfgs.size()}, scratch, {out.data(), out.size()});
+    // Single-configuration spans keep the one-lane path pinned too.
+    cg.evaluate_batch({cfgs.data(), 1}, scratch, {out.data(), 1});
+  }
+  const std::uint64_t delta = allocs() - before;
+
+  EXPECT_EQ(delta, 0u) << "batched evaluation allocated on the warm path";
+  sched::EvalScratch sscratch;
+  const sched::KernelMetrics want = cg.evaluate(cfgs.back(), sscratch);
+  EXPECT_EQ(want.makespan, out.back().makespan);  // and still computes the same result
+  EXPECT_EQ(want.peak_power, out.back().peak_power);
 }
 
 TEST(AllocPinning, WarmDecodeIntoIsAllocationFree) {
