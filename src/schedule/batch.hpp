@@ -17,6 +17,7 @@
 // BatchScratch; a warm scratch makes evaluate_batch allocation-free
 // (pinned by tests/schedule/test_alloc_pinning.cpp).
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -98,6 +99,7 @@ class BatchGenomes {
 /// lane of a batch can execute it in SIMD lockstep; pairs are packed as
 /// (i << 16 | j), i < j.
 inline void build_merge_exchange_network(std::size_t count, std::vector<std::uint32_t>& net) {
+  assert(count <= 65536 && "pair packing holds 16-bit indices");
   net.clear();
   if (count < 2) return;
   std::size_t t = 0;
@@ -222,10 +224,18 @@ struct BatchScratch {
     order.resize(num_tasks * kLanes);
     tkey.resize(2 * num_tasks * kLanes);
     dkey.resize(2 * num_tasks * kLanes);
-    build_merge_exchange_network(2 * num_tasks, sort_net);
     sel_key.resize(num_tasks * kLanes);
     pos_of.resize(num_tasks * kLanes);
-    build_merge_exchange_network(num_tasks, sort_net_sel);
+    // The sorting networks only serve the lockstep path (n <= 64); for
+    // larger graphs building them would burn O(n log^2 n) time/memory in
+    // bind and, past 65536 elements, overflow the 16-bit pair packing.
+    if (num_tasks <= 64) {
+      build_merge_exchange_network(2 * num_tasks, sort_net);
+      build_merge_exchange_network(num_tasks, sort_net_sel);
+    } else {
+      sort_net.clear();
+      sort_net_sel.clear();
+    }
   }
 };
 

@@ -618,7 +618,12 @@ void CLR_BATCH_KERNEL_FN(const CompiledGraph& g, const BatchGenomes& bg, std::si
       okb = _mm256_and_si256(
           okb, _mm256_and_si256(_mm256_cmpgt_epi32(pr, ones), _mm256_cmpgt_epi32(vn, pr)));
       for (std::size_t l = 0; l < kL; ++l) {
-        s.run_off[l * (P + 1) + bpe[t * kL + l] + 1] += 2;
+        // Clamp like the gathers above: an out-of-range PE gene already
+        // trips `bad`, and the fallback rebuilds run_off from scratch
+        // before throwing, so the clamped scatter never reaches results —
+        // it only keeps the write in-bounds.
+        const std::uint32_t pe = bpe[t * kL + l];
+        s.run_off[l * (P + 1) + (pe < P ? pe : P - 1) + 1] += 2;
       }
     }
     phase1_fallback = _mm256_movemask_epi8(bad) != 0;

@@ -313,10 +313,19 @@ TEST(BatchDifferential, InvalidConfigurationsThrowLikeScalar) {
     EXPECT_EQ(want.peak_power, out[idx].peak_power);
   };
 
-  // Bad lane in the middle of the first block, and in the second block.
-  for (const std::size_t idx : {std::size_t{3}, sched::BatchGenomes::kLanes + 1}) {
+  // Bad lane in the middle of the first block, in the second block, and in
+  // the LAST lane of each block — pe == P on the last lane is the case where
+  // an unclamped phase-1 scatter would write one element past run_off, so
+  // ASan catches any regression of the bounds clamp.
+  for (const std::size_t idx :
+       {std::size_t{3}, sched::BatchGenomes::kLanes - 1, sched::BatchGenomes::kLanes + 1,
+        2 * sched::BatchGenomes::kLanes - 1}) {
     corrupt(idx, [&](sched::Configuration& c) {
       c[0].pe = static_cast<plat::PeId>(ctx.platform->num_pes());
+    });
+    // A huge PE gene makes any unclamped indexing a far-out-of-bounds write.
+    corrupt(idx, [&](sched::Configuration& c) {
+      c[n / 2].pe = std::numeric_limits<plat::PeId>::max();
     });
     corrupt(idx, [&](sched::Configuration& c) {
       c[n - 1].impl_index = std::numeric_limits<std::uint32_t>::max();
