@@ -1,0 +1,257 @@
+// Snapshot-vs-JSON artifact load benchmark + CI regression gate.
+//
+// Measures what a fleet worker pays before its first simulated cycle: the
+// JSON path re-parses the design database and rebuilds the O(n²·tasks)
+// DrcMatrix on every process start, while the `.clrdb` path (io/snapshot.hpp)
+// mmaps the validated flat tables and materializes them — the persisted cost
+// matrix makes the rebuild disappear entirely. Both paths must produce the
+// same database bit-for-bit (contract gate, never retried); the speedup is
+// gated against baselines/snapshot_io.json like bench/schedule_kernel (perf
+// gates get up to three measurement attempts with a cool-down between them).
+//
+// Emits machine-readable BENCH_snapshot.json to $CLR_REPORT_DIR (or the
+// working directory).
+//
+// Usage: snapshot_io [--check-baseline <path>] [tasks] [seed]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dse/mapping_problem.hpp"
+#include "io/serialize.hpp"
+#include "io/snapshot.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace {
+
+using namespace clr;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("snapshot_io: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool same_db(const dse::DesignDb& a, const dse::DesignDb& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& p = a.point(i);
+    const auto& q = b.point(i);
+    if (!(p.config == q.config) || p.energy != q.energy || p.makespan != q.makespan ||
+        p.func_rel != q.func_rel || p.extra != q.extra) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Timings {
+  double json_load_ms = 0.0;
+  double drc_rebuild_ms = 0.0;
+  double snap_open_ms = 0.0;
+  double snap_materialize_ms = 0.0;
+  double json_total_ms = 0.0;
+  double snap_total_ms = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  const std::size_t tasks = positional.size() > 0
+                                ? static_cast<std::size_t>(std::atol(positional[0].c_str()))
+                                : (bench::smoke() ? 10 : 20);
+  const auto seed = positional.size() > 1
+                        ? static_cast<std::uint64_t>(std::atoll(positional[1].c_str()))
+                        : 0xC1DBULL;
+  const std::size_t num_points = bench::smoke() ? 96 : 256;
+
+  // Workload: a database of sampled (decoded + evaluated) configurations —
+  // GA archives at fleet scale hold hundreds of points, and DrcMatrix build
+  // cost depends only on the stored configurations, not how they were found.
+  const auto app = exp::make_synthetic_app(tasks, seed);
+  const dse::QosSpec loose{1e18, 0.0};
+  dse::MappingProblem problem(app->context(), loose, dse::ObjectiveMode::EnergyQos);
+  util::Rng rng(seed ^ 0xBEEFULL);
+  dse::DesignDb db;
+  db.reserve(num_points);
+  while (db.size() < num_points) {
+    const auto cfg = problem.decode(problem.random_genes(rng));
+    const auto res = problem.evaluate_schedule(cfg);
+    dse::DesignPoint p;
+    p.config = cfg;
+    p.energy = res.energy;
+    p.makespan = res.makespan;
+    p.func_rel = res.func_rel;
+    db.add(std::move(p));
+  }
+  recfg::ReconfigModel reconfig(app->platform(), app->impls());
+  const rt::DrcMatrix drc(db, reconfig);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string json_path = (dir / "clr_bench_snapshot.json").string();
+  const std::string clrdb_path = (dir / "clr_bench_snapshot.clrdb").string();
+  io::save_design_db(json_path, db, app->clr_space());
+  io::save_snapshot(clrdb_path, db, app->clr_space(), &drc);
+  const auto json_bytes = std::filesystem::file_size(json_path);
+  const auto clrdb_bytes = std::filesystem::file_size(clrdb_path);
+
+  // Contract gate: both load paths must reproduce the written database (and
+  // the snapshot additionally its cost matrix) exactly. Deterministic, never
+  // retried.
+  bool bit_identical = true;
+  bool mapped = false;
+  {
+    const auto from_json = io::load_design_db(json_path);
+    const io::Snapshot snap = io::Snapshot::open(clrdb_path);
+    mapped = snap.is_mapped();
+    const io::LoadedSnapshot from_snap = io::materialize(snap.view());
+    bit_identical = same_db(from_json.db, db) && same_db(from_snap.db, db) &&
+                    from_snap.drc.has_value() && from_snap.drc->size() == db.size();
+    if (bit_identical) {
+      for (std::size_t i = 0; i < db.size() && bit_identical; ++i) {
+        for (std::size_t j = 0; j < db.size(); ++j) {
+          if (from_snap.drc->drc(i, j) != drc.drc(i, j)) {
+            bit_identical = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const int rounds = 9;
+  const auto measure = [&] {
+    Timings t;
+    std::vector<double> json_load, drc_build, snap_open, snap_mat;
+    for (int r = 0; r < rounds; ++r) {
+      auto start = Clock::now();
+      const auto loaded = io::load_design_db(json_path);
+      json_load.push_back(ms_since(start));
+
+      // The per-process rebuild the snapshot kills: sequential, like a fleet
+      // worker that cannot spare a warm-up thread pool.
+      start = Clock::now();
+      const rt::DrcMatrix rebuilt(loaded.db, reconfig);
+      drc_build.push_back(ms_since(start));
+      if (rebuilt.size() != db.size()) std::abort();
+
+      start = Clock::now();
+      const io::Snapshot snap = io::Snapshot::open(clrdb_path);
+      snap_open.push_back(ms_since(start));
+
+      start = Clock::now();
+      const io::LoadedSnapshot from_snap = io::materialize(snap.view());
+      snap_mat.push_back(ms_since(start));
+      if (from_snap.db.size() != db.size()) std::abort();
+    }
+    t.json_load_ms = median_of(json_load);
+    t.drc_rebuild_ms = median_of(drc_build);
+    t.snap_open_ms = median_of(snap_open);
+    t.snap_materialize_ms = median_of(snap_mat);
+    t.json_total_ms = t.json_load_ms + t.drc_rebuild_ms;
+    t.snap_total_ms = t.snap_open_ms + t.snap_materialize_ms;
+    t.speedup = t.snap_total_ms > 0.0 ? t.json_total_ms / t.snap_total_ms : 0.0;
+    return t;
+  };
+
+  double speedup_floor = 3.0;
+  if (!baseline_path.empty()) {
+    const io::Json baseline = io::Json::parse(read_text_file(baseline_path));
+    if (const io::Json* f = baseline.find("speedup_floor")) speedup_floor = f->as_number();
+  }
+
+  Timings t = measure();
+  for (int attempt = 1; attempt < 3 && !baseline_path.empty(); ++attempt) {
+    if (t.speedup >= speedup_floor) break;
+    std::printf("note: perf gate missed (attempt %d/3), re-measuring after cool-down\n",
+                attempt);
+    std::this_thread::sleep_for(std::chrono::seconds(3));
+    t = measure();
+  }
+
+  std::printf("snapshot I/O: %zu tasks, %zu points, CLR space %zu, %llu JSON bytes -> %llu "
+              ".clrdb bytes\n",
+              tasks, db.size(), app->clr_space().size(),
+              static_cast<unsigned long long>(json_bytes),
+              static_cast<unsigned long long>(clrdb_bytes));
+  std::printf("  JSON:     parse %8.3f ms + DrcMatrix rebuild %8.3f ms = %8.3f ms\n",
+              t.json_load_ms, t.drc_rebuild_ms, t.json_total_ms);
+  std::printf("  snapshot: open  %8.3f ms + materialize      %8.3f ms = %8.3f ms (%s)\n",
+              t.snap_open_ms, t.snap_materialize_ms, t.snap_total_ms,
+              mapped ? "mmap" : "arena read");
+  std::printf("  speedup: %.2fx   bit-identical: %s\n", t.speedup,
+              bit_identical ? "yes" : "NO (BUG)");
+
+  io::Json report(io::JsonObject{
+      {"workload",
+       io::Json(io::JsonObject{{"tasks", io::Json(static_cast<double>(tasks))},
+                               {"seed", io::Json(static_cast<double>(seed))},
+                               {"num_points", io::Json(static_cast<double>(db.size()))},
+                               {"clr_configs", io::Json(static_cast<double>(app->clr_space().size()))},
+                               {"smoke", io::Json(bench::smoke())}})},
+      {"file_bytes", io::Json(io::JsonObject{{"json", io::Json(static_cast<double>(json_bytes))},
+                                             {"clrdb", io::Json(static_cast<double>(clrdb_bytes))}})},
+      {"json", io::Json(io::JsonObject{{"load_ms", io::Json(t.json_load_ms)},
+                                       {"drc_rebuild_ms", io::Json(t.drc_rebuild_ms)},
+                                       {"total_ms", io::Json(t.json_total_ms)}})},
+      {"snapshot", io::Json(io::JsonObject{{"open_ms", io::Json(t.snap_open_ms)},
+                                           {"materialize_ms", io::Json(t.snap_materialize_ms)},
+                                           {"total_ms", io::Json(t.snap_total_ms)},
+                                           {"mapped", io::Json(mapped)}})},
+      {"speedup", io::Json(t.speedup)},
+      {"bit_identical", io::Json(bit_identical)},
+  });
+  const char* report_dir = std::getenv("CLR_REPORT_DIR");
+  const std::string out_path =
+      (report_dir != nullptr && report_dir[0] != '\0' ? std::string(report_dir) + "/"
+                                                      : std::string()) +
+      "BENCH_snapshot.json";
+  util::write_file(out_path, report.dump(2) + "\n");
+  std::printf("[report] %s\n", out_path.c_str());
+
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(clrdb_path);
+
+  bool ok = bit_identical;
+  if (!bit_identical) std::printf("FAIL: loaded databases diverge from the written one\n");
+  if (!baseline_path.empty()) {
+    std::printf("baseline check: speedup %.2fx vs %.2fx floor\n", t.speedup, speedup_floor);
+    if (t.speedup < speedup_floor) {
+      std::printf("FAIL: snapshot load speedup %.2fx below the %.2fx acceptance floor\n",
+                  t.speedup, speedup_floor);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -44,6 +44,9 @@ class DesignDb {
   /// of the stored (or pre-existing) point.
   std::size_t add(DesignPoint point);
 
+  /// Pre-size the point storage (bulk loaders: snapshot materialization).
+  void reserve(std::size_t n) { points_.reserve(n); }
+
   std::size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
   const DesignPoint& point(std::size_t i) const { return points_.at(i); }

@@ -71,6 +71,12 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
                                  const RuntimeEvalParams& params, std::uint64_t seed) {
   recfg::ReconfigModel reconfig(app.platform(), app.impls());
   rt::DrcMatrix drc(db, reconfig);
+  return evaluate_policy(app, db, drc, ranges, params, seed);
+}
+
+rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db,
+                                 const rt::DrcMatrix& drc, const dse::MetricRanges& ranges,
+                                 const RuntimeEvalParams& params, std::uint64_t seed) {
   if (params.faults.enabled() && params.fault_profiles.empty()) {
     // Derive the per-PE fault heterogeneity from the platform model.
     RuntimeEvalParams derived = params;

@@ -76,6 +76,14 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
                                  const dse::MetricRanges& ranges,
                                  const RuntimeEvalParams& params, std::uint64_t seed);
 
+/// Same, but against a prebuilt DrcMatrix (a `.clrdb` snapshot's persisted
+/// table, or one shared across a sweep) — skips the O(n²·tasks) rebuild while
+/// keeping the app-derived fault profiles and CLR coverage. Bit-identical to
+/// the overload above when `drc` equals the matrix it would build.
+rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db,
+                                 const rt::DrcMatrix& drc, const dse::MetricRanges& ranges,
+                                 const RuntimeEvalParams& params, std::uint64_t seed);
+
 /// Same evaluation against a prebuilt reconfiguration-cost table. The cost
 /// matrix only depends on (db, platform, implementations), so grid sweeps
 /// build it once per database and share it across every policy/pRC/seed cell

@@ -5,6 +5,23 @@
 #include <cstdio>
 #include <sstream>
 
+// Number parsing/printing must be locale-independent: JSON mandates '.' as
+// the decimal separator, but std::stod and snprintf("%g") obey LC_NUMERIC, so
+// a host with a comma-decimal locale (de_DE, fr_FR, ...) would write invalid
+// JSON and fail to re-parse its own artifacts. The primary path uses the
+// locale-free std::from_chars / std::to_chars; toolchains without the
+// floating-point overloads (pre-C++17-complete stdlibs) get a classic-locale
+// shim that rewrites the decimal point around snprintf/strtod instead.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+#include <charconv>
+#define CLR_JSON_HAVE_FP_CHARCONV 1
+#else
+#include <cerrno>
+#include <clocale>
+#include <cstdlib>
+#include <cstring>
+#endif
+
 namespace clr::io {
 
 bool Json::as_bool() const {
@@ -80,17 +97,40 @@ void escape_into(const std::string& s, std::string& out) {
   out += '"';
 }
 
+#if !defined(CLR_JSON_HAVE_FP_CHARCONV)
+/// Classic-locale shim: undo whatever LC_NUMERIC did to snprintf's decimal
+/// point (the only locale-dependent byte "%g"/"%f" can emit for finite
+/// doubles). The output grammar is then identical to the C locale's.
+void fix_decimal_point(char* buf) {
+  const char* point = std::localeconv()->decimal_point;
+  if (point == nullptr || std::strcmp(point, ".") == 0) return;
+  char* at = std::strstr(buf, point);
+  if (at == nullptr) return;
+  *at = '.';
+  std::memmove(at + 1, at + std::strlen(point), std::strlen(at + std::strlen(point)) + 1);
+}
+#endif
+
 void number_into(double d, std::string& out) {
   if (!std::isfinite(d)) throw JsonError("cannot serialize non-finite number", 0);
-  if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.0f", d);
-    out += buf;
-    return;
-  }
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", d);
+#if defined(CLR_JSON_HAVE_FP_CHARCONV)
+  // to_chars with an explicit precision produces the same bytes as snprintf
+  // "%.0f" / "%.17g" in the C locale (pinned by tests/io/test_json.cpp), so
+  // reports stay byte-identical to the historical snprintf output.
+  const auto res = (std::nearbyint(d) == d && std::abs(d) < 1e15)
+                       ? std::to_chars(buf, buf + sizeof buf, d, std::chars_format::fixed, 0)
+                       : std::to_chars(buf, buf + sizeof buf, d, std::chars_format::general, 17);
+  out.append(buf, res.ptr);
+#else
+  if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  fix_decimal_point(buf);
   out += buf;
+#endif
 }
 
 }  // namespace
@@ -353,12 +393,89 @@ class Parser {
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
       if (digits() == 0) fail("invalid number: missing exponent digits");
     }
-    const std::string token = text_.substr(start, pos_ - start);
-    try {
-      return Json(std::stod(token));
-    } catch (const std::exception&) {
-      throw JsonError("number out of range", start);
+    return Json(decode_number(start, pos_));
+  }
+
+  /// Decimal exponent of the leading significant digit of a (grammar-valid)
+  /// number token, including the explicit exponent: ~308 for DBL_MAX-sized
+  /// values, ~-324 for denormals. Used only to classify an out-of-range
+  /// parse as overflow (reject) vs underflow (clamp).
+  static long long magnitude_exponent(const char* p, const char* end) {
+    if (*p == '-') ++p;
+    long long exponent = 0;
+    bool seen_significant = false;
+    long long int_digits = 0;
+    for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+      if (seen_significant) {
+        ++int_digits;
+      } else if (*p != '0') {
+        seen_significant = true;
+      }
     }
+    if (seen_significant) exponent = int_digits;  // first sig digit is 10^int_digits
+    if (p != end && *p == '.') {
+      ++p;
+      long long frac_pos = -1;
+      for (; p != end && *p >= '0' && *p <= '9'; ++p, --frac_pos) {
+        if (!seen_significant && *p != '0') {
+          seen_significant = true;
+          exponent = frac_pos;
+        }
+      }
+    }
+    if (!seen_significant) return 0;  // token is ±0.00..e±N — never out of range
+    if (p != end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      const bool negative = (p != end && *p == '-');
+      if (p != end && (*p == '+' || *p == '-')) ++p;
+      long long e = 0;
+      for (; p != end && *p >= '0' && *p <= '9'; ++p) {
+        if (e < 1000000) e = e * 10 + (*p - '0');  // clamp: only the sign matters
+      }
+      exponent += negative ? -e : e;
+    }
+    return exponent;
+  }
+
+  /// Locale-independent double decode of text_[start, end). IEEE semantics on
+  /// the range edges: magnitudes below the smallest denormal underflow to a
+  /// signed zero (a legally serialized 5e-324 must re-parse, and tinier is
+  /// semantically zero); magnitudes above DBL_MAX are a hard error.
+  double decode_number(std::size_t start, std::size_t end) const {
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + end;
+#if defined(CLR_JSON_HAVE_FP_CHARCONV)
+    double value = 0.0;
+    const auto res = std::from_chars(first, last, value);
+    if (res.ec == std::errc()) return value;
+    if (res.ec == std::errc::result_out_of_range) {
+      if (magnitude_exponent(first, last) > 0) {
+        throw JsonError("number out of range (overflows double)", start);
+      }
+      return *first == '-' ? -0.0 : 0.0;  // underflow-to-zero, value unmodified by from_chars
+    }
+    throw JsonError("invalid number", start);
+#else
+    // Classic-locale shim: strtod expects the locale's decimal point, so
+    // substitute it into a copy of the token. strtod (unlike std::stod)
+    // returns the correctly rounded denormal on ERANGE underflow; only a
+    // HUGE_VAL result is a genuine overflow.
+    std::string token(first, last);
+    const char* point = std::localeconv()->decimal_point;
+    if (point != nullptr && std::strcmp(point, ".") != 0) {
+      if (const auto dot = token.find('.'); dot != std::string::npos) {
+        token.replace(dot, 1, point);
+      }
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (parse_end != token.c_str() + token.size()) throw JsonError("invalid number", start);
+    if (errno == ERANGE && std::abs(value) == HUGE_VAL) {
+      throw JsonError("number out of range (overflows double)", start);
+    }
+    return value;
+#endif
   }
 
   const std::string& text_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "io/snapshot.hpp"
 
 namespace clr::io {
 
@@ -11,8 +12,16 @@ namespace {
 
 void check_version(const Json& j, const char* kind) {
   const Json* v = j.find("version");
-  if (v == nullptr || v->as_int() != kSchemaVersion) {
-    throw JsonError(std::string(kind) + ": unsupported or missing schema version", 0);
+  if (v == nullptr) {
+    throw JsonError(std::string(kind) + ": missing schema version (this reader supports " +
+                        std::to_string(kSchemaVersion) + ")",
+                    0);
+  }
+  if (v->as_int() != kSchemaVersion) {
+    throw JsonError(std::string(kind) + ": unsupported schema version " +
+                        std::to_string(v->as_int()) + " (this reader supports " +
+                        std::to_string(kSchemaVersion) + ")",
+                    0);
   }
 }
 
@@ -241,11 +250,19 @@ void save_design_db(const std::string& path, const dse::DesignDb& db,
 }
 
 LoadedDesignDb load_design_db(const std::string& path) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("load_design_db: cannot open " + path);
   std::ostringstream buffer;
   buffer << f.rdbuf();
-  return design_db_from_json(Json::parse(buffer.str()));
+  std::string bytes = std::move(buffer).str();
+  // Dispatch on content, not extension: a .clrdb snapshot loads through the
+  // binary path (the DrcMatrix section, if any, is dropped here — callers
+  // that want it use io::load_snapshot directly).
+  if (has_snapshot_magic(bytes)) {
+    LoadedSnapshot snap = materialize(Snapshot::from_bytes(std::move(bytes)).view());
+    return LoadedDesignDb{std::move(snap.db), std::move(snap.space)};
+  }
+  return design_db_from_json(Json::parse(bytes));
 }
 
 }  // namespace clr::io

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <clocale>
+#include <cstdint>
+#include <limits>
+
 namespace clr::io {
 namespace {
 
@@ -123,6 +128,80 @@ TEST(Json, LargeArrayRoundTrip) {
   const auto parsed = Json::parse(v.dump());
   ASSERT_EQ(parsed.as_array().size(), 1000u);
   EXPECT_DOUBLE_EQ(parsed.as_array()[999].as_number(), 999 * 0.25);
+}
+
+
+// --- Locale- and range-robust number I/O -----------------------------------
+// Artifacts written on one host must load on any other: the writer and parser
+// must ignore LC_NUMERIC entirely, and legally-printed extremes (denormals,
+// DBL_MAX, signed zero) must survive a round trip.
+
+/// Scoped LC_NUMERIC override; restores the previous locale on destruction.
+class NumericLocaleGuard {
+ public:
+  explicit NumericLocaleGuard(const char* name)
+      : previous_(std::setlocale(LC_NUMERIC, nullptr)), active_(std::setlocale(LC_NUMERIC, name)) {}
+  ~NumericLocaleGuard() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+  /// False when the requested locale is not installed on this host.
+  bool active() const { return active_ != nullptr; }
+
+ private:
+  std::string previous_;
+  const char* active_;
+};
+
+TEST(JsonLocale, RoundTripsUnderCommaDecimalLocale) {
+  // Reference output under the classic locale.
+  JsonObject report{{"name", Json("bench")}, {"mean_ms", Json(1.5)},
+                    {"speedup", Json(12.345678901234567)}, {"iters", Json(1000.0)}};
+  const std::string reference = Json(JsonObject(report)).dump(2);
+
+  NumericLocaleGuard guard("de_DE.UTF-8");
+  if (!guard.active()) GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  ASSERT_STREQ(std::localeconv()->decimal_point, ",") << "locale did not take effect";
+
+  // Writing: byte-identical to the classic-locale output (no ',' decimals).
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json(JsonObject(report)).dump(2), reference);
+  // Parsing: '.' stays the decimal separator regardless of LC_NUMERIC.
+  EXPECT_DOUBLE_EQ(Json::parse("1.5").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(Json::parse(reference).at("speedup").as_number(), 12.345678901234567);
+}
+
+TEST(JsonNumbers, RoundTripsExtremeDoubles) {
+  // 5e-324 (min denormal) in particular: std::stod throws out_of_range for it
+  // on glibc, so a legally-serialized artifact failed to re-parse before the
+  // from_chars migration.
+  const double cases[] = {5e-324, std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(), -0.0};
+  for (const double d : cases) {
+    const std::string text = Json(d).dump();
+    const double restored = Json::parse(text).as_number();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(restored), std::bit_cast<std::uint64_t>(d))
+        << "value " << text << " did not survive the round trip";
+  }
+}
+
+TEST(JsonNumbers, UnderflowParsesToSignedZeroOverflowThrows) {
+  // Tokens below the denormal range underflow quietly (IEEE semantics)...
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(Json::parse("1e-999").as_number()),
+            std::bit_cast<std::uint64_t>(0.0));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(Json::parse("-1e-999").as_number()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  // ...while tokens above DBL_MAX are a real data-loss error.
+  EXPECT_THROW(Json::parse("1e999"), JsonError);
+  EXPECT_THROW(Json::parse("-1e999"), JsonError);
+}
+
+TEST(JsonNumbers, WriterFormatIsPinned) {
+  // The writer contract predates the to_chars migration: %.0f for integral
+  // values below 1e15, %.17g otherwise. Golden report files depend on it.
+  EXPECT_EQ(Json(3.0).dump(), "3");
+  EXPECT_EQ(Json(-123456789.0).dump(), "-123456789");
+  EXPECT_EQ(Json(0.1).dump(), "0.10000000000000001");
+  EXPECT_EQ(Json(1e15).dump(), "1000000000000000");  // %g: fixed below e+17
+  EXPECT_EQ(Json(1e18).dump(), "1e+18");
+  EXPECT_EQ(Json(12.345678901234567).dump(), "12.345678901234567");
 }
 
 }  // namespace

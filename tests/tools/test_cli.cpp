@@ -160,4 +160,47 @@ TEST(CliTrace, CategoriesFilterTheTimeline) {
   std::remove(path.c_str());
 }
 
+TEST(CliSnapshot, ExploreWritesClrdbThatSimulateAndInspectConsume) {
+  // End-to-end .clrdb flow: explore persists the binary snapshot (with the
+  // DrcMatrix), simulate/inspect load it, and the simulate output is
+  // byte-identical to the JSON-database path.
+  const std::string clrdb = ::testing::TempDir() + "clrtool_db.clrdb";
+  const std::string json = ::testing::TempDir() + "clrtool_db.json";
+  const std::string common = "--tasks 6 --seed 5 --pop 8 --gens 3 --db-out ";
+  ASSERT_EQ(run_tool("explore " + common + clrdb).first, 0);
+  ASSERT_EQ(run_tool("explore " + common + json).first, 0);
+
+  const auto [icode, iout] = run_tool("inspect --db " + clrdb);
+  EXPECT_EQ(icode, 0) << iout;
+  EXPECT_NE(iout.find("stored design points"), std::string::npos);
+
+  const std::string sim = "simulate --tasks 6 --seed 5 --cycles 5e3 --db ";
+  const auto [acode, aout] = run_tool(sim + clrdb);
+  const auto [bcode, bout] = run_tool(sim + json);
+  EXPECT_EQ(acode, 0) << aout;
+  EXPECT_EQ(bcode, 0) << bout;
+  EXPECT_EQ(aout, bout);
+
+  std::remove(clrdb.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CliSnapshot, CorruptedClrdbFailsWithTypedMessage) {
+  const std::string good_path = ::testing::TempDir() + "clrtool_corrupt.clrdb";
+  ASSERT_EQ(run_tool("explore --tasks 6 --seed 5 --pop 8 --gens 3 --db-out " + good_path).first,
+            0);
+  std::ifstream in(good_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  std::ofstream(good_path, std::ios::binary | std::ios::trunc).write(bytes.data(),
+                                                                     bytes.size());
+  const auto [code, out] =
+      run_tool("simulate --tasks 6 --seed 5 --cycles 5e3 --db " + good_path);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("snapshot:"), std::string::npos) << out;
+  std::remove(good_path.c_str());
+}
+
 }  // namespace

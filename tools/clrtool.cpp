@@ -44,10 +44,13 @@
 #include <optional>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "experiments/flow.hpp"
 #include "experiments/runner.hpp"
 #include "io/serialize.hpp"
+#include "io/snapshot.hpp"
+#include "runtime/drc_matrix.hpp"
 #include "schedule/dot.hpp"
 #include "schedule/gantt.hpp"
 #include "schedule/heft.hpp"
@@ -244,8 +247,18 @@ int cmd_explore(const Args& args) {
   std::printf("spec: Sapp <= %.2f, Fapp >= %.5f\nBaseD: %s\nReD:   %s\n", flow.spec.max_makespan,
               flow.spec.min_func_rel, flow.based.summary().c_str(), flow.red.summary().c_str());
   if (args.has("db-out")) {
-    io::save_design_db(args.str("db-out"), flow.red, app->clr_space());
-    std::printf("database written to %s\n", args.str("db-out").c_str());
+    const std::string out = args.str("db-out");
+    if (io::is_snapshot_path(out)) {
+      // Binary snapshot: persist the DrcMatrix too, so later `simulate`
+      // processes skip the O(n²·tasks) rebuild entirely.
+      recfg::ReconfigModel reconfig(app->platform(), app->impls());
+      util::ThreadPool pool(params.dse.threads);
+      rt::DrcMatrix drc(flow.red, reconfig, &pool);
+      io::save_snapshot(out, flow.red, app->clr_space(), &drc);
+    } else {
+      io::save_design_db(out, flow.red, app->clr_space());
+    }
+    std::printf("database written to %s\n", out.c_str());
   }
   finish_trace(trace_path);
   return 0;
@@ -295,12 +308,23 @@ int cmd_simulate(const Args& args) {
   // the path that traces DSE and runtime into a single timeline).
   std::unique_ptr<exp::AppInstance> app;
   dse::DesignDb db;
+  // Filled when a .clrdb snapshot carries the precomputed cost matrix; the
+  // evaluation below then skips the per-process DrcMatrix rebuild.
+  std::optional<rt::DrcMatrix> snapshot_drc;
   if (args.has("db")) {
-    const auto loaded = io::load_design_db(args.str("db"));
-    // Rebuild the identical application (the database stores indices into its
-    // implementation sets, which regenerate deterministically per seed).
-    app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
-    db = loaded.db;
+    const std::string db_path = args.str("db");
+    if (io::is_snapshot_path(db_path)) {
+      auto loaded = io::load_snapshot(db_path);
+      app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+      db = std::move(loaded.db);
+      snapshot_drc = std::move(loaded.drc);
+    } else {
+      const auto loaded = io::load_design_db(db_path);
+      // Rebuild the identical application (the database stores indices into
+      // its implementation sets, which regenerate deterministically per seed).
+      app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+      db = loaded.db;
+    }
   } else {
     app = exp::make_synthetic_app(tasks, seed);
     exp::FlowParams flow_params;
@@ -321,7 +345,9 @@ int cmd_simulate(const Args& args) {
   box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
 
   if (replications <= 1 && !args.has("report")) {
-    const auto stats = exp::evaluate_policy(*app, db, box, params, sim_seed);
+    const auto stats = snapshot_drc
+                           ? exp::evaluate_policy(*app, db, *snapshot_drc, box, params, sim_seed)
+                           : exp::evaluate_policy(*app, db, box, params, sim_seed);
     util::TextTable table("simulation result");
     table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
                       "QoS violations", "availability", "MTTR", "unrecovered"});
@@ -347,6 +373,7 @@ int cmd_simulate(const Args& args) {
   exp::RunnerCell cell;
   cell.app = app.get();
   cell.db = &db;
+  if (snapshot_drc) cell.drc = &*snapshot_drc;
   cell.ranges = box;
   cell.params = params;
   cell.seed = sim_seed;
