@@ -25,8 +25,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::drain(const std::function<void(std::size_t)>& body, std::size_t n) {
+void ThreadPool::drain(const std::function<void(std::size_t)>& body, std::size_t n,
+                       StopToken stop) {
   while (!failed_.load(std::memory_order_relaxed)) {
+    if (stop.stop_requested()) return;
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
     try {
@@ -45,6 +47,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t n = 0;
+    StopToken job_stop;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || job_id_ != seen; });
@@ -52,8 +55,9 @@ void ThreadPool::worker_loop() {
       seen = job_id_;
       body = body_;
       n = job_n_;
+      job_stop = job_stop_;
     }
-    drain(*body, n);
+    drain(*body, n, job_stop);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_ == 0) cv_done_.notify_all();
@@ -62,14 +66,23 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_for(n, body, StopToken{});
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                              StopToken stop) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop.stop_requested()) return;
+      body(i);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
+    job_stop_ = stop;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
     failed_.store(false, std::memory_order_relaxed);
@@ -78,10 +91,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     ++job_id_;
   }
   cv_start_.notify_all();
-  drain(body, n);
+  drain(body, n, stop);
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return active_ == 0; });
   body_ = nullptr;
+  job_stop_ = StopToken{};
   if (error_) {
     auto err = error_;
     error_ = nullptr;

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/stop.hpp"
+
 namespace clr::util {
 
 /// Resolve a user-facing thread-count knob: 0 means "auto" —
@@ -47,15 +49,27 @@ class ThreadPool {
   /// Not reentrant: body must not call parallel_for on the same pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Stop-aware variant: once stop.stop_requested() is observed, no *new*
+  /// index is claimed; already-claimed iterations always run to completion.
+  /// Because indices are claimed by a monotonic counter, the executed set is
+  /// exactly a contiguous prefix [0, k) of the iteration space — callers
+  /// that record per-index completion (exp::Runner) stay deterministic. The
+  /// caller must check the token afterwards to learn whether the batch was
+  /// cut short. Exception semantics match the plain overload.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    StopToken stop);
+
  private:
   void worker_loop();
-  void drain(const std::function<void(std::size_t)>& body, std::size_t n);
+  void drain(const std::function<void(std::size_t)>& body, std::size_t n,
+             StopToken stop);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t)>* body_ = nullptr;
+  StopToken job_stop_;
   std::size_t job_n_ = 0;
   std::uint64_t job_id_ = 0;
   std::size_t active_ = 0;

@@ -5,9 +5,12 @@
 // experiments are reproducible bit-for-bit from a single seed (DESIGN.md §5.5).
 
 #include <cstdint>
+#include <locale>
 #include <random>
 #include <span>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace clr::util {
@@ -25,6 +28,10 @@ class SplitMix64 {
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
   }
+
+  /// Current stream state. SplitMix64{state()} continues the sequence
+  /// bit-exactly — used by checkpoint/resume (DESIGN.md §5.12).
+  constexpr std::uint64_t state() const { return state_; }
 
  private:
   std::uint64_t state_;
@@ -96,6 +103,29 @@ class Rng {
     for (std::size_t i = items.size(); i > 1; --i) {
       std::swap(items[i - 1], items[index(i)]);
     }
+  }
+
+  /// Serialize the full engine state. Restoring it continues the stream
+  /// bit-exactly: the distribution helpers construct fresh std::
+  /// distributions per call, so the engine is the only hidden state. Uses
+  /// the classic locale — mt19937_64's stream operators are locale-sensitive
+  /// and checkpoints must be portable across locales.
+  std::string save_state() const {
+    std::ostringstream out;
+    out.imbue(std::locale::classic());
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restore a state produced by save_state(). Throws std::invalid_argument
+  /// if the text does not parse as an mt19937_64 state.
+  void restore_state(const std::string& text) {
+    std::istringstream in(text);
+    in.imbue(std::locale::classic());
+    engine_type restored;
+    in >> restored;
+    if (in.fail()) throw std::invalid_argument("Rng::restore_state: malformed engine state");
+    engine_ = restored;
   }
 
  private:

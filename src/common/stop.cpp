@@ -1,0 +1,56 @@
+#include "common/stop.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
+namespace clr::util {
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::Signal:
+      return "signal";
+    case StopReason::Deadline:
+      return "deadline";
+    case StopReason::Budget:
+      return "budget";
+    case StopReason::None:
+      break;
+  }
+  return "none";
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+// The handler reads this with a relaxed load; install_stop_signal_handlers
+// publishes the source before sigaction() makes the handler reachable.
+std::atomic<StopSource*> g_signal_stop_source{nullptr};
+
+void stop_signal_handler(int /*signo*/) {
+  StopSource* source = g_signal_stop_source.load(std::memory_order_relaxed);
+  if (source != nullptr) source->request_stop(StopReason::Signal);
+}
+
+}  // namespace
+
+void install_stop_signal_handlers(StopSource& source) {
+  g_signal_stop_source.store(&source, std::memory_order_relaxed);
+  struct sigaction action = {};
+  action.sa_handler = stop_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: the second SIGINT/SIGTERM gets the default disposition, so
+  // a stuck run can still be killed with a second Ctrl-C.
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+#else
+
+void install_stop_signal_handlers(StopSource&) {}
+
+#endif
+
+}  // namespace clr::util

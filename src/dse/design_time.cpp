@@ -101,78 +101,104 @@ DesignPoint DesignTimeDse::make_point(const std::vector<int>& genes, bool extra)
 }
 
 DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
+  return run_base_resumable(rng, {}).db;
+}
+
+StageOutcome DesignTimeDse::run_base_resumable(util::Rng& rng, const BaseControl& control) const {
   CLR_TRACE_SPAN(base_span, trace::Category::Dse, "dse.base",
                  {{"pop", cfg_.base_ga.population}, {"gens", cfg_.base_ga.generations}});
   util::ThreadPool pool(cfg_.threads);
   moea::EvalCache cache(cfg_.eval_cache_capacity);
   const moea::EvalOptions eval_opts{&pool, &cache, cfg_.batched_eval};
 
-  // Calibrate the Eq. (5) reference point and objective scales from random
-  // samples of the space, so the signed hypervolume is well-conditioned.
-  // Generate-then-evaluate: all chromosomes are drawn first (sequentially,
-  // on the master Rng), then evaluated as one parallel batch.
   const std::size_t dim = problem_->num_objectives();
-  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
-  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
-  {
-    CLR_TRACE_SPAN(cal_span, trace::Category::Dse, "dse.calibrate",
-                   {{"samples", cfg_.calibration_samples}});
-    std::vector<moea::Individual> samples(cfg_.calibration_samples);
-    std::vector<moea::Individual*> batch;
-    batch.reserve(samples.size());
-    for (auto& s : samples) {
-      s.genes = problem_->random_genes(rng);
-      batch.push_back(&s);
+  std::vector<double> ref(dim);
+  std::vector<double> scale(dim);
+  std::vector<std::vector<int>> seeds;
+  if (control.resume != nullptr) {
+    // The calibration below consumed RNG draws before the saved GA boundary,
+    // so its result travels in the checkpoint; the RNG stream itself is
+    // restored inside ga.run from the saved GA state.
+    ref = control.resume->ref;
+    scale = control.resume->scale;
+  } else {
+    // Calibrate the Eq. (5) reference point and objective scales from random
+    // samples of the space, so the signed hypervolume is well-conditioned.
+    // Generate-then-evaluate: all chromosomes are drawn first (sequentially,
+    // on the master Rng), then evaluated as one parallel batch.
+    std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+    {
+      CLR_TRACE_SPAN(cal_span, trace::Category::Dse, "dse.calibrate",
+                     {{"samples", cfg_.calibration_samples}});
+      std::vector<moea::Individual> samples(cfg_.calibration_samples);
+      std::vector<moea::Individual*> batch;
+      batch.reserve(samples.size());
+      for (auto& s : samples) {
+        s.genes = problem_->random_genes(rng);
+        batch.push_back(&s);
+      }
+      moea::BatchEvaluator(*problem_, eval_opts).evaluate(batch);
+      for (const auto& s : samples) {
+        for (std::size_t k = 0; k < dim; ++k) {
+          lo[k] = std::min(lo[k], s.eval.objectives[k]);
+          hi[k] = std::max(hi[k], s.eval.objectives[k]);
+        }
+      }
     }
-    moea::BatchEvaluator(*problem_, eval_opts).evaluate(batch);
-    for (const auto& s : samples) {
-      for (std::size_t k = 0; k < dim; ++k) {
-        lo[k] = std::min(lo[k], s.eval.objectives[k]);
-        hi[k] = std::max(hi[k], s.eval.objectives[k]);
+
+    // Reference corner: the QoS constraints pin the makespan / reliability
+    // dimensions; the energy dimension gets a loose cap above the sampled max.
+    const QosSpec& spec = problem_->spec();
+    auto loose = [&](std::size_t k) { return hi[k] + 0.05 * (hi[k] - lo[k]) + 1e-9; };
+    switch (problem_->mode()) {
+      case ObjectiveMode::EnergyQos:
+        ref = {loose(0), spec.max_makespan, -spec.min_func_rel};
+        break;
+      case ObjectiveMode::CspQos:
+        ref = {spec.max_makespan, -spec.min_func_rel};
+        break;
+      case ObjectiveMode::EnergyLifetime:
+        // QoS enters through the constraint violation; both objectives get a
+        // loose sampled corner.
+        ref = {loose(0), loose(1)};
+        break;
+    }
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double range = hi[k] - lo[k];
+      scale[k] = range > 1e-12 ? 1.0 / range : 1.0;
+    }
+
+    if (cfg_.heft_seeding) {
+      // The HEFT heuristic maps over the full platform; when the problem
+      // restricts the binding domain (e.g. a failed PE is excluded) its seed
+      // may not be expressible — skip it rather than fail the exploration.
+      try {
+        seeds.push_back(problem_->encode(sched::heft_seed(problem_->compiled())));
+      } catch (const std::invalid_argument&) {
       }
     }
   }
 
-  // Reference corner: the QoS constraints pin the makespan / reliability
-  // dimensions; the energy dimension gets a loose cap above the sampled max.
-  std::vector<double> ref(dim);
-  std::vector<double> scale(dim);
-  const QosSpec& spec = problem_->spec();
-  auto loose = [&](std::size_t k) { return hi[k] + 0.05 * (hi[k] - lo[k]) + 1e-9; };
-  switch (problem_->mode()) {
-    case ObjectiveMode::EnergyQos:
-      ref = {loose(0), spec.max_makespan, -spec.min_func_rel};
-      break;
-    case ObjectiveMode::CspQos:
-      ref = {spec.max_makespan, -spec.min_func_rel};
-      break;
-    case ObjectiveMode::EnergyLifetime:
-      // QoS enters through the constraint violation; both objectives get a
-      // loose sampled corner.
-      ref = {loose(0), loose(1)};
-      break;
-  }
-  for (std::size_t k = 0; k < dim; ++k) {
-    const double range = hi[k] - lo[k];
-    scale[k] = range > 1e-12 ? 1.0 / range : 1.0;
-  }
-
-  std::vector<std::vector<int>> seeds;
-  if (cfg_.heft_seeding) {
-    // The HEFT heuristic maps over the full platform; when the problem
-    // restricts the binding domain (e.g. a failed PE is excluded) its seed
-    // may not be expressible — skip it rather than fail the exploration.
-    try {
-      seeds.push_back(problem_->encode(sched::heft_seed(problem_->compiled())));
-    } catch (const std::invalid_argument&) {
-    }
-  }
-
   moea::HvGa ga(cfg_.base_ga, ref, scale);
-  const auto result = ga.run(*problem_, rng, seeds, eval_opts);
+  moea::GaRunControl ga_control;
+  ga_control.stop = control.stop;
+  if (control.on_boundary) {
+    ga_control.on_boundary = [&](const moea::GaState& state) {
+      BaseProgress progress;
+      progress.ref = ref;
+      progress.scale = scale;
+      progress.ga = state;
+      control.on_boundary(progress);
+    };
+  }
+  if (control.resume != nullptr) ga_control.resume = &control.resume->ga;
+  const auto result = ga.run(*problem_, rng, seeds, eval_opts, &ga_control);
 
   // Thin the raw front to the storage budget, preferring well-spread points
-  // (crowding distance keeps the extremes first).
+  // (crowding distance keeps the extremes first). Pure recomputation from
+  // the archive — on the partial (stopped) path it yields the
+  // best-effort-so-far database for the partial report.
   std::vector<moea::Individual> front = result.archive.members();
   if (front.size() > cfg_.max_base_points && cfg_.max_base_points > 0) {
     std::vector<std::size_t> all(front.size());
@@ -185,23 +211,35 @@ DesignDb DesignTimeDse::run_base(util::Rng& rng) const {
     front.resize(cfg_.max_base_points);
   }
 
-  DesignDb db;
+  StageOutcome outcome;
+  outcome.complete = result.complete;
   for (const auto& ind : front) {
-    db.add(make_point(ind.genes, /*extra=*/false));
+    outcome.db.add(make_point(ind.genes, /*extra=*/false));
   }
-  return db;
+  return outcome;
 }
 
 DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
+  return run_red_resumable(base, rng, {}).db;
+}
+
+StageOutcome DesignTimeDse::run_red_resumable(const DesignDb& base, util::Rng& rng,
+                                              const RedControl& control) const {
   if (base.empty()) throw std::invalid_argument("run_red: empty BaseD database");
   CLR_TRACE_SPAN(red_span, trace::Category::Dse, "dse.red", {{"base_points", base.size()}});
   const auto base_configs = base.configurations();
 
   DesignDb red;
-  for (const auto& p : base.points()) {
-    DesignPoint copy = p;
-    copy.extra = false;
-    red.add(std::move(copy));
+  std::size_t start_pos = 0;
+  if (control.resume != nullptr) {
+    red = control.resume->red;
+    start_pos = control.resume->seed_pos;
+  } else {
+    for (const auto& p : base.points()) {
+      DesignPoint copy = p;
+      copy.extra = false;
+      red.add(std::move(copy));
+    }
   }
 
   // Explore at most max_red_seeds seeds, spread evenly across the front.
@@ -220,7 +258,8 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
   moea::GenomeCache<double> drc_cache(cfg_.eval_cache_capacity);
 
   moea::Nsga2 nsga(cfg_.red_ga);
-  for (std::size_t si : seed_idx) {
+  for (std::size_t pos = start_pos; pos < seed_idx.size(); ++pos) {
+    const std::size_t si = seed_idx[pos];
     CLR_TRACE_SPAN(seed_span, trace::Category::Dse, "dse.red_seed", {{"seed_index", si}});
     const DesignPoint& seed = base.point(si);
     const double seed_avg_drc = reconfig_->average_drc(seed.config, base_configs);
@@ -232,27 +271,61 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
     // point's task binding with the seed's CLR configuration — CLR/priority
     // changes are free (§3.5), so such blends are exactly the cheap-to-reach
     // QoS-strong targets of Fig. 4b.
+    //
+    // When resuming into this seed's GA, the seed list (and its mutation
+    // draws) is skipped: the GA restores its own population and the RNG
+    // stream from the saved boundary, which already reflects those draws.
+    const bool resuming_here = control.resume != nullptr && pos == start_pos;
     std::vector<std::vector<int>> seeds;
-    const auto seed_genes = problem_->encode(seed.config);
-    seeds.push_back(seed_genes);
-    for (const auto& other : base.points()) {
-      if (seeds.size() + 1 >= cfg_.red_ga.population) break;
-      seeds.push_back(problem_->encode(other.config));
-    }
-    while (seeds.size() < cfg_.red_ga.population * 3 / 4) {
-      auto mutated = seed_genes;
-      moea::reset_mutation(red_problem, mutated, 0.10, rng);
-      seeds.push_back(std::move(mutated));
+    if (!resuming_here) {
+      const auto seed_genes = problem_->encode(seed.config);
+      seeds.push_back(seed_genes);
+      for (const auto& other : base.points()) {
+        if (seeds.size() + 1 >= cfg_.red_ga.population) break;
+        seeds.push_back(problem_->encode(other.config));
+      }
+      while (seeds.size() < cfg_.red_ga.population * 3 / 4) {
+        auto mutated = seed_genes;
+        moea::reset_mutation(red_problem, mutated, 0.10, rng);
+        seeds.push_back(std::move(mutated));
+      }
     }
 
+    moea::GaRunControl ga_control;
+    ga_control.stop = control.stop;
+    if (control.on_boundary) {
+      ga_control.on_boundary = [&](const moea::GaState& state) {
+        RedProgress progress;
+        progress.seed_pos = pos;
+        progress.ga = state;
+        progress.red = red;
+        control.on_boundary(progress);
+      };
+    }
+    if (resuming_here) ga_control.resume = &control.resume->ga;
+
     moea::EvalCache eval_cache(cfg_.eval_cache_capacity);
-    const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache, cfg_.batched_eval});
+    const auto result = nsga.run(red_problem, rng, seeds, {&pool, &eval_cache, cfg_.batched_eval},
+                                 &ga_control);
     CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.hits",
                       static_cast<double>(drc_cache.hits()));
     CLR_TRACE_COUNTER(trace::Category::Dse, "dse.red_drc_cache.misses",
                       static_cast<double>(drc_cache.misses()));
 
+    if (!result.complete) {
+      // Stopped mid-seed: the boundary callback already reported the
+      // restartable state; return the extras collected from finished seeds.
+      StageOutcome partial;
+      partial.db = std::move(red);
+      partial.complete = false;
+      return partial;
+    }
+
     // Collect candidates that are strictly cheaper to reach than the seed.
+    // On a resume that lands exactly on a finished GA (its final boundary),
+    // the GA above no-ops and this re-collection is pure deterministic
+    // recomputation — DesignDb::add deduplicates, so extras are never
+    // double-counted.
     struct Candidate {
       DesignPoint point;
       double avg_drc;
@@ -300,7 +373,9 @@ DesignDb DesignTimeDse::run_red(const DesignDb& base, util::Rng& rng) const {
     keep_best(by_energy, any);
     keep_best(by_drc, no_qos_loss);
   }
-  return red;
+  StageOutcome outcome;
+  outcome.db = std::move(red);
+  return outcome;
 }
 
 DesignTimeDse::Result DesignTimeDse::run(util::Rng& rng) const {

@@ -10,8 +10,12 @@
 //     whose *average dRC to the optimal set* is lower, i.e. points that are
 //     cheap to reach at run-time (the F''_Op of Fig. 4b).
 
+#include <functional>
+
+#include "common/stop.hpp"
 #include "dse/design_db.hpp"
 #include "dse/mapping_problem.hpp"
+#include "moea/control.hpp"
 #include "moea/hvga.hpp"
 #include "moea/nsga2.hpp"
 #include "reconfig/reconfig.hpp"
@@ -101,6 +105,53 @@ class RedProblem : public moea::Problem {
   moea::GenomeCache<double>* drc_cache_;
 };
 
+/// Restartable state of the BaseD stage at a GA generation boundary
+/// (DESIGN.md §5.12). The Eq. (5) reference/scale calibration happens before
+/// the GA and consumes RNG draws, so it is captured here; everything after
+/// the GA (front thinning, DesignDb construction) is deterministic
+/// recomputation from the archive.
+struct BaseProgress {
+  std::vector<double> ref;
+  std::vector<double> scale;
+  moea::GaState ga;
+};
+
+/// Run control for the resumable BaseD stage.
+struct BaseControl {
+  util::StopToken stop;
+  /// Invoked at every GA generation boundary with the full restartable state.
+  std::function<void(const BaseProgress&)> on_boundary;
+  /// When non-null, continue from this boundary (calibration is skipped; the
+  /// RNG stream is restored from the saved GA state).
+  const BaseProgress* resume = nullptr;
+};
+
+/// Restartable state of the ReD stage: which BaseD seed's secondary GA is in
+/// flight (`seed_pos` indexes the deterministic seed schedule), that GA's
+/// boundary state, and the ReD database accumulated from all *completed*
+/// seeds. A checkpoint taken at a finished GA's final boundary resumes into
+/// a no-op GA run whose extras are re-collected deterministically
+/// (DesignDb::add deduplicates), so no boundary is unsafe to crash on.
+struct RedProgress {
+  std::size_t seed_pos = 0;
+  moea::GaState ga;
+  DesignDb red;
+};
+
+/// Run control for the resumable ReD stage.
+struct RedControl {
+  util::StopToken stop;
+  std::function<void(const RedProgress&)> on_boundary;
+  const RedProgress* resume = nullptr;
+};
+
+/// Result of a resumable stage: the (possibly partial) database and whether
+/// the stage ran to completion or was cut short by a cooperative stop.
+struct StageOutcome {
+  DesignDb db;
+  bool complete = true;
+};
+
 /// Orchestrates both design-time stages for one application.
 class DesignTimeDse {
  public:
@@ -112,6 +163,16 @@ class DesignTimeDse {
 
   /// Stage 2: BaseD plus the reconfiguration-cost-aware extras (ReD).
   DesignDb run_red(const DesignDb& base, util::Rng& rng) const;
+
+  /// Stage 1 with cooperative stop / checkpoint boundaries / resume. With a
+  /// default-constructed control this is bit-identical to run_base; an
+  /// interrupted run resumed from the last reported BaseProgress is
+  /// bit-identical to the uninterrupted run.
+  StageOutcome run_base_resumable(util::Rng& rng, const BaseControl& control) const;
+
+  /// Stage 2, resumable; same contract as run_base_resumable.
+  StageOutcome run_red_resumable(const DesignDb& base, util::Rng& rng,
+                                 const RedControl& control) const;
 
   /// Convenience: both stages.
   struct Result {

@@ -23,6 +23,21 @@ const char* policy_name(PolicyKind kind) {
   return "unknown";
 }
 
+// FNV-1a64 accumulation over raw bytes (same constants as the snapshot
+// checksum and hash_configuration).
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+void hash_value(std::uint64_t& h, T v) {
+  hash_bytes(h, &v, sizeof v);
+}
+
 }  // namespace
 
 ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
@@ -86,16 +101,84 @@ std::size_t Runner::add_cell(RunnerCell cell) {
   return cells_.size() - 1;
 }
 
-std::vector<CellResult> Runner::run() {
+std::vector<CellResult> Runner::run() { return run(RunnerControl{}).results; }
+
+std::uint64_t Runner::grid_hash() const {
   const std::size_t reps = std::max<std::size_t>(config_.replications, 1);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_value<std::uint64_t>(h, reps);
+  hash_value<std::uint64_t>(h, cells_.size());
+  for (const auto& cell : cells_) {
+    hash_value<std::uint64_t>(h, cell.label.size());
+    hash_bytes(h, cell.label.data(), cell.label.size());
+    hash_value<std::uint64_t>(h, cell.seed);
+    hash_value<std::uint32_t>(h, static_cast<std::uint32_t>(cell.params.kind));
+    hash_value<double>(h, cell.params.p_rc);
+    hash_value<double>(h, cell.params.pretrain_cycles);
+    hash_value<std::uint64_t>(h, cell.params.pretrain_sweeps);
+    hash_value<std::uint8_t>(h, cell.params.pretrain ? 1 : 0);
+    hash_value<double>(h, cell.params.sim.total_cycles);
+    hash_value<double>(h, cell.params.sim.episode_cycles);
+    hash_value<double>(h, cell.params.faults.transient_rate);
+    hash_value<double>(h, cell.params.faults.pe_mtbf);
+    hash_value<double>(h, cell.params.faults.recovery_latency);
+    hash_value<double>(h, cell.params.faults.reexec_energy_factor);
+    hash_value<double>(h, cell.params.faults.qos_tolerance);
+    hash_value<double>(h, cell.params.faults.fallback_coverage);
+    hash_value<std::uint64_t>(h, cell.db->size());
+    hash_value<double>(h, cell.ranges.energy_min);
+    hash_value<double>(h, cell.ranges.energy_max);
+    hash_value<double>(h, cell.ranges.makespan_min);
+    hash_value<double>(h, cell.ranges.makespan_max);
+    hash_value<double>(h, cell.ranges.func_rel_min);
+    hash_value<double>(h, cell.ranges.func_rel_max);
+  }
+  return h;
+}
+
+RunOutcome Runner::run(const RunnerControl& control) {
+  const std::size_t reps = std::max<std::size_t>(config_.replications, 1);
+  const std::size_t total = cells_.size() * reps;
+  const std::uint64_t identity = grid_hash();
+
+  // Flat per-job state (job = cell·reps + rep). A resume restores the
+  // completed jobs' flags and stats; everything else is recomputed.
+  std::vector<std::uint8_t> done(total, 0);
+  std::vector<rt::RuntimeStats> stats(total);
+  if (control.resume != nullptr) {
+    const RunnerProgress& p = *control.resume;
+    if (p.grid_hash != identity) {
+      throw std::invalid_argument(
+          "Runner::run: resume progress was recorded for a different grid (hash mismatch)");
+    }
+    if (p.replications != reps) {
+      throw std::invalid_argument("Runner::run: resume progress has " +
+                                  std::to_string(p.replications) + " replications, grid has " +
+                                  std::to_string(reps));
+    }
+    if (p.done.size() != total || p.runs.size() != total) {
+      throw std::invalid_argument("Runner::run: resume progress spans " +
+                                  std::to_string(p.done.size()) + " jobs, grid has " +
+                                  std::to_string(total));
+    }
+    done = p.done;
+    stats = p.runs;
+  }
+
   util::ThreadPool pool(config_.jobs);
+  bool stopped = control.stop.stop_requested();
 
   // Phase 1: one DrcMatrix per distinct (app, db) pair, built row-parallel.
   // Keyed on the pair because the model derives from the app's platform and
-  // implementation sets while the table spans the db's stored points.
+  // implementation sets while the table spans the db's stored points. Not
+  // checkpointed: the tables are deterministic recomputations on resume.
   std::map<std::pair<const AppInstance*, const dse::DesignDb*>, std::unique_ptr<rt::DrcMatrix>>
       drc_cache;
   for (const auto& cell : cells_) {
+    if (stopped || control.stop.stop_requested()) {
+      stopped = true;
+      break;
+    }
     if (cell.drc != nullptr) continue;
     const auto key = std::make_pair(cell.app, cell.db);
     if (drc_cache.count(key) > 0) {
@@ -110,63 +193,112 @@ std::vector<CellResult> Runner::run() {
     metrics_.counter("runner.drc_builds").add();
   }
 
-  // Phase 2: fan (cell, replication) jobs out. Each job's seed derives only
-  // from (cell.seed, rep) and each writes its own pre-sized slot, so the
-  // schedule cannot change any observable result.
-  std::vector<std::vector<rt::RuntimeStats>> runs(cells_.size());
-  std::vector<std::vector<double>> wall(cells_.size());
-  for (std::size_t c = 0; c < cells_.size(); ++c) {
-    runs[c].resize(reps);
-    wall[c].assign(reps, 0.0);
-  }
-  {
+  // Phase 2: fan the pending (cell, replication) jobs out in waves of
+  // `batch_size`. Each job's seed derives only from (cell.seed, rep) and
+  // each writes its own pre-sized slot, so neither the schedule, the wave
+  // boundaries, nor a kill/resume cycle can change any observable result.
+  std::vector<double> wall(total, 0.0);
+  std::vector<std::uint8_t> fresh(total, 0);  ///< executed in THIS run (metrics)
+  if (!stopped) {
+    std::vector<std::size_t> pending;
+    pending.reserve(total);
+    for (std::size_t job = 0; job < total; ++job) {
+      if (done[job] == 0) pending.push_back(job);
+    }
+    const std::size_t wave = control.batch_size > 0 ? control.batch_size : std::max<std::size_t>(pending.size(), 1);
     CLR_TRACE_SPAN(grid_span, trace::Category::Exp, "exp.grid",
-                   {{"cells", cells_.size()}, {"replications", reps}, {"jobs", config_.jobs}});
-    pool.parallel_for(cells_.size() * reps, [&](std::size_t job) {
-      const std::size_t c = job / reps;
-      const std::size_t r = job % reps;
-      const RunnerCell& cell = cells_[c];
-      CLR_TRACE_SPAN(cell_span, trace::Category::Exp, "exp.cell",
-                     {{"cell", c},
-                      {"rep", r},
-                      {"label", cell.label},
-                      {"policy", policy_name(cell.params.kind)},
-                      {"p_rc", cell.params.p_rc},
-                      {"fault_rate", cell.params.faults.transient_rate},
-                      {"seed", replication_seed(cell.seed, r)}});
-      const rt::DrcMatrix* drc =
-          cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
-      const rel::ClrSpace* clr_space = cell.app != nullptr ? &cell.app->clr_space() : nullptr;
-      const auto start = std::chrono::steady_clock::now();
-      runs[c][r] =
-          evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
-                               replication_seed(cell.seed, r), clr_space);
-      wall[c][r] = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-      metrics_.counter("runner.jobs").add();
-    });
+                   {{"cells", cells_.size()},
+                    {"replications", reps},
+                    {"jobs", config_.jobs},
+                    {"pending", pending.size()}});
+    for (std::size_t begin = 0; begin < pending.size(); begin += wave) {
+      if (control.stop.stop_requested()) {
+        stopped = true;
+        break;
+      }
+      const std::size_t count = std::min(wave, pending.size() - begin);
+      pool.parallel_for(
+          count,
+          [&](std::size_t k) {
+            const std::size_t job = pending[begin + k];
+            const std::size_t c = job / reps;
+            const std::size_t r = job % reps;
+            const RunnerCell& cell = cells_[c];
+            CLR_TRACE_SPAN(cell_span, trace::Category::Exp, "exp.cell",
+                           {{"cell", c},
+                            {"rep", r},
+                            {"label", cell.label},
+                            {"policy", policy_name(cell.params.kind)},
+                            {"p_rc", cell.params.p_rc},
+                            {"fault_rate", cell.params.faults.transient_rate},
+                            {"seed", replication_seed(cell.seed, r)}});
+            const rt::DrcMatrix* drc =
+                cell.drc != nullptr ? cell.drc : drc_cache.at({cell.app, cell.db}).get();
+            const rel::ClrSpace* clr_space =
+                cell.app != nullptr ? &cell.app->clr_space() : nullptr;
+            const auto start = std::chrono::steady_clock::now();
+            stats[job] = evaluate_policy_with(*cell.db, *drc, cell.ranges, cell.params,
+                                              replication_seed(cell.seed, r), clr_space);
+            wall[job] = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+            done[job] = 1;
+            fresh[job] = 1;
+            metrics_.counter("runner.jobs").add();
+          },
+          control.stop);
+      if (control.on_batch) {
+        RunnerProgress progress;
+        progress.grid_hash = identity;
+        progress.replications = reps;
+        progress.done = done;
+        progress.runs.reserve(total);
+        for (const auto& s : stats) {
+          rt::RuntimeStats stripped = s;
+          stripped.trace.clear();  // traces are observability, never persisted
+          progress.runs.push_back(std::move(stripped));
+        }
+        control.on_batch(progress);
+      }
+      if (control.stop.stop_requested()) {
+        stopped = true;
+        break;
+      }
+    }
   }
 
-  // Phase 3: aggregate sequentially in cell/replication order.
-  std::vector<CellResult> results;
-  results.reserve(cells_.size());
+  // Phase 3: aggregate sequentially in cell/replication order over the
+  // completed jobs. Restored and freshly-run stats are interchangeable here,
+  // so a resumed grid's ReplicatedStats are bit-identical. Metrics count
+  // only this run's work (restored jobs were counted by the original run).
+  RunOutcome outcome;
+  outcome.jobs_total = total;
+  outcome.results.reserve(cells_.size());
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     CellResult res;
     res.label = cells_[c].label;
     res.params = cells_[c].params;
     res.seed = cells_[c].seed;
-    res.stats = replicate_stats(runs[c]);
-    for (double ms : wall[c]) res.wall_ms += ms;
-    metrics_.timer("runner.cell").add_ns(static_cast<std::uint64_t>(res.wall_ms * 1e6));
-    for (const auto& run : runs[c]) {
-      metrics_.counter("runner.events").add(run.num_events);
-      metrics_.counter("runner.reconfigs").add(run.num_reconfigs);
+    std::vector<rt::RuntimeStats> cell_runs;
+    cell_runs.reserve(reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const std::size_t job = c * reps + r;
+      if (done[job] == 0) continue;
+      outcome.jobs_done += 1;
+      cell_runs.push_back(stats[job]);
+      res.wall_ms += wall[job];
+      if (fresh[job] != 0) {
+        metrics_.counter("runner.events").add(stats[job].num_events);
+        metrics_.counter("runner.reconfigs").add(stats[job].num_reconfigs);
+      }
     }
-    if (config_.keep_runs) res.runs = std::move(runs[c]);
-    results.push_back(std::move(res));
+    res.stats = replicate_stats(cell_runs);
+    metrics_.timer("runner.cell").add_ns(static_cast<std::uint64_t>(res.wall_ms * 1e6));
+    if (config_.keep_runs) res.runs = std::move(cell_runs);
+    outcome.results.push_back(std::move(res));
   }
-  return results;
+  outcome.complete = !stopped && outcome.jobs_done == total;
+  return outcome;
 }
 
 namespace {
@@ -181,7 +313,7 @@ io::Json summary_json(const util::Summary& s) {
 
 io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
                      const std::vector<CellResult>& results,
-                     const util::MetricsRegistry* metrics) {
+                     const util::MetricsRegistry* metrics, bool interrupted) {
   io::JsonArray cells;
   cells.reserve(results.size());
   for (const auto& res : results) {
@@ -220,6 +352,9 @@ io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
       {"jobs", io::Json(config.jobs)},
       {"cells", io::Json(std::move(cells))},
   };
+  // Only emitted on partial reports, so complete reports stay byte-stable
+  // across versions.
+  if (interrupted) report.emplace_back("interrupted", io::Json(true));
   if (metrics != nullptr) {
     io::JsonObject counters;
     for (const auto& c : metrics->counters()) counters.emplace_back(c.name, io::Json(c.value));

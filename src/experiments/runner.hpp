@@ -22,11 +22,13 @@
 // for machine-readable bench reports.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "common/stop.hpp"
 #include "experiments/flow.hpp"
 #include "io/json.hpp"
 #include "runtime/drc_matrix.hpp"
@@ -101,6 +103,59 @@ struct RunnerConfig {
   bool keep_runs = false;
 };
 
+/// Restartable grid state, snapshotted between job batches. Jobs are indexed
+/// cell-major (job = cell × replications + rep — the same flat order run()
+/// dispatches), and each job's seed depends only on (cell.seed, rep), so a
+/// resumed grid aggregates restored + fresh runs into ReplicatedStats that
+/// are bit-for-bit the uninterrupted run's. Event traces are NOT carried
+/// (aggregation never reads them); restored jobs re-surface with empty
+/// traces.
+struct RunnerProgress {
+  /// Runner::grid_hash() of the grid this progress belongs to; resuming
+  /// against a different grid is refused.
+  std::uint64_t grid_hash = 0;
+  std::size_t replications = 0;
+  /// One flag per job, 1 = completed.
+  std::vector<std::uint8_t> done;
+  /// One record per job; meaningful only where done[i] != 0.
+  std::vector<rt::RuntimeStats> runs;
+
+  std::size_t jobs_done() const {
+    std::size_t n = 0;
+    for (std::uint8_t d : done) n += (d != 0);
+    return n;
+  }
+};
+
+/// Cooperative-cancellation + checkpoint hooks for Runner::run(). Default
+/// state (no stop, no batching, no resume) reproduces the plain run().
+struct RunnerControl {
+  /// Checked between batches and inside the pool's job-claim loop; a
+  /// requested stop finishes the in-flight jobs and returns a partial
+  /// outcome (complete = false).
+  util::StopToken stop;
+  /// Jobs per dispatch wave (0 = all pending jobs in one wave). The
+  /// checkpoint cadence: on_batch fires after every wave.
+  std::size_t batch_size = 0;
+  /// Called after each wave with the accumulated progress (traces already
+  /// stripped) — the session layer serializes this into a checkpoint.
+  std::function<void(const RunnerProgress&)> on_batch;
+  /// Resume from a prior run's progress: completed jobs are never re-run.
+  /// Validated against grid_hash()/replications/job count (throws
+  /// std::invalid_argument on mismatch).
+  const RunnerProgress* resume = nullptr;
+};
+
+/// Outcome of a controlled run. `results` always spans every cell; cells
+/// with missing replications aggregate only the completed ones (partial
+/// report).
+struct RunOutcome {
+  std::vector<CellResult> results;
+  bool complete = true;
+  std::size_t jobs_done = 0;
+  std::size_t jobs_total = 0;
+};
+
 class Runner {
  public:
   explicit Runner(RunnerConfig config = {}) : config_(config) {}
@@ -111,6 +166,18 @@ class Runner {
   /// Expand cells × replications, fan the jobs out, aggregate. Results are
   /// indexed by add_cell() order and bit-for-bit independent of `jobs`.
   std::vector<CellResult> run();
+
+  /// Controlled run: stop-aware, batched, resumable (DESIGN.md §5.12). With
+  /// a default RunnerControl this is exactly run(); with `resume` set,
+  /// completed jobs are skipped and the final aggregation is bit-identical
+  /// to the uninterrupted run at any `jobs` count.
+  RunOutcome run(const RunnerControl& control);
+
+  /// FNV-1a over the grid's result-affecting identity: cell labels, seeds,
+  /// policy/p_rc/simulation/fault parameters, db sizes, QoS ranges and the
+  /// replication count. Deliberately excludes `jobs` (thread count never
+  /// affects results) and wall-clock observability.
+  std::uint64_t grid_hash() const;
 
   const RunnerConfig& config() const { return config_; }
   std::size_t num_cells() const { return cells_.size(); }
@@ -129,9 +196,11 @@ class Runner {
 
 /// Machine-readable report of a replicated grid: experiment name, harness
 /// config, per-cell field summaries and wall-clock, and — when a Runner is
-/// given — its metrics snapshot.
+/// given — its metrics snapshot. `interrupted` marks a partial report from a
+/// stopped run (the key is only emitted when true, keeping existing reports
+/// byte-stable).
 io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
                      const std::vector<CellResult>& results,
-                     const util::MetricsRegistry* metrics = nullptr);
+                     const util::MetricsRegistry* metrics = nullptr, bool interrupted = false);
 
 }  // namespace clr::exp

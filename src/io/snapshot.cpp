@@ -117,7 +117,8 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
   const auto flags = load_scalar<std::uint32_t>(bytes + 12);
   if (flags != 0) {
     fail(SnapshotError::Kind::BadValue,
-         "unknown header flags " + hex(flags) + " (version 1 defines none)");
+         "unknown header flags " + hex(flags) + " (version " + std::to_string(v.version_) +
+             " defines none)");
   }
   const auto declared_size = load_scalar<std::uint64_t>(bytes + 16);
   if (declared_size != size) {
@@ -129,8 +130,8 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
   const auto section_count = load_scalar<std::uint32_t>(bytes + 32);
   const auto header_reserved = load_scalar<std::uint32_t>(bytes + 36);
   if (header_reserved != 0) {
-    fail(SnapshotError::Kind::BadValue, "reserved header field is " + hex(header_reserved) +
-                                            " (must be 0 in version 1)");
+    fail(SnapshotError::Kind::BadValue,
+         "reserved header field is " + hex(header_reserved) + " (must be 0)");
   }
   if (section_count > kMaxSections) {
     fail(SnapshotError::Kind::Bounds, "section count " + std::to_string(section_count) +
@@ -155,10 +156,15 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
   }
 
   // Section table: bounds-check every entry against the buffer before any
-  // payload byte is interpreted.
+  // payload byte is interpreted. Version 1 defines kinds 1..3; version 2
+  // adds the checkpoint kinds 5..6 (4 stays reserved in both).
+  const auto kind_allowed = [&](std::uint32_t kind) {
+    if (kind >= 1 && kind <= 3) return true;
+    return v.version_ >= 2 && (kind == 5 || kind == 6);
+  };
   std::vector<SectionEntry> sections;
   sections.reserve(section_count);
-  bool seen[4] = {false, false, false, false};
+  bool seen[7] = {};
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const std::uint8_t* e = bytes + kHeaderSize + std::size_t{i} * kSectionEntrySize;
     SectionEntry s;
@@ -170,9 +176,11 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
       fail(SnapshotError::Kind::BadValue,
            "section " + std::to_string(i) + ": reserved field is " + hex(reserved));
     }
-    if (s.kind < 1 || s.kind > 3) {
-      fail(SnapshotError::Kind::BadValue, "unknown section kind " + std::to_string(s.kind) +
-                                              " (version 1 defines kinds 1..3)");
+    if (!kind_allowed(s.kind)) {
+      fail(SnapshotError::Kind::BadValue,
+           "unknown section kind " + std::to_string(s.kind) + " (version " +
+               std::to_string(v.version_) +
+               (v.version_ == 1 ? " defines kinds 1..3)" : " defines kinds 1..3, 5..6)"));
     }
     if (seen[s.kind]) {
       fail(SnapshotError::Kind::BadValue, "duplicate section kind " + std::to_string(s.kind));
@@ -190,10 +198,21 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
     }
     sections.push_back(s);
   }
-  if (!seen[static_cast<std::uint32_t>(SnapshotSection::ClrSpace)] ||
-      !seen[static_cast<std::uint32_t>(SnapshotSection::DesignPoints)]) {
+  // Shape rule: a file is either a design database (ClrSpace + DesignPoints
+  // [+ DrcMatrix]) or, from version 2, a single checkpoint section.
+  const bool has_checkpoint_section =
+      seen[static_cast<std::uint32_t>(SnapshotSection::ExploreState)] ||
+      seen[static_cast<std::uint32_t>(SnapshotSection::RunnerState)];
+  if (has_checkpoint_section) {
+    if (section_count != 1) {
+      fail(SnapshotError::Kind::BadValue,
+           "a checkpoint section must be the file's only section, found " +
+               std::to_string(section_count));
+    }
+  } else if (!seen[static_cast<std::uint32_t>(SnapshotSection::ClrSpace)] ||
+             !seen[static_cast<std::uint32_t>(SnapshotSection::DesignPoints)]) {
     fail(SnapshotError::Kind::BadValue,
-         "missing required section (version 1 requires ClrSpace=1 and DesignPoints=2)");
+         "missing required section (a design database requires ClrSpace=1 and DesignPoints=2)");
   }
 
   // Per-section structural decode. Every count is validated against the
@@ -307,6 +326,20 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
                         static_cast<std::size_t>(n * n)};
         break;
       }
+      case SnapshotSection::ExploreState:
+      case SnapshotSection::RunnerState: {
+        // The payload is an opaque record stream decoded by io/checkpoint.cpp
+        // (bounded cursor, typed errors). attach() only guarantees the span
+        // is in bounds and can hold the leading sequence + identity hash.
+        if (s.size < 16) {
+          fail(SnapshotError::Kind::Truncated,
+               "checkpoint section of " + std::to_string(s.size) +
+                   " bytes cannot hold its 16-byte preamble");
+        }
+        v.checkpoint_kind_ = s.kind;
+        v.checkpoint_payload_ = {p, static_cast<std::size_t>(s.size)};
+        break;
+      }
     }
   }
 
@@ -404,35 +437,16 @@ std::string encode_drc(const rt::DrcMatrix& drc) {
 
 }  // namespace
 
-std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
-                                           const rel::ClrSpace& space,
-                                           const rt::DrcMatrix* drc) {
-  if (version != kSnapshotVersion) {
-    fail(SnapshotError::Kind::BadVersion,
-         "cannot serialize snapshot version " + std::to_string(version) +
-             " (this writer supports exactly " + std::to_string(kSnapshotVersion) + ")");
-  }
-  if (drc != nullptr && drc->size() != db.size()) {
-    fail(SnapshotError::Kind::BadValue,
-         "DrcMatrix spans " + std::to_string(drc->size()) + " points but the database holds " +
-             std::to_string(db.size()));
-  }
+namespace detail {
 
-  struct Payload {
-    SnapshotSection kind;
-    std::string bytes;
-  };
-  std::vector<Payload> payloads;
-  payloads.push_back({SnapshotSection::ClrSpace, encode_clr_space(space)});
-  payloads.push_back({SnapshotSection::DesignPoints, encode_design_points(db)});
-  if (drc != nullptr) payloads.push_back({SnapshotSection::DrcMatrix, encode_drc(*drc)});
-
-  const std::uint64_t payload_start = kHeaderSize + payloads.size() * kSectionEntrySize;
+std::string assemble_snapshot_container(std::uint32_t version,
+                                        std::vector<RawSection> sections) {
+  const std::uint64_t payload_start = kHeaderSize + sections.size() * kSectionEntrySize;
   std::string payload;
   std::vector<SectionEntry> table;
-  for (const Payload& p : payloads) {
+  for (const RawSection& p : sections) {
     SectionEntry e;
-    e.kind = static_cast<std::uint32_t>(p.kind);
+    e.kind = p.kind;
     e.offset = payload_start + payload.size();
     e.size = p.bytes.size();
     table.push_back(e);
@@ -460,15 +474,85 @@ std::string serialize_snapshot_for_version(std::uint32_t version, const dse::Des
   return out;
 }
 
+}  // namespace detail
+
+std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
+                                           const rel::ClrSpace& space,
+                                           const rt::DrcMatrix* drc) {
+  // The design-database sections are layout-identical in versions 1 and 2;
+  // only the header version differs (version 2 additionally *allows*
+  // checkpoint sections, which this writer never emits).
+  if (version != 1 && version != 2) {
+    fail(SnapshotError::Kind::BadVersion,
+         "cannot serialize snapshot version " + std::to_string(version) +
+             " (this writer supports 1.." + std::to_string(kSnapshotVersion) + ")");
+  }
+  if (drc != nullptr && drc->size() != db.size()) {
+    fail(SnapshotError::Kind::BadValue,
+         "DrcMatrix spans " + std::to_string(drc->size()) + " points but the database holds " +
+             std::to_string(db.size()));
+  }
+
+  std::vector<detail::RawSection> sections;
+  sections.push_back({static_cast<std::uint32_t>(SnapshotSection::ClrSpace),
+                      encode_clr_space(space)});
+  sections.push_back({static_cast<std::uint32_t>(SnapshotSection::DesignPoints),
+                      encode_design_points(db)});
+  if (drc != nullptr) {
+    sections.push_back({static_cast<std::uint32_t>(SnapshotSection::DrcMatrix),
+                        encode_drc(*drc)});
+  }
+  return detail::assemble_snapshot_container(version, std::move(sections));
+}
+
 std::string serialize_snapshot(const dse::DesignDb& db, const rel::ClrSpace& space,
                                const rt::DrcMatrix* drc) {
   return serialize_snapshot_for_version(kSnapshotVersion, db, space, drc);
 }
 
-void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::ClrSpace& space,
-                   const rt::DrcMatrix* drc) {
-  const std::string bytes = serialize_snapshot(db, space, drc);
+void write_file_durable(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp";
+#if defined(CLR_SNAPSHOT_HAVE_MMAP)
+  // tmp + write + fsync(file) + rename + fsync(directory): rename-only
+  // atomicity protects against a crashed *writer*, but without the fsyncs a
+  // power cut can still leave a zero-length or torn destination (the rename
+  // may reach disk before the data does). The directory fsync persists the
+  // rename itself.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail(SnapshotError::Kind::Io, "cannot open " + tmp + " for writing");
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(SnapshotError::Kind::Io, "short write to " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(SnapshotError::Kind::Io, "cannot fsync " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(SnapshotError::Kind::Io, "cannot close " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(SnapshotError::Kind::Io, "cannot rename " + tmp + " to " + path);
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    // Best-effort: some filesystems reject directory fsync; the rename above
+    // already succeeded, so don't fail the save over it.
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#else
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) fail(SnapshotError::Kind::Io, "cannot open " + tmp + " for writing");
@@ -480,6 +564,12 @@ void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::
     std::remove(tmp.c_str());
     fail(SnapshotError::Kind::Io, "cannot rename " + tmp + " to " + path);
   }
+#endif
+}
+
+void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::ClrSpace& space,
+                   const rt::DrcMatrix* drc) {
+  write_file_durable(path, serialize_snapshot(db, space, drc));
 }
 
 // ---------------------------------------------------------------------------
@@ -601,8 +691,17 @@ LoadedSnapshot materialize_v1(const SnapshotView& view) {
 }  // namespace
 
 LoadedSnapshot materialize(const SnapshotView& view) {
+  if (view.has_checkpoint()) {
+    fail(SnapshotError::Kind::BadValue,
+         "file holds a checkpoint (section kind " +
+             std::to_string(view.checkpoint_section_kind()) +
+             "), not a design database — resume it with --resume / io::checkpoint");
+  }
   switch (view.version()) {
-    case 1: return materialize_v1(view);
+    // The design-database sections are layout-identical in versions 1 and 2.
+    case 1:
+    case 2:
+      return materialize_v1(view);
     default: break;
   }
   // attach() already rejects unknown versions; keep the dispatch total anyway.

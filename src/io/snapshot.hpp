@@ -14,7 +14,7 @@
 //   [0..8)   magic        89 'C' 'L' 'R' 'D' 'B' 0D 0A   (PNG-style: catches
 //                         text-mode mangling and truncated/foreign files)
 //   [8..12)  u32 version  format version; readers accept 1..kSnapshotVersion
-//   [12..16) u32 flags    must be 0 in version 1 (reserved)
+//   [12..16) u32 flags    must be 0 (reserved in every defined version)
 //   [16..24) u64 file_size  total byte size; must equal the actual size
 //   [24..32) u64 checksum   FNV-1a64 over [payload_start, file_size)
 //   [32..36) u32 section_count
@@ -38,6 +38,8 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "dse/design_db.hpp"
 #include "reliability/clr_config.hpp"
@@ -47,14 +49,23 @@ namespace clr::io {
 
 /// Current snapshot format version; bump on any layout change and keep the
 /// old decoder alive behind the version dispatch.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+///
+/// Version history:
+///   1 — design-database container: ClrSpace + DesignPoints [+ DrcMatrix].
+///   2 — adds the checkpoint section kinds (ExploreState, RunnerState,
+///       DESIGN.md §5.12). A version-2 file holds EITHER a design database
+///       (same sections as version 1, byte-identical layout) OR exactly one
+///       checkpoint section — never both. Version-1 files still load.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
-/// Section kinds of version 1. Values are part of the format; never reuse.
+/// Section kinds. Values are part of the format; never reuse.
 enum class SnapshotSection : std::uint32_t {
   ClrSpace = 1,      ///< the CLR configuration menu the points index into
   DesignPoints = 2,  ///< columnar DesignDb tables (CSR task assignments)
   DrcMatrix = 3,     ///< optional n×n pairwise reconfiguration costs
   // 4 is reserved for the sched::CompiledGraph tables (future version).
+  ExploreState = 5,  ///< design-flow checkpoint (GA state + stage progress)
+  RunnerState = 6,   ///< exp::Runner checkpoint (completed replication jobs)
 };
 
 /// Typed deserialization failure. Every constructor-path error names what it
@@ -121,6 +132,16 @@ class SnapshotView {
   /// Row-major num_points()² cost table (empty when the section is absent).
   std::span<const double> drc_costs() const { return drc_costs_; }
 
+  // --- Checkpoint sections (version 2, DESIGN.md §5.12) ---
+  /// True when the file holds a checkpoint instead of a design database.
+  bool has_checkpoint() const { return checkpoint_kind_ != 0; }
+  /// The checkpoint's section kind (ExploreState or RunnerState); 0 when
+  /// has_checkpoint() is false.
+  std::uint32_t checkpoint_section_kind() const { return checkpoint_kind_; }
+  /// The raw checkpoint payload bytes; io/checkpoint.hpp owns the decoding
+  /// (attach() only validates the span bounds and a minimum size).
+  std::span<const std::uint8_t> checkpoint_payload() const { return checkpoint_payload_; }
+
  private:
   friend class Snapshot;
   SnapshotView() = default;
@@ -137,6 +158,8 @@ class SnapshotView {
   std::span<const std::int32_t> priority_;
   std::span<const double> drc_costs_;
   bool drc_present_ = false;
+  std::uint32_t checkpoint_kind_ = 0;
+  std::span<const std::uint8_t> checkpoint_payload_;
 };
 
 /// Owning snapshot: a read-only mmap of the file when the platform supports
@@ -184,10 +207,13 @@ struct LoadedSnapshot {
 /// Copy a validated view into owning DesignDb/ClrSpace/DrcMatrix values.
 /// Validates the cross-section invariants the flat tables cannot express
 /// (clr indices inside the space, monotone CSR offsets already checked).
+/// Rejects checkpoint-holding files (those go through io/checkpoint.hpp).
 LoadedSnapshot materialize(const SnapshotView& view);
 
 /// Serialize for an explicit format version (RethinkDB serialize_for_version
-/// idiom; only kSnapshotVersion is currently writable). `drc` is optional.
+/// idiom). The design-database sections are layout-identical in versions 1
+/// and 2, so both are writable — version 1 stays available for cross-version
+/// compatibility tests and downgrade-friendly exports. `drc` is optional.
 std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
                                            const rel::ClrSpace& space,
                                            const rt::DrcMatrix* drc);
@@ -196,8 +222,14 @@ std::string serialize_snapshot_for_version(std::uint32_t version, const dse::Des
 std::string serialize_snapshot(const dse::DesignDb& db, const rel::ClrSpace& space,
                                const rt::DrcMatrix* drc = nullptr);
 
-/// Write a .clrdb file (atomically via rename: a crashed writer never leaves
-/// a torn snapshot behind).
+/// Durably write `bytes` to `path`: write to `path + ".tmp"`, fsync the file,
+/// rename over `path`, then fsync the parent directory — after a power-cut
+/// crash the destination holds either the old bytes or the new bytes, never
+/// a torn or zero-length file. Throws SnapshotError (Kind::Io) on failure;
+/// a failed attempt never disturbs an existing good file at `path`.
+void write_file_durable(const std::string& path, std::string_view bytes);
+
+/// Write a .clrdb file via write_file_durable (atomic and power-cut safe).
 void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::ClrSpace& space,
                    const rt::DrcMatrix* drc = nullptr);
 
@@ -211,5 +243,22 @@ bool is_snapshot_path(const std::string& path);
 /// True when `bytes` starts with the snapshot magic (format dispatch for
 /// loaders that accept both JSON and .clrdb).
 bool has_snapshot_magic(std::string_view bytes);
+
+namespace detail {
+
+/// One raw section destined for a .clrdb container.
+struct RawSection {
+  std::uint32_t kind = 0;
+  std::string bytes;
+};
+
+/// Assemble a complete .clrdb image (magic, header, checksum, section table,
+/// 8-aligned payload) around pre-encoded section bytes. Shared by the
+/// design-database serializer and the checkpoint writers so the container
+/// discipline (alignment, checksum coverage) cannot drift between them.
+std::string assemble_snapshot_container(std::uint32_t version,
+                                        std::vector<RawSection> sections);
+
+}  // namespace detail
 
 }  // namespace clr::io

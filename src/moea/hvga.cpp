@@ -19,7 +19,7 @@ double HvGa::fitness_of(const Evaluation& eval) const {
 
 HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
                        const std::vector<std::vector<int>>& seeds,
-                       const EvalOptions& opts) const {
+                       const EvalOptions& opts, const GaRunControl* control) const {
   if (params_.population < 2) throw std::invalid_argument("HvGa: population must be >= 2");
 
   // Private pool when the caller did not share one (a 1-thread pool runs
@@ -42,25 +42,59 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
   auto& pop = result.population;
   pop.reserve(params_.population);
 
-  for (const auto& seed : seeds) {
-    if (pop.size() >= params_.population) break;
-    Individual ind;
-    ind.genes = seed;
-    problem.repair(ind.genes);
-    pop.push_back(std::move(ind));
-  }
-  while (pop.size() < params_.population) {
-    Individual ind;
-    ind.genes = problem.random_genes(rng);
-    pop.push_back(std::move(ind));
-  }
-  evaluate_all(pop);
-  for (auto& ind : pop) {
-    ind.fitness = fitness_of(ind.eval);
-    result.archive.insert(ind);
+  // Boundary reporting: the full restartable state at a generation boundary
+  // is {population, archive, RNG stream, generation counter} — every RNG
+  // draw happens sequentially on `rng`, so nothing else is hidden.
+  const auto report_boundary = [&](std::uint64_t generations_done) {
+    if (control == nullptr || !control->on_boundary) return;
+    GaState state;
+    state.generations_done = generations_done;
+    state.population = pop;
+    state.archive = result.archive.members();
+    state.rng_state = rng.save_state();
+    control->on_boundary(state);
+  };
+  const auto stop_requested = [&] {
+    return control != nullptr && control->stop.stop_requested();
+  };
+
+  std::uint64_t gen_start = 0;
+  if (control != nullptr && control->resume != nullptr) {
+    // Resume: restore the boundary state verbatim. Re-inserting the archive
+    // members in order reproduces the archive (they are feasible, mutually
+    // non-dominated and deduplicated by construction). The boundary callback
+    // is not re-fired for the restored state.
+    const GaState& saved = *control->resume;
+    pop = saved.population;
+    for (const auto& member : saved.archive) result.archive.insert(member);
+    rng.restore_state(saved.rng_state);
+    gen_start = saved.generations_done;
+  } else {
+    for (const auto& seed : seeds) {
+      if (pop.size() >= params_.population) break;
+      Individual ind;
+      ind.genes = seed;
+      problem.repair(ind.genes);
+      pop.push_back(std::move(ind));
+    }
+    while (pop.size() < params_.population) {
+      Individual ind;
+      ind.genes = problem.random_genes(rng);
+      pop.push_back(std::move(ind));
+    }
+    evaluate_all(pop);
+    for (auto& ind : pop) {
+      ind.fitness = fitness_of(ind.eval);
+      result.archive.insert(ind);
+    }
+    report_boundary(0);
   }
 
-  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+  for (std::size_t gen = gen_start; gen < params_.generations; ++gen) {
+    if (stop_requested()) {
+      result.complete = false;
+      break;
+    }
     CLR_TRACE_SPAN(gen_span, trace::Category::Dse, "hvga.generation", {{"gen", gen}});
     // Generate phase: every RNG draw (tournaments, crossover, mutation)
     // happens here, sequentially on the master Rng — the draw order is
@@ -111,6 +145,7 @@ HvGa::Result HvGa::run(const Problem& problem, util::Rng& rng,
               [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
     merged.resize(params_.population);
     pop = std::move(merged);
+    report_boundary(static_cast<std::uint64_t>(gen) + 1);
   }
 
   result.best_fitness = pop.empty() ? 0.0 : pop.front().fitness;

@@ -9,6 +9,7 @@
 // accumulated in a feasible non-dominated archive (the BaseD database).
 
 #include "moea/archive.hpp"
+#include "moea/control.hpp"
 #include "moea/eval_cache.hpp"
 #include "moea/operators.hpp"
 #include "moea/problem.hpp"
@@ -28,16 +29,22 @@ class HvGa {
     std::vector<Individual> population;
     ParetoArchive archive;
     double best_fitness = 0.0;
+    /// False when a cooperative stop cut the run short at a generation
+    /// boundary (the state reported via GaRunControl::on_boundary resumes it).
+    bool complete = true;
   };
 
   /// Run the optimization. Each generation is generate-then-evaluate: all
   /// RNG draws happen sequentially on `rng`, then the pending genomes are
   /// evaluated as one parallel batch (`opts.pool` / params().threads) with
   /// optional memoization (`opts.cache`) — results are bit-for-bit identical
-  /// at any thread count.
+  /// at any thread count. `control` (optional) adds cooperative stop,
+  /// per-generation boundary callbacks and resume-from-checkpoint; see
+  /// moea/control.hpp.
   Result run(const Problem& problem, util::Rng& rng,
              const std::vector<std::vector<int>>& seeds = {},
-             const EvalOptions& opts = {}) const;
+             const EvalOptions& opts = {},
+             const GaRunControl* control = nullptr) const;
 
   const GaParams& params() const { return params_; }
   const std::vector<double>& reference() const { return reference_; }

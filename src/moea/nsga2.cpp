@@ -88,7 +88,7 @@ bool crowded_better(const Individual& a, const Individual& b) {
 
 MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
                       const std::vector<std::vector<int>>& seeds,
-                      const EvalOptions& opts) const {
+                      const EvalOptions& opts, const GaRunControl* control) const {
   if (params_.population < 2) throw std::invalid_argument("Nsga2: population must be >= 2");
 
   // Private pool when the caller did not share one (a 1-thread pool runs
@@ -111,26 +111,60 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
   auto& pop = result.population;
   pop.reserve(params_.population);
 
-  for (const auto& seed : seeds) {
-    if (pop.size() >= params_.population) break;
-    Individual ind;
-    ind.genes = seed;
-    problem.repair(ind.genes);
-    pop.push_back(std::move(ind));
-  }
-  while (pop.size() < params_.population) {
-    Individual ind;
-    ind.genes = problem.random_genes(rng);
-    pop.push_back(std::move(ind));
-  }
-  evaluate_all(pop);
-  for (auto& ind : pop) result.archive.insert(ind);
-  {
-    auto fronts = non_dominated_sort(pop);
-    for (const auto& f : fronts) assign_crowding(pop, f);
+  // Boundary reporting: the full restartable state at a generation boundary
+  // is {population (incl. rank/crowding), archive, RNG stream, generation
+  // counter} — every RNG draw happens sequentially on `rng`.
+  const auto report_boundary = [&](std::uint64_t generations_done) {
+    if (control == nullptr || !control->on_boundary) return;
+    GaState state;
+    state.generations_done = generations_done;
+    state.population = pop;
+    state.archive = result.archive.members();
+    state.rng_state = rng.save_state();
+    control->on_boundary(state);
+  };
+  const auto stop_requested = [&] {
+    return control != nullptr && control->stop.stop_requested();
+  };
+
+  std::uint64_t gen_start = 0;
+  if (control != nullptr && control->resume != nullptr) {
+    // Resume: rank/crowding travel inside Individual, so the restored
+    // population feeds crowded-tournament selection unchanged. The archive
+    // is rebuilt by in-order re-insertion (members are feasible, mutually
+    // non-dominated, deduplicated).
+    const GaState& saved = *control->resume;
+    pop = saved.population;
+    for (const auto& member : saved.archive) result.archive.insert(member);
+    rng.restore_state(saved.rng_state);
+    gen_start = saved.generations_done;
+  } else {
+    for (const auto& seed : seeds) {
+      if (pop.size() >= params_.population) break;
+      Individual ind;
+      ind.genes = seed;
+      problem.repair(ind.genes);
+      pop.push_back(std::move(ind));
+    }
+    while (pop.size() < params_.population) {
+      Individual ind;
+      ind.genes = problem.random_genes(rng);
+      pop.push_back(std::move(ind));
+    }
+    evaluate_all(pop);
+    for (auto& ind : pop) result.archive.insert(ind);
+    {
+      auto fronts = non_dominated_sort(pop);
+      for (const auto& f : fronts) assign_crowding(pop, f);
+    }
+    report_boundary(0);
   }
 
-  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+  for (std::size_t gen = gen_start; gen < params_.generations; ++gen) {
+    if (stop_requested()) {
+      result.complete = false;
+      break;
+    }
     CLR_TRACE_SPAN(gen_span, trace::Category::Dse, "nsga2.generation", {{"gen", gen}});
     // Generate phase: offspring genomes via the binary-operator pipeline —
     // every RNG draw happens here, sequentially on the master Rng.
@@ -193,6 +227,7 @@ MoeaResult Nsga2::run(const Problem& problem, util::Rng& rng,
       if (next.size() >= params_.population) break;
     }
     pop = std::move(next);
+    report_boundary(static_cast<std::uint64_t>(gen) + 1);
   }
 
   return result;

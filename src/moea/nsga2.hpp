@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "moea/archive.hpp"
+#include "moea/control.hpp"
 #include "moea/eval_cache.hpp"
 #include "moea/operators.hpp"
 #include "moea/problem.hpp"
@@ -24,6 +25,9 @@ void assign_crowding(std::vector<Individual>& pop, const std::vector<std::size_t
 struct MoeaResult {
   std::vector<Individual> population;
   ParetoArchive archive;
+  /// False when a cooperative stop cut the run short at a generation
+  /// boundary (the state reported via GaRunControl::on_boundary resumes it).
+  bool complete = true;
 };
 
 class Nsga2 {
@@ -35,10 +39,13 @@ class Nsga2 {
   /// RNG draws happen sequentially on `rng`, then the pending genomes are
   /// evaluated as one parallel batch (`opts.pool` / params().threads) with
   /// optional memoization (`opts.cache`) — results are bit-for-bit identical
-  /// at any thread count.
+  /// at any thread count. `control` (optional) adds cooperative stop,
+  /// per-generation boundary callbacks and resume-from-checkpoint; see
+  /// moea/control.hpp.
   MoeaResult run(const Problem& problem, util::Rng& rng,
                  const std::vector<std::vector<int>>& seeds = {},
-                 const EvalOptions& opts = {}) const;
+                 const EvalOptions& opts = {},
+                 const GaRunControl* control = nullptr) const;
 
   const GaParams& params() const { return params_; }
 

@@ -80,5 +80,88 @@ TEST(ThreadPool, ExceptionPropagatesInline) {
                std::invalid_argument);
 }
 
+TEST(ThreadPool, ManyConcurrentThrowsSurfaceExactlyOneExceptionPerJob) {
+  // A job throwing mid-batch must not deadlock the pool, and the caller must
+  // see the failure exactly once per parallel_for — even when many workers
+  // throw concurrently — with no stale exception leaking into later jobs.
+  ThreadPool pool(4);
+  int caught = 0;
+  for (int round = 0; round < 5; ++round) {
+    try {
+      pool.parallel_for(2000, [&](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("boom");
+      });
+      FAIL() << "round " << round << " did not propagate the job exception";
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    // Immediately reusable, and the previous round's error must not resurface.
+    std::atomic<std::size_t> ran{0};
+    pool.parallel_for(64, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 64u) << "round " << round;
+  }
+  EXPECT_EQ(caught, 5);
+}
+
+// --- Cooperative stop (DESIGN.md §5.12) ---
+
+TEST(ThreadPoolStop, PreStoppedTokenRunsNothing) {
+  StopSource source;
+  source.request_stop();
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(1000, [&](std::size_t) { ran.fetch_add(1); }, source.token());
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolStop, DefaultTokenNeverStops) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(500, [&](std::size_t) { ran.fetch_add(1); }, StopToken{});
+  EXPECT_EQ(ran.load(), 500u);
+}
+
+TEST(ThreadPoolStop, ExecutedSetIsAContiguousIndexPrefix) {
+  // The stop check precedes each index claim and every claimed index runs to
+  // completion, so the executed set is exactly [0, k) for some k — the
+  // invariant Runner::run relies on for accurate done-flags in checkpoints.
+  StopSource source;
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<std::uint8_t>> executed(kN);
+  pool.parallel_for(
+      kN,
+      [&](std::size_t i) {
+        executed[i].store(1, std::memory_order_relaxed);
+        if (i == 257) source.request_stop();
+      },
+      source.token());
+  std::size_t count = 0;
+  std::size_t highest = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (executed[i].load(std::memory_order_relaxed) != 0) {
+      ++count;
+      highest = i;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  EXPECT_EQ(highest + 1, count) << "executed indices must form a gap-free prefix";
+  EXPECT_LT(count, kN) << "the stop request must actually cut the run short";
+}
+
+TEST(ThreadPoolStop, InlinePathChecksPerIteration) {
+  StopSource source;
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(
+      100,
+      [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+        if (i == 4) source.request_stop();
+      },
+      source.token());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 }  // namespace
 }  // namespace clr::util

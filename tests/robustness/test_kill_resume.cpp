@@ -1,0 +1,343 @@
+// Crash-safety kill test (DESIGN.md §5.12): fork a child that runs a
+// checkpointing session, SIGKILL it at a pseudo-random point mid-run, then
+// resume from whatever checkpoint survived and prove the final result is
+// bit-identical to an uninterrupted run. SIGKILL cannot be caught, so this
+// exercises the true torn-write window of the A/B checkpoint store — the
+// child dies wherever it happens to be, including inside a checkpoint write.
+//
+// The delays sweep [0, reference runtime] deterministically (SplitMix64), so
+// across the trial set the kill lands before the first checkpoint, between
+// checkpoints, inside writes, and after completion.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "experiments/app.hpp"
+#include "experiments/session.hpp"
+#include "io/checkpoint.hpp"
+
+namespace clr::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Shared fixtures ---------------------------------------------------------
+
+FlowParams small_flow_params(std::size_t threads) {
+  FlowParams params;
+  params.spec_samples = 16;
+  params.dse.base_ga = {.population = 10, .generations = 5};
+  params.dse.red_ga = {.population = 8, .generations = 4};
+  params.dse.calibration_samples = 12;
+  params.dse.max_red_seeds = 3;
+  params.dse.max_base_points = 8;
+  params.dse.threads = threads;
+  return params;
+}
+
+dse::DesignDb make_db() {
+  dse::DesignDb db;
+  auto add = [&](double s, double f, double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = s;
+    p.func_rel = f;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(100, 0.95, 50, 0);
+  add(120, 0.99, 80, 1);
+  add(80, 0.92, 30, 2);
+  return db;
+}
+
+rt::DrcMatrix make_drc() {
+  return rt::DrcMatrix(3, {0, 10, 2, 10, 0, 10, 2, 10, 0});
+}
+
+dse::MetricRanges make_ranges() {
+  dse::MetricRanges r;
+  r.makespan_min = 80.0;
+  r.makespan_max = 120.0;
+  r.func_rel_min = 0.92;
+  r.func_rel_max = 0.99;
+  r.energy_min = 30.0;
+  r.energy_max = 80.0;
+  return r;
+}
+
+void add_grid(Runner& runner, const dse::DesignDb& db, const rt::DrcMatrix& drc) {
+  for (const PolicyKind kind : {PolicyKind::Baseline, PolicyKind::Ura}) {
+    RunnerCell cell;
+    cell.db = &db;
+    cell.drc = &drc;
+    cell.ranges = make_ranges();
+    cell.params.kind = kind;
+    cell.params.p_rc = 0.3;
+    cell.params.sim.total_cycles = 2e4;
+    cell.seed = 42 + static_cast<std::uint64_t>(kind);
+    cell.label = std::string("cell_") + std::to_string(static_cast<int>(kind));
+    runner.add_cell(cell);
+  }
+}
+
+void expect_db_equal(const dse::DesignDb& a, const dse::DesignDb& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i).config, b.point(i).config) << what << " point " << i;
+    EXPECT_DOUBLE_EQ(a.point(i).energy, b.point(i).energy) << what << " point " << i;
+    EXPECT_DOUBLE_EQ(a.point(i).makespan, b.point(i).makespan) << what << " point " << i;
+    EXPECT_DOUBLE_EQ(a.point(i).func_rel, b.point(i).func_rel) << what << " point " << i;
+    EXPECT_EQ(a.point(i).extra, b.point(i).extra) << what << " point " << i;
+  }
+}
+
+class KillTempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("clr_kill_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()) + "_" +
+            std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+/// Fork `child`, SIGKILL it after `delay_us` (the child may well finish
+/// first — that is a valid trial: kill-after-completion), and reap it.
+void run_and_kill(const std::function<void()>& child, useconds_t delay_us) {
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1) << "fork failed";
+  if (pid == 0) {
+    // Child: run the workload, then hard-exit. _exit skips atexit/gtest
+    // teardown, so the parent's output stream is not duplicated. Any
+    // exception is a hard failure the parent sees as a nonzero status.
+    try {
+      child();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(2);
+    }
+  }
+  ::usleep(delay_us);
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // Either the kill landed (SIGKILL) or the child finished cleanly first.
+  if (WIFEXITED(status)) {
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "child failed before the kill landed";
+  } else {
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  }
+}
+
+template <typename Workload>
+useconds_t measure_runtime_us(const Workload& workload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  workload();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(dt).count();
+  return static_cast<useconds_t>(us < 1000 ? 1000 : us);
+}
+
+// --- Explore: kill at random points, resume, compare -------------------------
+
+void explore_kill_trials(const std::string& checkpoint_base, std::size_t trials,
+                         std::size_t child_threads, std::uint64_t delay_seed) {
+  const auto app = make_synthetic_app(7, 11);
+  const std::uint64_t flow_seed = 77;
+
+  // Reference: uninterrupted, no checkpointing (and the timing yardstick).
+  const FlowParams reference_params = small_flow_params(1);
+  FlowResult reference;
+  const useconds_t runtime_us = measure_runtime_us([&] {
+    SessionControl plain;
+    reference = run_explore_session(*app, reference_params, flow_seed, plain).flow;
+  });
+  ASSERT_FALSE(reference.red.empty());
+
+  const FlowParams child_params = small_flow_params(child_threads);
+  util::SplitMix64 delays(delay_seed);
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::string checkpoint = checkpoint_base + "." + std::to_string(trial);
+
+    SessionControl control;
+    control.checkpoint_path = checkpoint;
+    control.checkpoint_every = 1;
+    control.resume = true;
+
+    // Child may itself die mid-write; sweep the delay across the full run.
+    run_and_kill([&] { (void)run_explore_session(*app, child_params, flow_seed, control); },
+                 static_cast<useconds_t>(delays.next() % runtime_us));
+
+    // Resume (possibly repeatedly — the checkpoint may be early) with the
+    // reference thread count: the checkpoint must carry no thread residue.
+    SessionControl resume_control;
+    resume_control.checkpoint_path = checkpoint;
+    resume_control.checkpoint_every = 1;
+    resume_control.resume = true;
+    ExploreOutcome out = run_explore_session(*app, reference_params, flow_seed, resume_control);
+    int legs = 0;
+    while (!out.complete) {
+      ASSERT_LT(++legs, 64) << "resume failed to converge";
+      out = run_explore_session(*app, reference_params, flow_seed, resume_control);
+    }
+
+    EXPECT_DOUBLE_EQ(out.flow.spec.max_makespan, reference.spec.max_makespan);
+    EXPECT_DOUBLE_EQ(out.flow.spec.min_func_rel, reference.spec.min_func_rel);
+    expect_db_equal(out.flow.based, reference.based, "based");
+    expect_db_equal(out.flow.red, reference.red, "red");
+  }
+}
+
+TEST_F(KillTempDir, ExploreSurvivesSigkillAtRandomPointsJobs1) {
+  explore_kill_trials(path("explore.clrdb"), 6, 1, 0xA11CE5EEDULL);
+}
+
+TEST_F(KillTempDir, ExploreSurvivesSigkillAtRandomPointsJobs8) {
+  explore_kill_trials(path("explore.clrdb"), 6, 8, 0xB0B5EED2ULL);
+}
+
+// --- Runner: kill at random points, resume, compare --------------------------
+
+TEST_F(KillTempDir, RunnerGridSurvivesSigkillAtRandomPoints) {
+  const auto db = make_db();
+  const auto drc = make_drc();
+
+  RunnerConfig config;
+  config.replications = 4;
+  config.jobs = 1;
+
+  std::vector<CellResult> reference;
+  const useconds_t runtime_us = measure_runtime_us([&] {
+    Runner runner(config);
+    add_grid(runner, db, drc);
+    reference = runner.run();
+  });
+
+  RunnerConfig wide = config;
+  wide.jobs = 8;
+  util::SplitMix64 delays(0xC0FFEE11ULL);
+
+  for (std::size_t trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::string checkpoint = path("grid.clrdb." + std::to_string(trial));
+
+    SessionControl control;
+    control.checkpoint_path = checkpoint;
+    control.checkpoint_every = 1;
+    control.resume = true;
+
+    run_and_kill(
+        [&] {
+          Runner runner(wide);
+          add_grid(runner, db, drc);
+          (void)run_runner_session(runner, control);
+        },
+        static_cast<useconds_t>(delays.next() % runtime_us));
+
+    Runner resumed(config);
+    add_grid(resumed, db, drc);
+    const RunnerOutcome out = run_runner_session(resumed, control);
+    ASSERT_TRUE(out.run.complete);
+
+    ASSERT_EQ(out.run.results.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto& a = reference[i].stats;
+      const auto& b = out.run.results[i].stats;
+      EXPECT_EQ(a.replications, b.replications) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.num_events.mean, b.num_events.mean) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.num_events.ci95, b.num_events.ci95) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.num_reconfigs.mean, b.num_reconfigs.mean) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.avg_energy.mean, b.avg_energy.mean) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.avg_energy.stddev, b.avg_energy.stddev) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.avg_reconfig_cost.mean, b.avg_reconfig_cost.mean) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.max_drc.max, b.max_drc.max) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.qos_violation_time.mean, b.qos_violation_time.mean) << "cell " << i;
+      EXPECT_DOUBLE_EQ(a.availability.mean, b.availability.mean) << "cell " << i;
+    }
+  }
+}
+
+// --- Torn files left by a kill are recoverable -------------------------------
+
+TEST_F(KillTempDir, SlotPairSurvivesArbitraryCorruptionOfTheNewestSlot) {
+  // Belt-and-braces companion to the fork tests: whatever garbage a crash
+  // leaves in the NEWEST slot (zero length, torn tail, foreign bytes), the
+  // sibling keeps the run resumable and the final result stays reference-
+  // identical.
+  const auto app = make_synthetic_app(7, 11);
+  SessionControl plain;
+  const FlowResult reference = run_explore_session(*app, small_flow_params(1), 77, plain).flow;
+
+  const std::vector<std::string> garbage_variants = {std::string(), std::string("short"),
+                                                     std::string(4096, '\xEE')};
+  for (std::size_t variant = 0; variant < garbage_variants.size(); ++variant) {
+    SCOPED_TRACE("variant " + std::to_string(variant));
+    const std::string checkpoint = path("explore.clrdb." + std::to_string(variant));
+
+    SessionControl control;
+    control.checkpoint_path = checkpoint;
+    control.checkpoint_every = 1;
+    control.resume = true;
+    control.step_budget = 4;
+    ASSERT_FALSE(run_explore_session(*app, small_flow_params(1), 77, control).complete);
+
+    // Find the slot holding the newest sequence and wreck it.
+    io::CheckpointStore store(checkpoint);
+    auto newest = store.load_newest();
+    ASSERT_TRUE(newest.has_value());
+    const std::uint64_t newest_sequence = io::checkpoint_sequence(newest->view());
+    std::string newest_slot = store.slot_a();
+    try {
+      if (io::checkpoint_sequence(io::Snapshot::open(store.slot_b()).view()) == newest_sequence) {
+        newest_slot = store.slot_b();
+      }
+    } catch (const io::SnapshotError&) {
+      // slot B missing/unreadable: newest must be in A
+    }
+    {
+      std::ofstream out(newest_slot, std::ios::binary | std::ios::trunc);
+      const std::string& garbage = garbage_variants[variant];
+      out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+    }
+
+    // Resume repeatedly to completion — some work is repeated (we fell back
+    // to the older checkpoint) but the result must not change.
+    control.step_budget = 0;
+    ExploreOutcome out = run_explore_session(*app, small_flow_params(1), 77, control);
+    int legs = 0;
+    while (!out.complete) {
+      ASSERT_LT(++legs, 64) << "resume failed to converge";
+      out = run_explore_session(*app, small_flow_params(1), 77, control);
+    }
+    EXPECT_DOUBLE_EQ(out.flow.spec.max_makespan, reference.spec.max_makespan);
+    EXPECT_DOUBLE_EQ(out.flow.spec.min_func_rel, reference.spec.min_func_rel);
+    expect_db_equal(out.flow.based, reference.based, "based");
+    expect_db_equal(out.flow.red, reference.red, "red");
+  }
+}
+
+}  // namespace
+}  // namespace clr::exp

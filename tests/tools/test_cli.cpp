@@ -9,9 +9,11 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <tuple>
 #include <utility>
 
 namespace {
@@ -201,6 +203,111 @@ TEST(CliSnapshot, CorruptedClrdbFailsWithTypedMessage) {
   EXPECT_NE(code, 0);
   EXPECT_NE(out.find("snapshot:"), std::string::npos) << out;
   std::remove(good_path.c_str());
+}
+
+// --- Checkpoint/resume flags (DESIGN.md §5.12) -------------------------------
+
+TEST(CliCheckpoint, ResumeRequiresCheckpoint) {
+  const auto [code, out] = run_tool("explore --tasks 5 --resume");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--resume requires --checkpoint"), std::string::npos);
+}
+
+TEST(CliCheckpoint, CheckpointEveryRequiresCheckpoint) {
+  const auto [code, out] = run_tool("explore --tasks 5 --checkpoint-every 2");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--checkpoint-every requires --checkpoint"), std::string::npos);
+}
+
+TEST(CliCheckpoint, SingleRunSimulateRejectsCheckpointFlags) {
+  const auto [code, out] =
+      run_tool("simulate --tasks 5 --checkpoint /tmp/x.clrdb");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--replications > 1"), std::string::npos);
+}
+
+TEST(CliCheckpoint, StepBudgetInterruptsWithExitCode3AndResumeFinishes) {
+  const std::string ckpt = ::testing::TempDir() + "clrtool_ckpt.clrdb";
+  const std::string db_full = ::testing::TempDir() + "clrtool_full.clrdb";
+  const std::string db_resumed = ::testing::TempDir() + "clrtool_resumed.clrdb";
+  std::remove((ckpt + ".a").c_str());
+  std::remove((ckpt + ".b").c_str());
+  const std::string common = "explore --tasks 6 --seed 5 --pop 8 --gens 4 ";
+
+  // Uninterrupted reference.
+  ASSERT_EQ(run_tool(common + "--db-out " + db_full).first, 0);
+
+  // Interrupted leg: exit code 3, actionable message, no db-out yet.
+  const auto [icode, iout] = run_tool(common + "--checkpoint " + ckpt +
+                                      " --step-budget 3 --db-out " + db_resumed);
+  EXPECT_EQ(icode, 3) << iout;
+  EXPECT_NE(iout.find("interrupted"), std::string::npos);
+  EXPECT_NE(iout.find("--resume to continue"), std::string::npos);
+  EXPECT_EQ(std::ifstream(db_resumed).good(), false) << "partial run must not write --db-out";
+
+  // Resume legs share the command line; loop until complete. (The larger
+  // budget keeps the leg count small — the red stage spans many boundaries.)
+  int code = 3;
+  std::string out;
+  for (int leg = 0; leg < 32 && code == 3; ++leg) {
+    std::tie(code, out) = run_tool(common + "--checkpoint " + ckpt +
+                                   " --resume --step-budget 60 --db-out " + db_resumed);
+  }
+  ASSERT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("resumed from checkpoint"), std::string::npos);
+
+  // The resumed run's database is byte-identical to the uninterrupted one.
+  std::ifstream a(db_full, std::ios::binary), b(db_resumed, std::ios::binary);
+  ASSERT_TRUE(a.good());
+  ASSERT_TRUE(b.good());
+  const std::string full_bytes((std::istreambuf_iterator<char>(a)),
+                               std::istreambuf_iterator<char>());
+  const std::string resumed_bytes((std::istreambuf_iterator<char>(b)),
+                                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(full_bytes, resumed_bytes);
+
+  std::remove(db_full.c_str());
+  std::remove(db_resumed.c_str());
+  std::remove((ckpt + ".a").c_str());
+  std::remove((ckpt + ".b").c_str());
+}
+
+TEST(CliCheckpoint, TimeBudgetRejectsNonPositive) {
+  const auto [code, out] = run_tool("explore --tasks 5 --time-budget 0");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(out.find("--time-budget"), std::string::npos);
+}
+
+// --- SIGPIPE / broken stdout hardening ---------------------------------------
+
+TEST(CliBrokenPipe, TruncatedStdoutExitsCleanlyNotViaSignal) {
+  // `clrtool ... | head -c 0` closes the read end immediately. The tool must
+  // not die of SIGPIPE (exit 141): it either finishes (0) or reports the
+  // write error (1).
+  const std::string rcfile = ::testing::TempDir() + "clrtool_pipe_rc";
+  const std::string cmd = std::string("{ ") + CLRTOOL_PATH +
+                          " generate --tasks 5 --seed 3 2>/dev/null; echo $? > " + rcfile +
+                          "; } | head -c 0";
+  ASSERT_EQ(std::system(cmd.c_str()) != -1, true);
+  std::ifstream in(rcfile);
+  int rc = -1;
+  in >> rc;
+  EXPECT_TRUE(rc == 0 || rc == 1) << "exit code " << rc << " (141 would mean death by SIGPIPE)";
+  std::remove(rcfile.c_str());
+}
+
+TEST(CliBrokenPipe, WriteFailureToFullDeviceIsReported) {
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "/dev/full not available";
+  const std::string cmd =
+      std::string(CLRTOOL_PATH) + " generate --tasks 5 --seed 3 > /dev/full 2>/tmp/clrtool_err";
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_NE(WEXITSTATUS(status), 0) << "a failed stdout write must not exit 0";
+  std::ifstream err("/tmp/clrtool_err");
+  const std::string text((std::istreambuf_iterator<char>(err)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("clrtool:"), std::string::npos) << text;
+  std::remove("/tmp/clrtool_err");
 }
 
 }  // namespace

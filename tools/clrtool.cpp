@@ -34,9 +34,17 @@
 //       Fault-inject the first K stored points (Monte-Carlo execution with
 //       sampled SEUs) and compare against the database's analytical metrics.
 //
+// Long runs (`explore`, replicated `simulate`) accept --checkpoint F.clrdb
+// [--checkpoint-every N] [--resume] plus --time-budget / --step-budget.
+// SIGINT/SIGTERM stop cooperatively: the current generation/cell finishes, a
+// final checkpoint is written, the partial report prints, and the process
+// exits 3 ("interrupted"); a second signal kills immediately. A killed run
+// resumed with --resume is bit-identical to the uninterrupted one.
+//
 // All randomness is seeded; identical invocations produce identical output.
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -45,9 +53,11 @@
 #include <string>
 
 #include "common/parallel.hpp"
+#include "common/stop.hpp"
 #include "common/table.hpp"
 #include "experiments/flow.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/session.hpp"
 #include "io/serialize.hpp"
 #include "io/snapshot.hpp"
 #include "runtime/drc_matrix.hpp"
@@ -60,6 +70,20 @@
 namespace {
 
 using namespace clr;
+
+/// Exit code of a run cut short cooperatively (SIGINT/SIGTERM, --time-budget
+/// or --step-budget): the partial report was emitted and — with --checkpoint
+/// — a final checkpoint written, but the run is not complete. Distinct from
+/// 1 (error) and 2 (usage) so scripts can branch on "resume me later".
+constexpr int kExitInterrupted = 3;
+
+/// The process-wide stop source the signal handlers and --time-budget arm.
+/// Function-local static: lives until process exit, so the async handler's
+/// pointer stays valid.
+util::StopSource& global_stop() {
+  static util::StopSource source;
+  return source;
+}
 
 /// Tiny --key value argument scanner. Malformed or unknown input throws
 /// std::runtime_error with a one-line actionable message; main() turns that
@@ -152,22 +176,58 @@ std::size_t size_arg(const Args& args, const std::string& key, long fallback,
   return static_cast<std::size_t>(v);
 }
 
+/// Parse the shared checkpoint/budget flags into a SessionControl, validate
+/// their dependencies (--resume and --checkpoint-every require --checkpoint)
+/// and arm the global stop source's deadline from --time-budget.
+exp::SessionControl session_control(const Args& args) {
+  exp::SessionControl control;
+  control.checkpoint_path = args.str("checkpoint");
+  if (args.has("checkpoint") && control.checkpoint_path.empty()) {
+    throw std::runtime_error("option --checkpoint: expected a .clrdb base path");
+  }
+  if (args.has("checkpoint-every") && !args.has("checkpoint")) {
+    throw std::runtime_error("option --checkpoint-every requires --checkpoint");
+  }
+  control.checkpoint_every = size_arg(args, "checkpoint-every", 1, 1);
+  if (args.has("resume")) {
+    if (!args.has("checkpoint")) throw std::runtime_error("option --resume requires --checkpoint");
+    control.resume = true;
+  }
+  if (args.has("time-budget")) {
+    const double seconds = args.real("time-budget", 0.0);
+    if (seconds <= 0.0) throw std::runtime_error("option --time-budget: must be > 0 seconds");
+    global_stop().set_deadline_after(seconds);
+  }
+  control.step_budget = static_cast<std::uint64_t>(size_arg(args, "step-budget", 0));
+  control.stop = global_stop().token();
+  return control;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: clrtool <generate|explore|simulate|inspect|validate> [options]\n"
                "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
                "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
                "           [--db-out F] [--trace F2] [--trace-categories C]\n"
+               "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
+               "           [--time-budget SEC] [--step-budget N]\n"
                "  simulate --tasks N [--seed S] [--db F] [--policy ura|aura|baseline] [--prc X]\n"
                "           [--cycles C] [--sim-seed S2] [--fault-rate R] [--pe-mtbf M]\n"
                "           [--qos-tolerance T] [--replications R] [--jobs J] [--report F]\n"
                "           [--pop P] [--gens G] [--trace F2] [--trace-categories C]\n"
+               "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
+               "           [--time-budget SEC] [--step-budget N]\n"
                "           (without --db the design-time flow runs inline first)\n"
                "  inspect  --db F\n"
                "  validate --tasks N [--seed S] --db F [--runs R] [--points K] [--sim-seed S2]\n"
                "--trace writes a Chrome trace_event JSON timeline (Perfetto /\n"
                "chrome://tracing) and prints a per-span summary; --trace-categories\n"
-               "filters it to a comma list of dse,runtime,exp,drc,bench (default all).\n");
+               "filters it to a comma list of dse,runtime,exp,drc,bench (default all).\n"
+               "--checkpoint writes crash-safe A/B checkpoints (<F>.a/<F>.b) at generation\n"
+               "or job-batch boundaries; --resume continues from the newest good one with\n"
+               "bit-identical results. SIGINT/SIGTERM, --time-budget (wall-clock seconds)\n"
+               "and --step-budget (boundaries) stop cooperatively: the partial report is\n"
+               "printed, a final checkpoint written, and the exit code is 3.\n");
   return 2;
 }
 
@@ -227,10 +287,12 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_explore(const Args& args) {
-  args.expect_only(
-      {"tasks", "seed", "pop", "gens", "csp", "jobs", "db-out", "trace", "trace-categories"});
+  args.expect_only({"tasks", "seed", "pop", "gens", "csp", "jobs", "db-out", "trace",
+                    "trace-categories", "checkpoint", "checkpoint-every", "resume", "time-budget",
+                    "step-budget"});
   const auto tasks = size_arg(args, "tasks", 20, 1);
   const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
+  const exp::SessionControl control = session_control(args);
   const std::string trace_path = setup_trace(args);
   const auto app = exp::make_synthetic_app(tasks, seed);
 
@@ -242,10 +304,28 @@ int cmd_explore(const Args& args) {
   params.dse.threads = size_arg(args, "jobs", 0);
   if (args.has("csp")) params.mode = dse::ObjectiveMode::CspQos;
 
-  util::Rng rng(seed ^ 0xD5EULL);
-  const auto flow = exp::run_design_flow(*app, params, rng);
+  util::install_stop_signal_handlers(global_stop());
+  const auto outcome = exp::run_explore_session(*app, params, seed ^ 0xD5EULL, control);
+  const auto& flow = outcome.flow;
+  if (outcome.resumed) {
+    std::printf("resumed from checkpoint %s (.a/.b)\n", control.checkpoint_path.c_str());
+  }
   std::printf("spec: Sapp <= %.2f, Fapp >= %.5f\nBaseD: %s\nReD:   %s\n", flow.spec.max_makespan,
               flow.spec.min_func_rel, flow.based.summary().c_str(), flow.red.summary().c_str());
+  if (!outcome.complete) {
+    // Partial report only; the database on disk stays the checkpoint, not a
+    // half-built artifact that could be mistaken for the full result.
+    std::printf("interrupted (%s) after %llu generation boundaries",
+                util::stop_reason_name(outcome.stop_reason),
+                static_cast<unsigned long long>(outcome.steps));
+    if (!control.checkpoint_path.empty()) {
+      std::printf("; %llu checkpoint(s) written — rerun with --resume to continue",
+                  static_cast<unsigned long long>(outcome.checkpoints_written));
+    }
+    std::printf("\n");
+    finish_trace(trace_path);
+    return kExitInterrupted;
+  }
   if (args.has("db-out")) {
     const std::string out = args.str("db-out");
     if (io::is_snapshot_path(out)) {
@@ -267,7 +347,8 @@ int cmd_explore(const Args& args) {
 int cmd_simulate(const Args& args) {
   args.expect_only({"tasks", "seed", "db", "policy", "prc", "cycles", "sim-seed", "fault-rate",
                     "pe-mtbf", "qos-tolerance", "replications", "jobs", "report", "trace",
-                    "trace-categories", "pop", "gens"});
+                    "trace-categories", "pop", "gens", "checkpoint", "checkpoint-every", "resume",
+                    "time-budget", "step-budget"});
   // Validate every option before touching the filesystem, so a typo'd flag
   // value fails fast with the option-level message.
   const auto tasks = size_arg(args, "tasks", 20, 1);
@@ -301,6 +382,14 @@ int cmd_simulate(const Args& args) {
 
   const auto sim_seed = static_cast<std::uint64_t>(size_arg(args, "sim-seed", 7));
   const auto replications = size_arg(args, "replications", 1, 1);
+  const bool replicated = replications > 1 || args.has("report");
+  if (!replicated && (args.has("checkpoint") || args.has("resume") || args.has("time-budget") ||
+                      args.has("step-budget") || args.has("checkpoint-every"))) {
+    throw std::runtime_error(
+        "simulate: --checkpoint/--resume/--time-budget/--step-budget need the replicated "
+        "runner — pass --replications > 1 (or --report)");
+  }
+  const exp::SessionControl control = session_control(args);
   const std::string trace_path = setup_trace(args);
 
   // Design database: load one produced by `explore` (--db), or — without
@@ -344,7 +433,7 @@ int cmd_simulate(const Args& args) {
   box.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
   box.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
 
-  if (replications <= 1 && !args.has("report")) {
+  if (!replicated) {
     const auto stats = snapshot_drc
                            ? exp::evaluate_policy(*app, db, *snapshot_drc, box, params, sim_seed)
                            : exp::evaluate_policy(*app, db, box, params, sim_seed);
@@ -379,14 +468,19 @@ int cmd_simulate(const Args& args) {
   cell.seed = sim_seed;
   cell.label = policy + " pRC=" + util::TextTable::fmt(params.p_rc, 2);
   runner.add_cell(std::move(cell));
-  const auto results = runner.run();
+  util::install_stop_signal_handlers(global_stop());
+  const exp::RunnerOutcome session = exp::run_runner_session(runner, control);
+  const auto& results = session.run.results;
   const auto& s = results.front().stats;
+  if (session.resumed) {
+    std::printf("resumed from checkpoint %s (.a/.b)\n", control.checkpoint_path.c_str());
+  }
 
   const auto ci = [](const util::Summary& f, int prec) {
     return util::TextTable::fmt(f.mean, prec) + " ±" + util::TextTable::fmt(f.ci95, prec);
   };
-  util::TextTable table("simulation result (" + std::to_string(replications) +
-                        " replications, mean ±95% CI)");
+  util::TextTable table("simulation result (" + std::to_string(s.replications) + " of " +
+                        std::to_string(replications) + " replications, mean ±95% CI)");
   table.set_header({"policy", "pRC", "cycles", "avg energy", "avg dRC/event", "#reconfigs",
                     "QoS violations", "availability", "MTTR", "unrecovered"});
   table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
@@ -396,10 +490,23 @@ int cmd_simulate(const Args& args) {
                  ci(s.num_unrecovered_failures, 1)});
   std::printf("%s", table.to_string().c_str());
   if (args.has("report")) {
-    const auto report =
-        exp::grid_report("clrtool_simulate", config, results, &runner.metrics());
+    const auto report = exp::grid_report("clrtool_simulate", config, results, &runner.metrics(),
+                                         !session.run.complete);
     util::write_file(args.str("report"), report.dump(2) + "\n");
     std::printf("report written to %s\n", args.str("report").c_str());
+  }
+  if (!session.run.complete) {
+    std::printf("interrupted (%s): %llu of %llu replication jobs done",
+                util::stop_reason_name(session.stop_reason),
+                static_cast<unsigned long long>(session.run.jobs_done),
+                static_cast<unsigned long long>(session.run.jobs_total));
+    if (!control.checkpoint_path.empty()) {
+      std::printf("; %llu checkpoint(s) written — rerun with --resume to continue",
+                  static_cast<unsigned long long>(session.checkpoints_written));
+    }
+    std::printf("\n");
+    finish_trace(trace_path);
+    return kExitInterrupted;
   }
   finish_trace(trace_path);
   return 0;
@@ -464,7 +571,9 @@ int cmd_inspect(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     const Args args(argc, argv);
@@ -480,4 +589,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "clrtool: %s\n", e.what());
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // `clrtool inspect | head` closes our stdout mid-write; the default
+  // disposition would kill the process with no message and exit code 141.
+  // Ignore the signal so writes fail with EPIPE instead, and report that as
+  // an ordinary error below.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  const int code = dispatch(argc, argv);
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    std::fprintf(stderr, "clrtool: error writing to stdout (broken pipe or device full)\n");
+    return code == 0 ? 1 : code;
+  }
+  return code;
 }
