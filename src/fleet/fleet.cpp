@@ -1,0 +1,460 @@
+#include "fleet/fleet.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "fleet/spsc_queue.hpp"
+#include "io/checkpoint.hpp"
+#include "runtime/policy.hpp"
+#include "runtime/qos_process.hpp"
+#include "runtime/simulator.hpp"
+
+namespace clr::fleet {
+
+namespace {
+
+/// Devices per SPSC record: big enough to amortize the queue handoff, small
+/// enough that a full queue stays a few hundred KB per worker.
+constexpr std::size_t kBatchDevices = 32;
+
+struct DeviceBatch {
+  std::uint32_t count = 0;
+  std::array<DeviceResult, kBatchDevices> results;
+};
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+void hash_value(std::uint64_t& h, T v) {
+  hash_bytes(h, &v, sizeof v);
+}
+
+DeviceResult to_result(std::uint64_t device, const rt::RuntimeStats& s) {
+  DeviceResult r;
+  r.device = device;
+  r.events = s.num_events;
+  r.reconfigs = s.num_reconfigs;
+  r.infeasible_events = s.num_infeasible_events;
+  r.transient_faults = s.num_transient_faults;
+  r.recovered_transients = s.num_recovered_transients;
+  r.unrecovered_failures = s.num_unrecovered_failures;
+  r.permanent_faults = s.num_permanent_faults;
+  r.evacuations = s.num_evacuations;
+  r.safe_mode_entries = s.num_safe_mode_entries;
+  r.avg_energy = s.avg_energy;
+  r.total_reconfig_cost = s.total_reconfig_cost;
+  r.qos_violation_time = s.qos_violation_time;
+  r.downtime = s.downtime;
+  r.availability = s.availability;
+  r.mttr = s.mttr;
+  r.max_drc = s.max_drc;
+  return r;
+}
+
+std::uint64_t block_device_count(const FleetConfig& config, std::uint64_t block,
+                                 std::uint64_t num_blocks) {
+  if (block + 1 < num_blocks) return config.block_size;
+  return config.devices - block * config.block_size;  // last block may be short
+}
+
+void validate_config(const FleetConfig& config) {
+  if (config.block_size == 0) {
+    throw std::invalid_argument("fleet: block_size must be >= 1");
+  }
+  if (config.params.sim.trace_events != 0) {
+    throw std::invalid_argument(
+        "fleet: per-event traces are not supported at fleet scale (sim.trace_events must be 0)");
+  }
+}
+
+}  // namespace
+
+std::uint64_t device_seed(std::uint64_t base, std::uint64_t device) {
+  util::SplitMix64 mix(base + 0x9e3779b97f4a7c15ULL * device);
+  return mix.next();
+}
+
+std::uint64_t fleet_param_hash(const FleetConfig& config) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_value<std::uint64_t>(h, config.devices);
+  hash_value<std::uint64_t>(h, config.seed);
+  hash_value<std::uint64_t>(h, config.block_size);
+  const exp::RuntimeEvalParams& p = config.params;
+  hash_value<std::uint32_t>(h, static_cast<std::uint32_t>(p.kind));
+  hash_value<double>(h, p.p_rc);
+  hash_value<double>(h, p.aura.gamma);
+  hash_value<double>(h, p.aura.alpha);
+  hash_value<double>(h, p.aura.guard);
+  hash_value<double>(h, p.aura.initial_value);
+  hash_value<double>(h, p.pretrain_cycles);
+  hash_value<std::uint64_t>(h, p.pretrain_sweeps);
+  hash_value<std::uint8_t>(h, p.pretrain ? 1 : 0);
+  hash_value<double>(h, p.sim.total_cycles);
+  hash_value<double>(h, p.sim.episode_cycles);
+  hash_value<double>(h, p.qos.makespan_mean_frac);
+  hash_value<double>(h, p.qos.makespan_sd_frac);
+  hash_value<double>(h, p.qos.func_rel_mean_frac);
+  hash_value<double>(h, p.qos.func_rel_sd_frac);
+  hash_value<double>(h, p.qos.rho);
+  hash_value<double>(h, p.qos.ar1_phi);
+  hash_value<double>(h, p.qos.mean_event_gap);
+  hash_value<double>(h, p.faults.transient_rate);
+  hash_value<double>(h, p.faults.pe_mtbf);
+  hash_value<double>(h, p.faults.recovery_latency);
+  hash_value<double>(h, p.faults.reexec_energy_factor);
+  hash_value<double>(h, p.faults.qos_tolerance);
+  hash_value<double>(h, p.faults.fallback_coverage);
+  hash_value<std::uint64_t>(h, p.fault_profiles.size());
+  for (const auto& profile : p.fault_profiles) {
+    hash_value<double>(h, profile.ser_scale);
+    hash_value<double>(h, profile.weibull_shape);
+  }
+  hash_value<double>(h, config.ranges.energy_min);
+  hash_value<double>(h, config.ranges.energy_max);
+  hash_value<double>(h, config.ranges.makespan_min);
+  hash_value<double>(h, config.ranges.makespan_max);
+  hash_value<double>(h, config.ranges.func_rel_min);
+  hash_value<double>(h, config.ranges.func_rel_max);
+  // shards, jobs and queue_capacity deliberately excluded: partitioning and
+  // flow-control knobs never affect results (the determinism rule), so a
+  // checkpoint taken at any --shards/--jobs resumes at any other.
+  return h;
+}
+
+std::uint64_t fleet_num_blocks(const FleetConfig& config) {
+  if (config.devices == 0) return 0;
+  return (config.devices + config.block_size - 1) / config.block_size;
+}
+
+std::pair<std::uint64_t, std::uint64_t> shard_block_range(std::uint64_t num_blocks,
+                                                          std::size_t shards, std::size_t s) {
+  if (shards == 0 || s >= shards) {
+    throw std::invalid_argument("fleet: shard index " + std::to_string(s) + " out of " +
+                                std::to_string(shards));
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(shards);
+  const std::uint64_t base = num_blocks / n;
+  const std::uint64_t extra = num_blocks % n;
+  const std::uint64_t idx = static_cast<std::uint64_t>(s);
+  const std::uint64_t first = idx * base + std::min(idx, extra);
+  const std::uint64_t count = base + (idx < extra ? 1 : 0);
+  return {first, count};
+}
+
+DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                             const rt::QosProcess& qos, const rt::RuntimeSimulator& sim,
+                             const exp::RuntimeEvalParams& params,
+                             const rel::ClrSpace* clr_space, std::uint64_t device,
+                             std::uint64_t fleet_seed) {
+  // Mirrors exp::evaluate_policy_with field by field: same SplitMix64 stream
+  // discipline (pretrain, eval, then the fault seed only when faults are
+  // enabled), same policy construction, same pre-training. That makes every
+  // fleet device bit-identical to a standalone evaluate_policy_with call —
+  // pinned by tests/fleet/test_fleet_determinism.cpp.
+  util::SplitMix64 mix(device_seed(fleet_seed, device));
+  util::Rng pretrain_rng(mix.next());
+  util::Rng eval_rng(mix.next());
+
+  flt::FaultScenario scenario;
+  const flt::FaultScenario* active_scenario = nullptr;
+  if (params.faults.enabled()) {
+    params.faults.validate();
+    scenario.params = params.faults;
+    scenario.profiles = params.fault_profiles;
+    scenario.seed = mix.next();
+    scenario.clr_space = clr_space;
+    active_scenario = &scenario;
+  }
+
+  switch (params.kind) {
+    case exp::PolicyKind::Baseline: {
+      rt::BaselinePolicy policy(db, drc);
+      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+    }
+    case exp::PolicyKind::Ura: {
+      rt::UraPolicy policy(db, drc, params.p_rc);
+      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+    }
+    case exp::PolicyKind::Aura: {
+      rt::AuraPolicy policy(db, drc, params.p_rc, params.aura);
+      if (params.pretrain) {
+        rt::pretrain_aura(policy, db, qos, params.pretrain_cycles, params.pretrain_sweeps,
+                          pretrain_rng);
+      }
+      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+    }
+  }
+  throw std::logic_error("fleet: unknown policy kind");
+}
+
+FleetSummary summarize(const FleetProgress& progress) {
+  FleetSummary s;
+  for (std::size_t b = 0; b < progress.blocks.size(); ++b) {
+    if (b < progress.done.size() && progress.done[b] != 0) s.totals.merge(progress.blocks[b]);
+  }
+  const double n = static_cast<double>(s.totals.devices);
+  if (s.totals.devices > 0) {
+    s.mean_energy = s.totals.energy_sum / n;
+    s.mean_reconfig_cost = s.totals.reconfig_cost_sum / n;
+    s.mean_violation_time = s.totals.violation_time_sum / n;
+    s.mean_downtime = s.totals.downtime_sum / n;
+    s.mean_availability = s.totals.availability_sum / n;
+    s.mean_mttr = s.totals.mttr_sum / n;
+  }
+  return s;
+}
+
+std::vector<ShardSummary> summarize_shards(const FleetProgress& progress, std::size_t shards) {
+  std::vector<ShardSummary> out;
+  if (shards == 0) return out;
+  const std::uint64_t num_blocks = progress.blocks.size();
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto [first, count] = shard_block_range(num_blocks, shards, s);
+    ShardSummary shard;
+    shard.shard = s;
+    shard.first_block = first;
+    shard.num_blocks = count;
+    shard.first_device = first * progress.block_size;
+    for (std::uint64_t b = first; b < first + count; ++b) {
+      const std::uint64_t block_end =
+          std::min((b + 1) * progress.block_size, progress.devices);
+      shard.num_devices += block_end - b * progress.block_size;
+      if (progress.done[static_cast<std::size_t>(b)] != 0) {
+        shard.totals.merge(progress.blocks[static_cast<std::size_t>(b)]);
+      }
+    }
+    out.push_back(shard);
+  }
+  return out;
+}
+
+FleetResult run_fleet(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                      const rel::ClrSpace* clr_space, const FleetConfig& config,
+                      const FleetControl& control) {
+  validate_config(config);
+  const std::uint64_t num_blocks = fleet_num_blocks(config);
+  const std::size_t jobs = util::resolve_threads(config.jobs);
+  const std::size_t shards = config.shards != 0 ? config.shards : jobs;
+  const std::uint64_t param_hash = fleet_param_hash(config);
+
+  FleetResult result;
+  result.progress.param_hash = param_hash;
+  result.progress.devices = config.devices;
+  result.progress.block_size = config.block_size;
+  result.progress.done.assign(static_cast<std::size_t>(num_blocks), 0);
+  result.progress.blocks.assign(static_cast<std::size_t>(num_blocks), BlockSum{});
+
+  if (control.resume != nullptr) {
+    const FleetProgress& r = *control.resume;
+    if (r.param_hash != param_hash || r.devices != config.devices ||
+        r.block_size != config.block_size || r.done.size() != num_blocks ||
+        r.blocks.size() != num_blocks) {
+      throw std::invalid_argument(
+          "fleet: resume progress was recorded for a different fleet (param/shape mismatch)");
+    }
+    result.progress.done = r.done;
+    result.progress.blocks = r.blocks;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  // One queue + completion flag per worker; the worker is the queue's only
+  // producer, this (the accumulator) thread its only consumer.
+  struct WorkerChannel {
+    std::unique_ptr<SpscQueue<DeviceBatch>> queue;
+    std::atomic<bool> finished{false};
+  };
+  std::vector<WorkerChannel> channels(jobs);
+  for (auto& c : channels) {
+    c.queue = std::make_unique<SpscQueue<DeviceBatch>>(std::max<std::size_t>(config.queue_capacity, 2));
+  }
+
+  util::StopToken stop = control.stop;
+  const std::vector<std::uint8_t>& already_done = result.progress.done;
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, w]() {
+      // Shared per-worker evaluation plant: QosProcess and RuntimeSimulator
+      // are const/stateless across run() calls (the AR(1) requirement state
+      // lives inside each run), so reusing them across devices is
+      // bit-identical to constructing them per device — pinned by the
+      // simulator-reuse test.
+      const rt::QosProcess qos(config.ranges, config.params.qos);
+      const rt::RuntimeSimulator sim(config.params.sim);
+      SpscQueue<DeviceBatch>& queue = *channels[w].queue;
+
+      const auto push = [&](DeviceBatch&& batch) {
+        // Backpressure: the accumulator always drains until every worker
+        // finishes, so spinning here cannot deadlock.
+        while (!queue.try_push(std::move(batch))) std::this_thread::yield();
+      };
+
+      for (std::size_t s = w; s < shards; s += jobs) {
+        const auto [first, count] = shard_block_range(num_blocks, shards, s);
+        for (std::uint64_t b = first; b < first + count; ++b) {
+          if (already_done[static_cast<std::size_t>(b)] != 0) continue;  // resumed block
+          // Cooperative stop at block boundaries only: a started block always
+          // finishes, so blocks stay all-or-nothing units.
+          if (stop.stop_requested()) goto worker_done;
+          {
+            const std::uint64_t block_first = b * config.block_size;
+            const std::uint64_t block_count = block_device_count(config, b, num_blocks);
+            DeviceBatch batch;
+            for (std::uint64_t d = block_first; d < block_first + block_count; ++d) {
+              batch.results[batch.count++] =
+                  simulate_device(db, drc, qos, sim, config.params, clr_space, d, config.seed);
+              if (batch.count == kBatchDevices) {
+                push(std::move(batch));
+                batch = DeviceBatch{};
+              }
+            }
+            if (batch.count > 0) push(std::move(batch));
+          }
+        }
+      }
+    worker_done:
+      channels[w].finished.store(true, std::memory_order_release);
+    });
+  }
+
+  // Stats-accumulation stage (this thread): fold arriving device results into
+  // their block sums. Within a block, results arrive in device order (one
+  // producer, FIFO channel), so each block's floating-point sums carry the
+  // one canonical association order regardless of shards/jobs.
+  std::vector<std::uint64_t> filled(static_cast<std::size_t>(num_blocks), 0);
+  std::uint64_t devices_this_run = 0;
+  std::uint64_t since_checkpoint = 0;
+  DeviceBatch batch;
+  for (;;) {
+    bool all_finished = true;
+    for (const auto& c : channels) {
+      all_finished = all_finished && c.finished.load(std::memory_order_acquire);
+    }
+    bool any = false;
+    for (auto& c : channels) {
+      while (c.queue->try_pop(batch)) {
+        any = true;
+        for (std::uint32_t i = 0; i < batch.count; ++i) {
+          const DeviceResult& r = batch.results[i];
+          const auto block = static_cast<std::size_t>(r.device / config.block_size);
+          result.progress.blocks[block].add(r);
+          devices_this_run += 1;
+          if (++filled[block] == block_device_count(config, block, num_blocks)) {
+            result.progress.done[block] = 1;
+            result.blocks_done_this_run += 1;
+            since_checkpoint += 1;
+            if (control.on_block) {
+              control.on_block(result.blocks_done_this_run, num_blocks);
+            }
+            if (control.checkpoint_every != 0 && control.on_checkpoint &&
+                since_checkpoint >= control.checkpoint_every) {
+              control.on_checkpoint(result.progress);
+              since_checkpoint = 0;
+            }
+          }
+        }
+      }
+    }
+    if (all_finished && !any) break;
+    if (!any) std::this_thread::yield();
+  }
+  for (auto& worker : workers) worker.join();
+
+  if (control.on_checkpoint && since_checkpoint > 0) {
+    control.on_checkpoint(result.progress);
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.summary = summarize(result.progress);
+  result.shards = summarize_shards(result.progress, shards);
+  result.devices_done = result.summary.totals.devices;
+  result.complete = result.progress.blocks_done() == num_blocks;
+  if (result.wall_seconds > 0.0) {
+    result.devices_per_second = static_cast<double>(devices_this_run) / result.wall_seconds;
+  }
+  return result;
+}
+
+FleetSessionOutcome run_fleet_session(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                                      const rel::ClrSpace* clr_space, const FleetConfig& config,
+                                      const exp::SessionControl& control) {
+  if (control.checkpoint_every == 0) {
+    throw std::invalid_argument("fleet session: checkpoint_every must be >= 1");
+  }
+  if (control.resume && control.checkpoint_path.empty()) {
+    throw std::invalid_argument("fleet session: resume requires a checkpoint path");
+  }
+  const std::uint64_t param_hash = fleet_param_hash(config);
+
+  // The session's own stop source merges every stop signal (the
+  // exp::run_*_session discipline): the external token is forwarded at each
+  // block boundary, the step budget (in blocks) arms it directly.
+  util::StopSource session_stop;
+  util::RunBudget budget(session_stop, control.step_budget);
+
+  std::optional<io::CheckpointStore> store;
+  if (!control.checkpoint_path.empty()) store.emplace(control.checkpoint_path);
+
+  FleetSessionOutcome out;
+  std::optional<FleetProgress> restored;
+  if (control.resume && store) {
+    if (auto snapshot = store->load_newest()) {
+      io::FleetCheckpoint c = io::decode_fleet_checkpoint(snapshot->view());
+      if (c.param_hash != param_hash) {
+        throw std::runtime_error(
+            "fleet resume: the checkpoint was taken under different parameters (hash " +
+            std::to_string(c.param_hash) + ", this run computes " + std::to_string(param_hash) +
+            ")");
+      }
+      restored = std::move(c.progress);
+      out.resumed = true;
+    }
+    // No loadable checkpoint: start fresh, so the first run and every
+    // resumed run share one command line.
+  }
+
+  FleetControl fleet_control;
+  fleet_control.stop = session_stop.token();
+  fleet_control.resume = restored ? &*restored : nullptr;
+  fleet_control.on_block = [&](std::uint64_t, std::uint64_t) {
+    budget.step();
+    if (control.stop.stop_requested()) session_stop.request_stop(control.stop.reason());
+  };
+  if (store) {
+    fleet_control.checkpoint_every = control.checkpoint_every;
+    fleet_control.on_checkpoint = [&](const FleetProgress& progress) {
+      io::FleetCheckpoint c;
+      c.sequence = store->next_sequence();
+      c.param_hash = param_hash;
+      c.progress = progress;
+      store->save(io::serialize_fleet_checkpoint(c));
+      out.checkpoints_written += 1;
+    };
+  }
+
+  out.result = run_fleet(db, drc, clr_space, config, fleet_control);
+  out.stop_reason = session_stop.reason();
+  return out;
+}
+
+}  // namespace clr::fleet

@@ -1,0 +1,183 @@
+#pragma once
+// Fleet-scale device simulation service (DESIGN.md §5.13, ROADMAP item 1).
+//
+// Runs 10⁵–10⁶ *independent* device instances — each a rt::RuntimeSimulator
+// + adaptation policy over one shared read-only DesignDb/DrcMatrix (normally
+// a mapped `.clrdb` snapshot) — through a sharded dataflow pipeline:
+//
+//   devices → blocks → shards → workers
+//
+//   - the device range is partitioned into fixed BLOCKS of consecutive ids
+//     (the aggregation + checkpoint grain, fleet::progress.hpp);
+//   - blocks are grouped into SHARDS (contiguous, block-aligned ranges);
+//   - each of J worker threads owns the shards `s ≡ w (mod J)` and simulates
+//     their devices in ascending id order (QoS event generation + policy
+//     decisions fused in the worker — both are per-device local);
+//   - each worker streams batched DeviceResults through its own bounded
+//     SPSC queue (spsc_queue.hpp) to the single accumulator (the calling
+//     thread), which folds them into the per-block sums — the only stage
+//     that touches shared aggregates, so the pipeline needs no locks at all.
+//
+// Determinism rule (absolute): every aggregate is bit-identical at any
+// shards/jobs combination. Per-device SplitMix64 seeding (fleet::device_seed)
+// makes each device's simulation a pure function of (fleet seed, device id);
+// the block structure pins every floating-point association order (see
+// progress.hpp). Proven by tests/fleet/test_fleet_determinism.cpp.
+//
+// Checkpoint/resume reuses PR 8's machinery: completed BlockSums persist as
+// a FleetState section in a `.clrdb` checkpoint through the A/B
+// io::CheckpointStore; a resumed run recomputes only unfinished blocks and
+// is bit-identical to an uninterrupted one (SIGKILL-proven in
+// tests/robustness/test_kill_resume.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stop.hpp"
+#include "dse/design_db.hpp"
+#include "experiments/flow.hpp"
+#include "experiments/session.hpp"
+#include "fleet/progress.hpp"
+#include "runtime/drc_matrix.hpp"
+
+namespace clr::fleet {
+
+struct FleetConfig {
+  /// Device instances to simulate (ids 0..devices-1).
+  std::uint64_t devices = 100000;
+  /// Contiguous block-aligned device ranges; 0 = one shard per job. Purely a
+  /// partitioning knob — never affects results.
+  std::size_t shards = 0;
+  /// Worker threads (0 = auto via util::resolve_threads). Never affects
+  /// results.
+  std::size_t jobs = 0;
+  /// Fleet master seed; device d simulates under device_seed(seed, d).
+  std::uint64_t seed = 1;
+  /// Aggregation/checkpoint grain in devices (progress.hpp). Result-affecting
+  /// (it pins the floating-point fold grouping), so it is part of the param
+  /// hash — unlike shards/jobs.
+  std::uint64_t block_size = 1024;
+  /// Device batches in flight per worker queue before backpressure.
+  std::size_t queue_capacity = 64;
+  /// Per-device evaluation knobs: policy kind, pRC, simulation horizon, QoS
+  /// process, fault environment. Mirrors exp::evaluate_policy_with exactly —
+  /// fleet device d is bit-identical to
+  /// `evaluate_policy_with(db, drc, ranges, params, device_seed(seed, d))`.
+  exp::RuntimeEvalParams params{};
+  /// QoS-requirement box the per-device QoS processes sample from.
+  dse::MetricRanges ranges{};
+};
+
+/// Mergeable aggregate over a device range: the block-ordered fold plus the
+/// derived per-device means the CLI and reports print.
+struct FleetSummary {
+  BlockSum totals;
+  double mean_energy = 0.0;            ///< totals.energy_sum / devices
+  double mean_reconfig_cost = 0.0;     ///< totals.reconfig_cost_sum / devices
+  double mean_violation_time = 0.0;    ///< totals.violation_time_sum / devices
+  double mean_downtime = 0.0;          ///< totals.downtime_sum / devices
+  double mean_availability = 1.0;      ///< totals.availability_sum / devices
+  double mean_mttr = 0.0;              ///< totals.mttr_sum / devices
+};
+
+/// One shard's aggregate (fold of its block range, in block order).
+struct ShardSummary {
+  std::size_t shard = 0;
+  std::uint64_t first_block = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t first_device = 0;
+  std::uint64_t num_devices = 0;
+  BlockSum totals;
+};
+
+struct FleetControl {
+  /// Cooperative stop; workers honor it at block boundaries (a started block
+  /// always finishes, keeping blocks all-or-nothing).
+  util::StopToken stop;
+  /// Completed-block table to resume from (validated against the param hash
+  /// by the session layer); nullptr = fresh run.
+  const FleetProgress* resume = nullptr;
+  /// Invoke on_checkpoint after every N newly completed blocks (and once at
+  /// the end when anything new completed). 0 = never.
+  std::uint64_t checkpoint_every = 0;
+  /// Called from the accumulator thread with the current progress table.
+  std::function<void(const FleetProgress&)> on_checkpoint;
+  /// Called from the accumulator thread after every completed block with
+  /// (blocks newly done this run, total blocks) — the budget/progress hook.
+  std::function<void(std::uint64_t, std::uint64_t)> on_block;
+};
+
+struct FleetResult {
+  FleetSummary summary;           ///< fold of all completed blocks
+  std::vector<ShardSummary> shards;
+  FleetProgress progress;         ///< final block table (checkpoint payload)
+  bool complete = true;           ///< false when stopped early
+  std::uint64_t devices_done = 0; ///< devices in completed blocks
+  std::uint64_t blocks_done_this_run = 0;
+  double wall_seconds = 0.0;      ///< this run's simulate+accumulate wall time
+  double devices_per_second = 0.0;///< devices simulated this run / wall time
+};
+
+/// Seed for device `d` of a fleet seeded with `base`: SplitMix64 expansion
+/// (the exp::replication_seed idiom), so consecutive ids get decorrelated
+/// streams and the mapping never depends on shard/thread placement.
+std::uint64_t device_seed(std::uint64_t base, std::uint64_t device);
+
+/// FNV-1a over every result-affecting fleet parameter: devices, seed,
+/// block_size, policy/simulation/QoS/fault knobs and the ranges box.
+/// Deliberately excludes shards, jobs and queue_capacity — pure partitioning
+/// knobs, so a checkpoint taken at --shards 16 --jobs 8 resumes fine at
+/// --shards 1 --jobs 1.
+std::uint64_t fleet_param_hash(const FleetConfig& config);
+
+/// Number of aggregation blocks: ceil(devices / block_size).
+std::uint64_t fleet_num_blocks(const FleetConfig& config);
+
+/// Block range [first, first+count) owned by shard `s` of `shards` over
+/// `num_blocks` blocks (balanced contiguous split; early shards get the
+/// remainder). Exposed for tests.
+std::pair<std::uint64_t, std::uint64_t> shard_block_range(std::uint64_t num_blocks,
+                                                          std::size_t shards, std::size_t s);
+
+/// Simulate one device exactly as the fleet pipeline does: the per-device
+/// slice of exp::evaluate_policy_with against a shared QosProcess +
+/// RuntimeSimulator. Exposed so tests can pin fleet-vs-reference equality
+/// device by device.
+DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                             const rt::QosProcess& qos, const rt::RuntimeSimulator& sim,
+                             const exp::RuntimeEvalParams& params,
+                             const rel::ClrSpace* clr_space, std::uint64_t device,
+                             std::uint64_t fleet_seed);
+
+/// Run the fleet. `clr_space` gives fault injection the struck task's CLR
+/// coverage (nullptr falls back to FaultParams::fallback_coverage, exactly
+/// as exp::evaluate_policy_with). Throws std::invalid_argument on a config
+/// the partitioning cannot honor (0 devices is fine and returns empty).
+FleetResult run_fleet(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                      const rel::ClrSpace* clr_space, const FleetConfig& config,
+                      const FleetControl& control = {});
+
+/// What the session did beyond the fleet result itself (mirrors
+/// exp::ExploreOutcome / exp::RunnerOutcome).
+struct FleetSessionOutcome {
+  FleetResult result;
+  bool resumed = false;
+  std::uint64_t checkpoints_written = 0;
+  util::StopReason stop_reason = util::StopReason::None;
+};
+
+/// Run a fleet under session control (checkpoint cadence, A/B store, resume
+/// identity validation, step budget in blocks). Throws std::runtime_error
+/// when resuming against a checkpoint whose param hash mismatches.
+FleetSessionOutcome run_fleet_session(const dse::DesignDb& db, const rt::DrcMatrix& drc,
+                                      const rel::ClrSpace* clr_space, const FleetConfig& config,
+                                      const exp::SessionControl& control);
+
+/// Fold `progress`'s completed blocks (in block order) into the summary +
+/// per-shard aggregates for `shards` shards. Exposed for tests and the CLI's
+/// resume-only reporting path.
+FleetSummary summarize(const FleetProgress& progress);
+std::vector<ShardSummary> summarize_shards(const FleetProgress& progress, std::size_t shards);
+
+}  // namespace clr::fleet

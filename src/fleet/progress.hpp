@@ -1,0 +1,145 @@
+#pragma once
+// Fleet aggregation blocks and restartable progress (DESIGN.md §5.13).
+//
+// Dependency-free PODs shared between the fleet pipeline (src/fleet) and the
+// checkpoint codec (src/io/checkpoint.cpp): keeping them header-only here
+// lets clr_io encode/decode fleet checkpoints without linking clr_fleet.
+//
+// The block is the unit that makes fleet aggregation bit-identical at any
+// shard/thread count AND the resume grain of a checkpoint:
+//
+//   - devices are partitioned into fixed blocks of `block_size` consecutive
+//     device ids; the partition depends only on (devices, block_size), never
+//     on shards or jobs;
+//   - each block is summed sequentially in device order by exactly one
+//     worker/accumulator pair, so its floating-point sums have one fixed
+//     association order;
+//   - every aggregate (per-shard and global) is a fold of whole BlockSums in
+//     block-index order, so the final association order is also fixed.
+//
+// Integer counters are associative anyway; the double sums are bit-stable
+// because their grouping is pinned by the block structure; max_drc is an
+// order-free max. A checkpoint persists completed BlockSums verbatim, so a
+// resumed run folds the exact bits an uninterrupted run would have.
+
+#include <cstdint>
+#include <vector>
+
+namespace clr::fleet {
+
+/// Streamed per-device outcome: the mergeable slice of rt::RuntimeStats
+/// (traces are never kept at fleet scale). One record flows through the
+/// SPSC channel per simulated device.
+struct DeviceResult {
+  std::uint64_t device = 0;  ///< fleet-wide device id (determines the block)
+  std::uint64_t events = 0;
+  std::uint64_t reconfigs = 0;
+  std::uint64_t infeasible_events = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t recovered_transients = 0;
+  std::uint64_t unrecovered_failures = 0;
+  std::uint64_t permanent_faults = 0;
+  std::uint64_t evacuations = 0;
+  std::uint64_t safe_mode_entries = 0;
+  double avg_energy = 0.0;
+  double total_reconfig_cost = 0.0;
+  double qos_violation_time = 0.0;
+  double downtime = 0.0;
+  double availability = 1.0;
+  double mttr = 0.0;
+  double max_drc = 0.0;
+
+  bool operator==(const DeviceResult&) const = default;
+};
+
+/// Aggregates over one fixed block of consecutive devices. Also the shape of
+/// every derived summary (a shard or fleet total is a block-ordered fold of
+/// these). 10 counters + 6 ordered double sums + 1 max.
+struct BlockSum {
+  std::uint64_t devices = 0;  ///< devices folded in (= block size when done)
+  std::uint64_t events = 0;
+  std::uint64_t reconfigs = 0;
+  std::uint64_t infeasible_events = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t recovered_transients = 0;
+  std::uint64_t unrecovered_failures = 0;
+  std::uint64_t permanent_faults = 0;
+  std::uint64_t evacuations = 0;
+  std::uint64_t safe_mode_entries = 0;
+  double energy_sum = 0.0;          ///< Σ avg_energy
+  double reconfig_cost_sum = 0.0;   ///< Σ total_reconfig_cost
+  double violation_time_sum = 0.0;  ///< Σ qos_violation_time
+  double downtime_sum = 0.0;        ///< Σ downtime
+  double availability_sum = 0.0;    ///< Σ availability
+  double mttr_sum = 0.0;            ///< Σ mttr
+  double max_drc = 0.0;             ///< max over devices
+
+  bool operator==(const BlockSum&) const = default;
+
+  /// Fold one device in (must be called in ascending device order within a
+  /// block — the SPSC FIFO guarantees arrival order).
+  void add(const DeviceResult& r) {
+    devices += 1;
+    events += r.events;
+    reconfigs += r.reconfigs;
+    infeasible_events += r.infeasible_events;
+    transient_faults += r.transient_faults;
+    recovered_transients += r.recovered_transients;
+    unrecovered_failures += r.unrecovered_failures;
+    permanent_faults += r.permanent_faults;
+    evacuations += r.evacuations;
+    safe_mode_entries += r.safe_mode_entries;
+    energy_sum += r.avg_energy;
+    reconfig_cost_sum += r.total_reconfig_cost;
+    violation_time_sum += r.qos_violation_time;
+    downtime_sum += r.downtime;
+    availability_sum += r.availability;
+    mttr_sum += r.mttr;
+    if (r.max_drc > max_drc) max_drc = r.max_drc;
+  }
+
+  /// Fold a whole later block in (must be called in ascending block-index
+  /// order for the double sums to have their one canonical grouping).
+  void merge(const BlockSum& b) {
+    devices += b.devices;
+    events += b.events;
+    reconfigs += b.reconfigs;
+    infeasible_events += b.infeasible_events;
+    transient_faults += b.transient_faults;
+    recovered_transients += b.recovered_transients;
+    unrecovered_failures += b.unrecovered_failures;
+    permanent_faults += b.permanent_faults;
+    evacuations += b.evacuations;
+    safe_mode_entries += b.safe_mode_entries;
+    energy_sum += b.energy_sum;
+    reconfig_cost_sum += b.reconfig_cost_sum;
+    violation_time_sum += b.violation_time_sum;
+    downtime_sum += b.downtime_sum;
+    availability_sum += b.availability_sum;
+    mttr_sum += b.mttr_sum;
+    if (b.max_drc > max_drc) max_drc = b.max_drc;
+  }
+};
+
+/// Restartable fleet state at block granularity: which blocks are fully
+/// accumulated, and their sums. Blocks in flight when a run stops are simply
+/// recomputed on resume — per-device seeding makes the redo bit-identical.
+struct FleetProgress {
+  /// Hash of every result-affecting fleet parameter (fleet::fleet_param_hash);
+  /// resume refuses a mismatch. Deliberately excludes shards and jobs.
+  std::uint64_t param_hash = 0;
+  std::uint64_t devices = 0;
+  std::uint64_t block_size = 0;
+  /// One flag per block, 1 = fully accumulated. Size = ceil(devices / block_size).
+  std::vector<std::uint8_t> done;
+  /// One sum per block (zero-initialized where done[i] == 0).
+  std::vector<BlockSum> blocks;
+
+  std::uint64_t blocks_done() const {
+    std::uint64_t n = 0;
+    for (std::uint8_t d : done) n += d != 0 ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace clr::fleet

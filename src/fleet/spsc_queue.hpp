@@ -1,0 +1,102 @@
+#pragma once
+// Bounded lock-free single-producer/single-consumer ring (DESIGN.md §5.13).
+//
+// The fleet pipeline's only inter-thread channel: each simulation worker is
+// the sole producer of its own queue, the accumulator thread is the sole
+// consumer of all of them. Under that 1:1 discipline a ring buffer needs no
+// locks and no CAS loops — the producer owns the tail index, the consumer
+// owns the head index, and a release store on the writer side paired with an
+// acquire load on the reader side is the entire synchronization protocol.
+// FIFO order is structural (indices only ever advance by one), which is what
+// lets the accumulator fold device results in device order and keep the
+// fleet's floating-point aggregates bit-identical at any shard/thread count.
+//
+// Contract (pinned by tests/fleet/test_spsc_queue.cpp, run under TSan):
+//   - strict FIFO: items pop in push order;
+//   - no loss, no duplication: every accepted push pops exactly once;
+//   - bounded: try_push fails (returns false) once `capacity()` items are
+//     in flight — backpressure, never silent dropping or blocking;
+//   - try_pop on an empty queue returns false and touches nothing.
+//
+// Indices are monotonically increasing uint64s masked on slot access, so the
+// full/empty distinction needs no wasted slot and index wraparound is a
+// non-issue (2^64 pushes outlives any run).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace clr::fleet {
+
+/// Cache-line size used to pad the producer- and consumer-owned index pairs
+/// onto distinct lines (avoids false sharing between the two threads).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2) so slot
+  /// selection is a mask, not a modulo.
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) {
+      if (cap > (std::size_t{1} << 62)) throw std::invalid_argument("SpscQueue: capacity overflow");
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side only. False = full (caller decides how to back off).
+  bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity()) {
+      // Possibly full; refresh the consumer's published position once before
+      // reporting backpressure.
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity()) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only. False = empty; `out` is untouched.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact when called by the consumer between
+  /// its own pops; the producer may have pushed more since).
+  std::size_t approx_size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Consumer-owned line: its own head plus a cached view of the tail.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+  /// Producer-owned line: its own tail plus a cached view of the head.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+};
+
+}  // namespace clr::fleet

@@ -11,6 +11,10 @@ namespace {
 /// stays far from overflow on hostile input.
 constexpr std::uint64_t kMaxCkptCount = std::uint64_t{1} << 20;
 constexpr std::uint64_t kMaxCkptJobs = std::uint64_t{1} << 24;
+/// Fleet scale: up to 2^40 devices (far above the 10⁵–10⁶ target) while the
+/// block count stays under kMaxCkptCount and every size product stays far
+/// from overflow.
+constexpr std::uint64_t kMaxFleetDevices = std::uint64_t{1} << 40;
 
 [[noreturn]] void fail(SnapshotError::Kind kind, const std::string& message) {
   throw SnapshotError(kind, message);
@@ -235,6 +239,49 @@ rt::RuntimeStats decode_stats(Cursor& cursor) {
   return s;
 }
 
+/// fleet::BlockSum: 10 counters + 7 doubles, 136 bytes per block.
+void encode_block_sum(std::string& out, const fleet::BlockSum& b) {
+  append_scalar<std::uint64_t>(out, b.devices);
+  append_scalar<std::uint64_t>(out, b.events);
+  append_scalar<std::uint64_t>(out, b.reconfigs);
+  append_scalar<std::uint64_t>(out, b.infeasible_events);
+  append_scalar<std::uint64_t>(out, b.transient_faults);
+  append_scalar<std::uint64_t>(out, b.recovered_transients);
+  append_scalar<std::uint64_t>(out, b.unrecovered_failures);
+  append_scalar<std::uint64_t>(out, b.permanent_faults);
+  append_scalar<std::uint64_t>(out, b.evacuations);
+  append_scalar<std::uint64_t>(out, b.safe_mode_entries);
+  append_scalar<double>(out, b.energy_sum);
+  append_scalar<double>(out, b.reconfig_cost_sum);
+  append_scalar<double>(out, b.violation_time_sum);
+  append_scalar<double>(out, b.downtime_sum);
+  append_scalar<double>(out, b.availability_sum);
+  append_scalar<double>(out, b.mttr_sum);
+  append_scalar<double>(out, b.max_drc);
+}
+
+fleet::BlockSum decode_block_sum(Cursor& cursor) {
+  fleet::BlockSum b;
+  b.devices = cursor.take<std::uint64_t>("block devices");
+  b.events = cursor.take<std::uint64_t>("block events");
+  b.reconfigs = cursor.take<std::uint64_t>("block reconfigs");
+  b.infeasible_events = cursor.take<std::uint64_t>("block infeasible_events");
+  b.transient_faults = cursor.take<std::uint64_t>("block transient_faults");
+  b.recovered_transients = cursor.take<std::uint64_t>("block recovered_transients");
+  b.unrecovered_failures = cursor.take<std::uint64_t>("block unrecovered_failures");
+  b.permanent_faults = cursor.take<std::uint64_t>("block permanent_faults");
+  b.evacuations = cursor.take<std::uint64_t>("block evacuations");
+  b.safe_mode_entries = cursor.take<std::uint64_t>("block safe_mode_entries");
+  b.energy_sum = cursor.take<double>("block energy_sum");
+  b.reconfig_cost_sum = cursor.take<double>("block reconfig_cost_sum");
+  b.violation_time_sum = cursor.take<double>("block violation_time_sum");
+  b.downtime_sum = cursor.take<double>("block downtime_sum");
+  b.availability_sum = cursor.take<double>("block availability_sum");
+  b.mttr_sum = cursor.take<double>("block mttr_sum");
+  b.max_drc = cursor.take<double>("block max_drc");
+  return b;
+}
+
 std::span<const std::uint8_t> checkpoint_payload_of_kind(const SnapshotView& view,
                                                          SnapshotSection kind,
                                                          const char* name) {
@@ -359,6 +406,79 @@ RunnerCheckpoint decode_runner_checkpoint(const SnapshotView& view) {
   c.runs.reserve(static_cast<std::size_t>(jobs));
   for (std::uint64_t i = 0; i < jobs; ++i) c.runs.push_back(decode_stats(cursor));
   expect_only_padding(cursor, "runner checkpoint");
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet checkpoints
+// ---------------------------------------------------------------------------
+
+std::string serialize_fleet_checkpoint(const FleetCheckpoint& checkpoint) {
+  const fleet::FleetProgress& p = checkpoint.progress;
+  if (p.block_size == 0) {
+    fail(SnapshotError::Kind::BadValue, "fleet checkpoint block_size must be >= 1");
+  }
+  const std::uint64_t expected_blocks =
+      p.devices == 0 ? 0 : (p.devices + p.block_size - 1) / p.block_size;
+  if (p.done.size() != expected_blocks || p.blocks.size() != expected_blocks) {
+    fail(SnapshotError::Kind::BadValue,
+         "fleet checkpoint carries " + std::to_string(p.done.size()) + " flags / " +
+             std::to_string(p.blocks.size()) + " block sums but " +
+             std::to_string(p.devices) + " devices at block size " +
+             std::to_string(p.block_size) + " partition into " +
+             std::to_string(expected_blocks) + " blocks");
+  }
+  std::string payload;
+  append_scalar<std::uint64_t>(payload, checkpoint.sequence);
+  append_scalar<std::uint64_t>(payload, checkpoint.param_hash);
+  append_scalar<std::uint64_t>(payload, p.devices);
+  append_scalar<std::uint64_t>(payload, p.block_size);
+  append_scalar<std::uint64_t>(payload, p.done.size());
+  for (std::uint8_t d : p.done) payload.push_back(d != 0 ? '\1' : '\0');
+  for (const auto& b : p.blocks) encode_block_sum(payload, b);
+  pad_to_8(payload);
+
+  std::vector<detail::RawSection> sections;
+  sections.push_back(
+      {static_cast<std::uint32_t>(SnapshotSection::FleetState), std::move(payload)});
+  return detail::assemble_snapshot_container(kSnapshotVersion, std::move(sections));
+}
+
+FleetCheckpoint decode_fleet_checkpoint(const SnapshotView& view) {
+  Cursor cursor(checkpoint_payload_of_kind(view, SnapshotSection::FleetState, "fleet"));
+  FleetCheckpoint c;
+  c.sequence = cursor.take<std::uint64_t>("sequence");
+  c.param_hash = cursor.take<std::uint64_t>("param hash");
+  c.progress.param_hash = c.param_hash;
+  c.progress.devices = cursor.take_count("fleet devices", kMaxFleetDevices);
+  c.progress.block_size = cursor.take<std::uint64_t>("fleet block size");
+  if (c.progress.block_size == 0) {
+    fail(SnapshotError::Kind::BadValue, "fleet checkpoint block size is 0 (must be >= 1)");
+  }
+  const std::uint64_t expected_blocks =
+      c.progress.devices == 0
+          ? 0
+          : (c.progress.devices + c.progress.block_size - 1) / c.progress.block_size;
+  const auto blocks = cursor.take_count("fleet blocks", kMaxCkptCount);
+  if (blocks != expected_blocks) {
+    fail(SnapshotError::Kind::BadValue,
+         "fleet checkpoint declares " + std::to_string(blocks) + " blocks but " +
+             std::to_string(c.progress.devices) + " devices at block size " +
+             std::to_string(c.progress.block_size) + " partition into " +
+             std::to_string(expected_blocks));
+  }
+  const std::uint8_t* flags = cursor.take_raw(blocks, "fleet block flags");
+  c.progress.done.reserve(static_cast<std::size_t>(blocks));
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    if (flags[i] > 1) {
+      fail(SnapshotError::Kind::BadValue, "fleet block flag " + std::to_string(i) + " is " +
+                                              std::to_string(flags[i]) + " (want 0 or 1)");
+    }
+    c.progress.done.push_back(flags[i]);
+  }
+  c.progress.blocks.reserve(static_cast<std::size_t>(blocks));
+  for (std::uint64_t i = 0; i < blocks; ++i) c.progress.blocks.push_back(decode_block_sum(cursor));
+  expect_only_padding(cursor, "fleet checkpoint");
   return c;
 }
 

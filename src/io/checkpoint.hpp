@@ -1,10 +1,11 @@
 #pragma once
 // Crash-safe run checkpoints in the `.clrdb` container (DESIGN.md §5.12).
 //
-// A checkpoint file is a version-2 `.clrdb` holding exactly one section:
-// ExploreState (the design-flow's restartable state at a GA generation
-// boundary) or RunnerState (the replication jobs an exp::Runner grid has
-// completed). The container layer (io/snapshot.hpp) supplies the magic,
+// A checkpoint file is a `.clrdb` holding exactly one section: ExploreState
+// (the design-flow's restartable state at a GA generation boundary),
+// RunnerState (the replication jobs an exp::Runner grid has completed) or
+// FleetState (the aggregation blocks a fleet::run_fleet run has fully
+// accumulated). The container layer (io/snapshot.hpp) supplies the magic,
 // header, FNV-1a checksum and section bounds; this layer owns the payload
 // encoding — a little-endian byte stream decoded through a bounded cursor,
 // so hostile or torn payloads surface as typed SnapshotErrors, never as
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "dse/design_db.hpp"
+#include "fleet/progress.hpp"
 #include "io/snapshot.hpp"
 #include "moea/control.hpp"
 #include "runtime/simulator.hpp"
@@ -81,15 +83,30 @@ struct RunnerCheckpoint {
   std::vector<rt::RuntimeStats> runs;
 };
 
-/// Serialize into a complete version-2 .clrdb image (single section).
+/// Restartable fleet state (fleet::run_fleet, DESIGN.md §5.13): the fixed
+/// block partition and every fully-accumulated BlockSum. Blocks in flight at
+/// the stop are simply recomputed on resume (per-device seeding makes the
+/// redo bit-identical), so the done flags + sums are the complete state.
+struct FleetCheckpoint {
+  std::uint64_t sequence = 0;
+  /// Hash of every result-affecting fleet parameter (fleet::fleet_param_hash,
+  /// mirrored in progress.param_hash); resume refuses a mismatch.
+  std::uint64_t param_hash = 0;
+  fleet::FleetProgress progress;
+};
+
+/// Serialize into a complete single-section .clrdb image at the current
+/// container version.
 std::string serialize_explore_checkpoint(const ExploreCheckpoint& checkpoint);
 std::string serialize_runner_checkpoint(const RunnerCheckpoint& checkpoint);
+std::string serialize_fleet_checkpoint(const FleetCheckpoint& checkpoint);
 
 /// Decode a validated view holding the matching checkpoint section. Throws
 /// SnapshotError (BadValue on a kind mismatch or malformed field, Truncated
 /// when the payload under-runs its declared counts).
 ExploreCheckpoint decode_explore_checkpoint(const SnapshotView& view);
 RunnerCheckpoint decode_runner_checkpoint(const SnapshotView& view);
+FleetCheckpoint decode_fleet_checkpoint(const SnapshotView& view);
 
 /// The checkpoint's sequence number (first preamble field). Throws BadValue
 /// when the view holds no checkpoint section.

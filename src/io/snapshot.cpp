@@ -157,14 +157,16 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
 
   // Section table: bounds-check every entry against the buffer before any
   // payload byte is interpreted. Version 1 defines kinds 1..3; version 2
-  // adds the checkpoint kinds 5..6 (4 stays reserved in both).
+  // adds the checkpoint kinds 5..6; version 3 adds the fleet checkpoint
+  // kind 7 (4 stays reserved throughout).
   const auto kind_allowed = [&](std::uint32_t kind) {
     if (kind >= 1 && kind <= 3) return true;
-    return v.version_ >= 2 && (kind == 5 || kind == 6);
+    if (v.version_ >= 2 && (kind == 5 || kind == 6)) return true;
+    return v.version_ >= 3 && kind == 7;
   };
   std::vector<SectionEntry> sections;
   sections.reserve(section_count);
-  bool seen[7] = {};
+  bool seen[8] = {};
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const std::uint8_t* e = bytes + kHeaderSize + std::size_t{i} * kSectionEntrySize;
     SectionEntry s;
@@ -180,7 +182,9 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
       fail(SnapshotError::Kind::BadValue,
            "unknown section kind " + std::to_string(s.kind) + " (version " +
                std::to_string(v.version_) +
-               (v.version_ == 1 ? " defines kinds 1..3)" : " defines kinds 1..3, 5..6)"));
+               (v.version_ == 1   ? " defines kinds 1..3)"
+                : v.version_ == 2 ? " defines kinds 1..3, 5..6)"
+                                  : " defines kinds 1..3, 5..7)"));
     }
     if (seen[s.kind]) {
       fail(SnapshotError::Kind::BadValue, "duplicate section kind " + std::to_string(s.kind));
@@ -202,7 +206,8 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
   // [+ DrcMatrix]) or, from version 2, a single checkpoint section.
   const bool has_checkpoint_section =
       seen[static_cast<std::uint32_t>(SnapshotSection::ExploreState)] ||
-      seen[static_cast<std::uint32_t>(SnapshotSection::RunnerState)];
+      seen[static_cast<std::uint32_t>(SnapshotSection::RunnerState)] ||
+      seen[static_cast<std::uint32_t>(SnapshotSection::FleetState)];
   if (has_checkpoint_section) {
     if (section_count != 1) {
       fail(SnapshotError::Kind::BadValue,
@@ -327,7 +332,8 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
         break;
       }
       case SnapshotSection::ExploreState:
-      case SnapshotSection::RunnerState: {
+      case SnapshotSection::RunnerState:
+      case SnapshotSection::FleetState: {
         // The payload is an opaque record stream decoded by io/checkpoint.cpp
         // (bounded cursor, typed errors). attach() only guarantees the span
         // is in bounds and can hold the leading sequence + identity hash.
@@ -479,10 +485,10 @@ std::string assemble_snapshot_container(std::uint32_t version,
 std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
                                            const rel::ClrSpace& space,
                                            const rt::DrcMatrix* drc) {
-  // The design-database sections are layout-identical in versions 1 and 2;
-  // only the header version differs (version 2 additionally *allows*
+  // The design-database sections are layout-identical in versions 1..3;
+  // only the header version differs (versions 2 and 3 additionally *allow*
   // checkpoint sections, which this writer never emits).
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != 3) {
     fail(SnapshotError::Kind::BadVersion,
          "cannot serialize snapshot version " + std::to_string(version) +
              " (this writer supports 1.." + std::to_string(kSnapshotVersion) + ")");
@@ -698,9 +704,10 @@ LoadedSnapshot materialize(const SnapshotView& view) {
              "), not a design database — resume it with --resume / io::checkpoint");
   }
   switch (view.version()) {
-    // The design-database sections are layout-identical in versions 1 and 2.
+    // The design-database sections are layout-identical in versions 1..3.
     case 1:
     case 2:
+    case 3:
       return materialize_v1(view);
     default: break;
   }

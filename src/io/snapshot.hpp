@@ -56,7 +56,10 @@ namespace clr::io {
 ///       DESIGN.md §5.12). A version-2 file holds EITHER a design database
 ///       (same sections as version 1, byte-identical layout) OR exactly one
 ///       checkpoint section — never both. Version-1 files still load.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+///   3 — adds the FleetState checkpoint kind (completed fleet aggregation
+///       blocks, DESIGN.md §5.13). Same shape rule as version 2; version-1
+///       and version-2 files still load.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Section kinds. Values are part of the format; never reuse.
 enum class SnapshotSection : std::uint32_t {
@@ -66,6 +69,7 @@ enum class SnapshotSection : std::uint32_t {
   // 4 is reserved for the sched::CompiledGraph tables (future version).
   ExploreState = 5,  ///< design-flow checkpoint (GA state + stage progress)
   RunnerState = 6,   ///< exp::Runner checkpoint (completed replication jobs)
+  FleetState = 7,    ///< fleet::run_fleet checkpoint (completed block sums)
 };
 
 /// Typed deserialization failure. Every constructor-path error names what it
@@ -132,11 +136,11 @@ class SnapshotView {
   /// Row-major num_points()² cost table (empty when the section is absent).
   std::span<const double> drc_costs() const { return drc_costs_; }
 
-  // --- Checkpoint sections (version 2, DESIGN.md §5.12) ---
+  // --- Checkpoint sections (versions 2-3, DESIGN.md §5.12-5.13) ---
   /// True when the file holds a checkpoint instead of a design database.
   bool has_checkpoint() const { return checkpoint_kind_ != 0; }
-  /// The checkpoint's section kind (ExploreState or RunnerState); 0 when
-  /// has_checkpoint() is false.
+  /// The checkpoint's section kind (ExploreState, RunnerState or
+  /// FleetState); 0 when has_checkpoint() is false.
   std::uint32_t checkpoint_section_kind() const { return checkpoint_kind_; }
   /// The raw checkpoint payload bytes; io/checkpoint.hpp owns the decoding
   /// (attach() only validates the span bounds and a minimum size).
@@ -211,9 +215,10 @@ struct LoadedSnapshot {
 LoadedSnapshot materialize(const SnapshotView& view);
 
 /// Serialize for an explicit format version (RethinkDB serialize_for_version
-/// idiom). The design-database sections are layout-identical in versions 1
-/// and 2, so both are writable — version 1 stays available for cross-version
-/// compatibility tests and downgrade-friendly exports. `drc` is optional.
+/// idiom). The design-database sections are layout-identical in versions
+/// 1..3, so all are writable — the older versions stay available for
+/// cross-version compatibility tests and downgrade-friendly exports. `drc`
+/// is optional.
 std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
                                            const rel::ClrSpace& space,
                                            const rt::DrcMatrix* drc);

@@ -1,0 +1,150 @@
+// SPSC ring contract tests (DESIGN.md §5.13): strict FIFO, no loss, no
+// duplication, bounded backpressure, index wraparound. The Concurrent* tests
+// run a real producer/consumer thread pair and are part of the TSan CI leg
+// (-R 'Spsc|Fleet'), which is what gives the queue's two-atomic protocol its
+// teeth — a missing release/acquire edge shows up as a data-race report, not
+// a flaky value check.
+
+#include "fleet/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace clr::fleet {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscQueue<int>(65).capacity(), 128u);
+}
+
+TEST(SpscQueue, FifoOrderSingleThreaded) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_EQ(out, -1) << "failed pop must leave the out-slot untouched";
+}
+
+TEST(SpscQueue, BackpressureWhenFullNeverDropsOrBlocks) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  // Full: pushes are refused (returning, not blocking) until a pop frees a
+  // slot, and the refused values are never enqueued.
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_FALSE(q.try_push(100));
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.try_push(4));
+  for (int expected : {1, 2, 3, 4}) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(SpscQueue, WraparoundPreservesFifoAcrossManyCycles) {
+  // A capacity-4 ring pushed 10'000 times wraps its slot indices thousands of
+  // times; FIFO order and exactly-once delivery must be unaffected.
+  SpscQueue<std::uint64_t> q(4);
+  std::uint64_t next_push = 0, next_pop = 0;
+  while (next_pop < 10'000) {
+    while (next_push < 10'000 && q.try_push(std::uint64_t(next_push))) ++next_push;
+    std::uint64_t out = ~0ULL;
+    while (q.try_pop(out)) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, 10'000u);
+}
+
+TEST(SpscQueue, MoveOnlyPayloadPopsExactlyOnce) {
+  // unique_ptr payloads make double-consumption structurally visible: a slot
+  // popped twice would surface as a null pointer here.
+  SpscQueue<std::unique_ptr<int>> q(8);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(q.try_push(std::make_unique<int>(i)));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, i);
+  }
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerKeepsFifoWithNoLossNoDuplication) {
+  // One real producer thread against one real consumer thread, tiny capacity
+  // so the full/empty edges are hit constantly. Strict FIFO makes the check
+  // total: the consumer must observe exactly 0,1,2,...,N-1.
+  constexpr std::uint64_t kItems = 200'000;
+  SpscQueue<std::uint64_t> q(8);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!q.try_push(std::uint64_t(i))) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kItems) {
+    std::uint64_t out = 0;
+    if (!q.try_pop(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(out, expected) << "FIFO violated";
+    sum += out;
+    ++expected;
+  }
+  producer.join();
+  std::uint64_t final_out = 0;
+  EXPECT_FALSE(q.try_pop(final_out)) << "items left after every push was popped";
+  EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+}
+
+TEST(SpscQueue, ConcurrentBurstyProducerHitsEmptyAndFullEdges) {
+  // Bursty pacing (producer pushes in bursts, consumer drains in bursts)
+  // exercises the cached-index refresh paths on both sides under contention.
+  constexpr std::uint64_t kItems = 50'000;
+  SpscQueue<std::uint64_t> q(16);
+  std::thread producer([&] {
+    std::uint64_t i = 0;
+    while (i < kItems) {
+      const std::uint64_t burst = 1 + (i % 23);
+      for (std::uint64_t b = 0; b < burst && i < kItems; ++b) {
+        while (!q.try_push(std::uint64_t(i))) std::this_thread::yield();
+        ++i;
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kItems) {
+    std::uint64_t out = 0;
+    std::size_t drained = 0;
+    while (drained < 37 && q.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+      ++drained;
+    }
+    if (drained == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(q.approx_size(), 0u);
+}
+
+}  // namespace
+}  // namespace clr::fleet

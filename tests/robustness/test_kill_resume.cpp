@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "experiments/app.hpp"
 #include "experiments/session.hpp"
+#include "fleet/fleet.hpp"
 #include "io/checkpoint.hpp"
 
 namespace clr::exp {
@@ -277,6 +278,70 @@ TEST_F(KillTempDir, RunnerGridSurvivesSigkillAtRandomPoints) {
       EXPECT_DOUBLE_EQ(a.qos_violation_time.mean, b.qos_violation_time.mean) << "cell " << i;
       EXPECT_DOUBLE_EQ(a.availability.mean, b.availability.mean) << "cell " << i;
     }
+  }
+}
+
+// --- Fleet: kill at random points, resume, compare ---------------------------
+
+TEST_F(KillTempDir, FleetSurvivesSigkillAtRandomPoints) {
+  const auto db = make_db();
+  const auto drc = make_drc();
+
+  fleet::FleetConfig config;
+  config.devices = 512;
+  config.block_size = 32;  // 16 blocks
+  config.seed = 0xF1EE75EEDULL;
+  config.params.kind = PolicyKind::Ura;
+  config.params.p_rc = 0.3;
+  config.params.sim.total_cycles = 2e3;
+  config.params.faults.transient_rate = 1e-4;
+  config.params.faults.validate();
+  config.params.fault_profiles = {{1.0, 2.0}, {1.4, 1.6}, {0.7, 2.4}};
+  config.ranges = make_ranges();
+
+  fleet::FleetResult reference;
+  const useconds_t runtime_us = measure_runtime_us([&] {
+    fleet::FleetConfig plain = config;
+    plain.jobs = 1;
+    reference = fleet::run_fleet(db, drc, nullptr, plain);
+  });
+  ASSERT_TRUE(reference.complete);
+
+  // Children run wide (4 workers over 8 shards); the parent resumes at one
+  // worker — the checkpoint must carry no partitioning or thread residue.
+  fleet::FleetConfig wide = config;
+  wide.shards = 8;
+  wide.jobs = 4;
+  util::SplitMix64 delays(0xF1EE7C1DULL);
+
+  for (std::size_t trial = 0; trial < 6; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::string checkpoint = path("fleet.clrdb." + std::to_string(trial));
+
+    SessionControl control;
+    control.checkpoint_path = checkpoint;
+    control.checkpoint_every = 1;
+    control.resume = true;
+
+    run_and_kill([&] { (void)fleet::run_fleet_session(db, drc, nullptr, wide, control); },
+                 static_cast<useconds_t>(delays.next() % runtime_us));
+
+    fleet::FleetConfig narrow = config;
+    narrow.jobs = 1;
+    fleet::FleetSessionOutcome out = fleet::run_fleet_session(db, drc, nullptr, narrow, control);
+    int legs = 0;
+    while (!out.result.complete) {
+      ASSERT_LT(++legs, 64) << "resume failed to converge";
+      out = fleet::run_fleet_session(db, drc, nullptr, narrow, control);
+    }
+
+    // Bit-identical to the uninterrupted run: every per-block sum (defaulted
+    // operator== compares the doubles bitwise) and the global fold.
+    EXPECT_EQ(out.result.progress.done, reference.progress.done);
+    EXPECT_EQ(out.result.progress.blocks, reference.progress.blocks);
+    EXPECT_EQ(out.result.summary.totals, reference.summary.totals);
+    EXPECT_EQ(out.result.summary.mean_energy, reference.summary.mean_energy);
+    EXPECT_EQ(out.result.summary.mean_availability, reference.summary.mean_availability);
   }
 }
 

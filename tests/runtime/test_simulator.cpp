@@ -271,6 +271,50 @@ TEST_F(SimulatorTest, CoincidentEpisodeAndEventProcessedOnce) {
   }
 }
 
+TEST_F(SimulatorTest, SimulatorAndQosProcessReuseLeaksNoStateAcrossRuns) {
+  // The fleet pipeline constructs ONE QosProcess + RuntimeSimulator per
+  // worker and reuses them for every device (DESIGN.md §5.13). That is only
+  // sound if run() is a pure function of (db, policy, rng, scenario) — all
+  // mutable evaluation state must live inside the call. Interleave seeds
+  // A, B, A on one shared plant and compare run 1 vs run 3 bitwise, then
+  // compare both against a factory-fresh plant.
+  SimulationParams params;
+  params.total_cycles = 2e4;
+  const RuntimeSimulator shared_sim(params);
+  const QosProcess shared_qos(ranges_);
+
+  const auto run_with = [&](const RuntimeSimulator& sim, const QosProcess& qos,
+                            std::uint64_t seed) {
+    UraPolicy policy(db_, drc_, 0.5);  // policies are per-device in the fleet too
+    util::Rng rng(seed);
+    return sim.run(db_, policy, qos, rng);
+  };
+
+  const auto first = run_with(shared_sim, shared_qos, 101);
+  const auto other = run_with(shared_sim, shared_qos, 202);
+  const auto again = run_with(shared_sim, shared_qos, 101);
+
+  EXPECT_EQ(first.num_events, again.num_events);
+  EXPECT_EQ(first.num_reconfigs, again.num_reconfigs);
+  EXPECT_EQ(first.num_infeasible_events, again.num_infeasible_events);
+  EXPECT_EQ(first.avg_energy, again.avg_energy);
+  EXPECT_EQ(first.total_reconfig_cost, again.total_reconfig_cost);
+  EXPECT_EQ(first.qos_violation_time, again.qos_violation_time);
+  EXPECT_EQ(first.availability, again.availability);
+  EXPECT_EQ(first.max_drc, again.max_drc);
+  // The interleaved run actually differed (the check above is not vacuous).
+  // A continuous metric cannot collide across seeds the way a count could.
+  EXPECT_NE(first.qos_violation_time, other.qos_violation_time);
+
+  const RuntimeSimulator fresh_sim(params);
+  const QosProcess fresh_qos(ranges_);
+  const auto pristine = run_with(fresh_sim, fresh_qos, 101);
+  EXPECT_EQ(first.num_events, pristine.num_events);
+  EXPECT_EQ(first.avg_energy, pristine.avg_energy);
+  EXPECT_EQ(first.qos_violation_time, pristine.qos_violation_time);
+  EXPECT_EQ(first.max_drc, pristine.max_drc);
+}
+
 TEST_F(SimulatorTest, TraceExportsToCsv) {
   QosProcess qos(ranges_);
   UraPolicy policy(db_, drc_, 0.5);

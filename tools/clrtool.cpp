@@ -27,6 +27,20 @@
 //       permanent PE wear-out) switch run-time fault injection on;
 //       --qos-tolerance bounds the relaxed-QoS degraded mode.
 //
+//   clrtool fleet    --devices N [--shards S] [--jobs J] [--block B]
+//                    [--tasks N] [--seed S] [--db DB.clrdb] [--policy ura|aura|baseline]
+//                    [--prc X] [--cycles C] [--sim-seed S2] [--fault-rate R]
+//                    [--pe-mtbf M] [--qos-tolerance T] [--report F.json]
+//       Run N independent device instances — each a runtime simulator +
+//       adaptation policy over the shared (ideally snapshot-mapped) design
+//       database — through the sharded fleet pipeline (DESIGN.md §5.13) and
+//       print the streamed fleet/per-shard aggregates plus the devices/s
+//       throughput. Aggregates are bit-identical at ANY --shards/--jobs
+//       combination; --block sets the aggregation/checkpoint grain (result-
+//       affecting, part of the checkpoint identity). Accepts the shared
+//       checkpoint/budget flags; an interrupted fleet resumes at block
+//       granularity with bit-identical final results.
+//
 //   clrtool inspect  --db DB.json
 //       Print the stored design points.
 //
@@ -34,7 +48,7 @@
 //       Fault-inject the first K stored points (Monte-Carlo execution with
 //       sampled SEUs) and compare against the database's analytical metrics.
 //
-// Long runs (`explore`, replicated `simulate`) accept --checkpoint F.clrdb
+// Long runs (`explore`, replicated `simulate`, `fleet`) accept --checkpoint F.clrdb
 // [--checkpoint-every N] [--resume] plus --time-budget / --step-budget.
 // SIGINT/SIGTERM stop cooperatively: the current generation/cell finishes, a
 // final checkpoint is written, the partial report prints, and the process
@@ -58,6 +72,9 @@
 #include "experiments/flow.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
+#include "faults/fault_model.hpp"
+#include "fleet/fleet.hpp"
+#include "io/json.hpp"
 #include "io/serialize.hpp"
 #include "io/snapshot.hpp"
 #include "runtime/drc_matrix.hpp"
@@ -205,7 +222,7 @@ exp::SessionControl session_control(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: clrtool <generate|explore|simulate|inspect|validate> [options]\n"
+               "usage: clrtool <generate|explore|simulate|fleet|inspect|validate> [options]\n"
                "  generate --tasks N [--seed S] [--graph-out F] [--platform-out F] [--dot-out F]\n"
                "  explore  --tasks N [--seed S] [--pop P] [--gens G] [--csp] [--jobs J]\n"
                "           [--db-out F] [--trace F2] [--trace-categories C]\n"
@@ -218,6 +235,13 @@ int usage() {
                "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
                "           [--time-budget SEC] [--step-budget N]\n"
                "           (without --db the design-time flow runs inline first)\n"
+               "  fleet    --devices N [--shards S] [--jobs J] [--block B] [--tasks N] [--seed S]\n"
+               "           [--db F] [--policy ura|aura|baseline] [--prc X] [--cycles C]\n"
+               "           [--sim-seed S2] [--fault-rate R] [--pe-mtbf M] [--qos-tolerance T]\n"
+               "           [--report F] [--pop P] [--gens G]\n"
+               "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
+               "           [--time-budget SEC] [--step-budget N]\n"
+               "           (aggregates are bit-identical at any --shards/--jobs)\n"
                "  inspect  --db F\n"
                "  validate --tasks N [--seed S] --db F [--runs R] [--points K] [--sim-seed S2]\n"
                "--trace writes a Chrome trace_event JSON timeline (Perfetto /\n"
@@ -512,6 +536,213 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  args.expect_only({"devices", "shards", "jobs", "block", "tasks", "seed", "db", "policy", "prc",
+                    "cycles", "sim-seed", "fault-rate", "pe-mtbf", "qos-tolerance", "report",
+                    "pop", "gens", "checkpoint", "checkpoint-every", "resume", "time-budget",
+                    "step-budget"});
+  const auto tasks = size_arg(args, "tasks", 20, 1);
+  const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
+
+  fleet::FleetConfig config;
+  config.devices = static_cast<std::uint64_t>(size_arg(args, "devices", 100000));
+  config.shards = size_arg(args, "shards", 0);
+  config.jobs = size_arg(args, "jobs", 0);
+  config.block_size = static_cast<std::uint64_t>(size_arg(args, "block", 1024, 1));
+  config.seed = static_cast<std::uint64_t>(size_arg(args, "sim-seed", 7));
+
+  exp::RuntimeEvalParams& params = config.params;
+  const std::string policy = args.str("policy", "ura");
+  if (policy == "ura") params.kind = exp::PolicyKind::Ura;
+  else if (policy == "aura") params.kind = exp::PolicyKind::Aura;
+  else if (policy == "baseline") params.kind = exp::PolicyKind::Baseline;
+  else {
+    std::fprintf(stderr, "fleet: unknown policy '%s' (use ura, aura or baseline)\n",
+                 policy.c_str());
+    return usage();
+  }
+  params.p_rc = args.real("prc", 0.5);
+  if (params.p_rc < 0.0 || params.p_rc > 1.0) {
+    throw std::runtime_error("option --prc: must be in [0, 1]");
+  }
+  // Shorter default horizon than `simulate` (2e4 vs 2e5 cycles): fleet runs
+  // amortize statistical power across devices, not cycles.
+  params.sim.total_cycles = args.real("cycles", 2e4);
+  if (params.sim.total_cycles <= 0.0) {
+    throw std::runtime_error("option --cycles: must be > 0");
+  }
+  params.faults.transient_rate = args.real("fault-rate", 0.0);
+  params.faults.pe_mtbf = args.real("pe-mtbf", 0.0);
+  params.faults.qos_tolerance = args.real("qos-tolerance", params.faults.qos_tolerance);
+  params.faults.validate();
+
+  const exp::SessionControl control = session_control(args);
+
+  // Design database: a .clrdb snapshot (the fleet-scale path — one mapped
+  // copy, DrcMatrix included), a JSON artifact, or an inline explore.
+  std::unique_ptr<exp::AppInstance> app;
+  dse::DesignDb db;
+  std::optional<rt::DrcMatrix> drc;
+  if (args.has("db")) {
+    const std::string db_path = args.str("db");
+    if (io::is_snapshot_path(db_path)) {
+      auto loaded = io::load_snapshot(db_path);
+      app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+      db = std::move(loaded.db);
+      drc = std::move(loaded.drc);
+    } else {
+      const auto loaded = io::load_design_db(db_path);
+      app = exp::make_synthetic_app_with_space(tasks, seed, loaded.space);
+      db = loaded.db;
+    }
+  } else {
+    app = exp::make_synthetic_app(tasks, seed);
+    exp::FlowParams flow_params;
+    flow_params.dse.base_ga.population = size_arg(args, "pop", 64, 2);
+    flow_params.dse.base_ga.generations = size_arg(args, "gens", 60, 1);
+    flow_params.dse.threads = config.jobs;
+    util::Rng flow_rng(seed ^ 0xD5EULL);
+    db = exp::run_design_flow(*app, flow_params, flow_rng).red;
+    std::printf("explored inline: %zu stored design points (pass --db to reuse a saved "
+                "database)\n",
+                db.size());
+  }
+  if (!drc) {
+    // No precomputed matrix in the artifact: rebuild it once, up front (the
+    // pipeline itself never computes pairwise costs).
+    recfg::ReconfigModel reconfig(app->platform(), app->impls());
+    util::ThreadPool pool(config.jobs);
+    drc.emplace(db, reconfig, &pool);
+  }
+
+  // Per-device fault environment mirrors exp::evaluate_policy: per-PE SER
+  // profiles derived from the platform when injection is on.
+  if (params.faults.enabled() && params.fault_profiles.empty()) {
+    params.fault_profiles = flt::profiles_from_platform(app->platform());
+  }
+
+  // QoS box from the database's own ranges, widened like qos_ranges().
+  const auto r = db.ranges();
+  config.ranges = r;
+  config.ranges.makespan_max = r.makespan_max + 0.25 * (r.makespan_max - r.makespan_min);
+  config.ranges.func_rel_min = r.func_rel_min - 0.25 * (r.func_rel_max - r.func_rel_min);
+
+  util::install_stop_signal_handlers(global_stop());
+  const fleet::FleetSessionOutcome outcome =
+      fleet::run_fleet_session(db, *drc, &app->clr_space(), config, control);
+  const fleet::FleetResult& result = outcome.result;
+  const fleet::FleetSummary& s = result.summary;
+  if (outcome.resumed) {
+    std::printf("resumed from checkpoint %s (.a/.b): %llu of %llu blocks were done\n",
+                control.checkpoint_path.c_str(),
+                static_cast<unsigned long long>(result.progress.blocks_done() -
+                                                result.blocks_done_this_run),
+                static_cast<unsigned long long>(result.progress.done.size()));
+  }
+
+  util::TextTable table("fleet result (" + std::to_string(result.devices_done) + " of " +
+                        std::to_string(config.devices) + " devices)");
+  table.set_header({"policy", "pRC", "cycles", "mean energy", "reconfigs", "QoS violations",
+                    "unrecovered", "mean avail", "mean MTTR", "max dRC"});
+  table.add_row({policy, util::TextTable::fmt(params.p_rc, 2),
+                 util::TextTable::fmt(params.sim.total_cycles, 0),
+                 util::TextTable::fmt(s.mean_energy, 2), std::to_string(s.totals.reconfigs),
+                 std::to_string(s.totals.infeasible_events),
+                 std::to_string(s.totals.unrecovered_failures),
+                 util::TextTable::fmt(s.mean_availability, 5),
+                 util::TextTable::fmt(s.mean_mttr, 1), util::TextTable::fmt(s.totals.max_drc, 2)});
+  std::printf("%s", table.to_string().c_str());
+
+  util::TextTable shard_table("per-shard aggregates (bit-identical at any --shards/--jobs)");
+  shard_table.set_header({"shard", "devices", "events", "reconfigs", "QoS violations",
+                          "unrecovered", "mean energy", "mean avail"});
+  for (const fleet::ShardSummary& sh : result.shards) {
+    const double n = sh.totals.devices > 0 ? static_cast<double>(sh.totals.devices) : 1.0;
+    shard_table.add_row({std::to_string(sh.shard), std::to_string(sh.totals.devices),
+                         std::to_string(sh.totals.events), std::to_string(sh.totals.reconfigs),
+                         std::to_string(sh.totals.infeasible_events),
+                         std::to_string(sh.totals.unrecovered_failures),
+                         util::TextTable::fmt(sh.totals.energy_sum / n, 2),
+                         util::TextTable::fmt(sh.totals.availability_sum / n, 5)});
+  }
+  std::printf("%s", shard_table.to_string().c_str());
+  std::printf("throughput: %.0f devices/s (%llu block(s) in %.2f s, %zu worker thread(s))\n",
+              result.devices_per_second,
+              static_cast<unsigned long long>(result.blocks_done_this_run), result.wall_seconds,
+              util::resolve_threads(config.jobs));
+
+  if (args.has("report")) {
+    io::JsonArray shard_rows;
+    for (const fleet::ShardSummary& sh : result.shards) {
+      shard_rows.push_back(io::Json(io::JsonObject{
+          {"shard", io::Json(static_cast<std::uint64_t>(sh.shard))},
+          {"first_device", io::Json(sh.first_device)},
+          {"num_devices", io::Json(sh.num_devices)},
+          {"devices_done", io::Json(sh.totals.devices)},
+          {"events", io::Json(sh.totals.events)},
+          {"reconfigs", io::Json(sh.totals.reconfigs)},
+          {"infeasible_events", io::Json(sh.totals.infeasible_events)},
+          {"unrecovered_failures", io::Json(sh.totals.unrecovered_failures)},
+          {"energy_sum", io::Json(sh.totals.energy_sum)},
+          {"availability_sum", io::Json(sh.totals.availability_sum)},
+      }));
+    }
+    const io::Json report(io::JsonObject{
+        {"experiment", io::Json("clrtool_fleet")},
+        {"devices", io::Json(config.devices)},
+        {"shards", io::Json(static_cast<std::uint64_t>(result.shards.size()))},
+        {"jobs", io::Json(static_cast<std::uint64_t>(util::resolve_threads(config.jobs)))},
+        {"block_size", io::Json(config.block_size)},
+        {"seed", io::Json(config.seed)},
+        {"policy", io::Json(policy)},
+        {"p_rc", io::Json(params.p_rc)},
+        {"cycles", io::Json(params.sim.total_cycles)},
+        {"fault_rate", io::Json(params.faults.transient_rate)},
+        {"pe_mtbf", io::Json(params.faults.pe_mtbf)},
+        {"complete", io::Json(result.complete)},
+        {"devices_done", io::Json(result.devices_done)},
+        {"devices_per_second", io::Json(result.devices_per_second)},
+        {"wall_seconds", io::Json(result.wall_seconds)},
+        {"summary",
+         io::Json(io::JsonObject{
+             {"events", io::Json(s.totals.events)},
+             {"reconfigs", io::Json(s.totals.reconfigs)},
+             {"infeasible_events", io::Json(s.totals.infeasible_events)},
+             {"transient_faults", io::Json(s.totals.transient_faults)},
+             {"recovered_transients", io::Json(s.totals.recovered_transients)},
+             {"unrecovered_failures", io::Json(s.totals.unrecovered_failures)},
+             {"permanent_faults", io::Json(s.totals.permanent_faults)},
+             {"evacuations", io::Json(s.totals.evacuations)},
+             {"safe_mode_entries", io::Json(s.totals.safe_mode_entries)},
+             {"mean_energy", io::Json(s.mean_energy)},
+             {"mean_reconfig_cost", io::Json(s.mean_reconfig_cost)},
+             {"mean_violation_time", io::Json(s.mean_violation_time)},
+             {"mean_downtime", io::Json(s.mean_downtime)},
+             {"mean_availability", io::Json(s.mean_availability)},
+             {"mean_mttr", io::Json(s.mean_mttr)},
+             {"max_drc", io::Json(s.totals.max_drc)},
+         })},
+        {"shard_aggregates", io::Json(std::move(shard_rows))},
+    });
+    util::write_file(args.str("report"), report.dump(2) + "\n");
+    std::printf("report written to %s\n", args.str("report").c_str());
+  }
+
+  if (!result.complete) {
+    std::printf("interrupted (%s): %llu of %llu blocks done",
+                util::stop_reason_name(outcome.stop_reason),
+                static_cast<unsigned long long>(result.progress.blocks_done()),
+                static_cast<unsigned long long>(result.progress.done.size()));
+    if (!control.checkpoint_path.empty()) {
+      std::printf("; %llu checkpoint(s) written — rerun with --resume to continue",
+                  static_cast<unsigned long long>(outcome.checkpoints_written));
+    }
+    std::printf("\n");
+    return kExitInterrupted;
+  }
+  return 0;
+}
+
 int cmd_validate(const Args& args) {
   args.expect_only({"tasks", "seed", "db", "runs", "points", "sim-seed"});
   if (!args.has("db")) {
@@ -581,6 +812,7 @@ int dispatch(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "validate") return cmd_validate(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
