@@ -34,6 +34,8 @@ struct MetricRanges {
   double energy_min = 0.0, energy_max = 0.0;
   double makespan_min = 0.0, makespan_max = 0.0;
   double func_rel_min = 0.0, func_rel_max = 0.0;
+
+  bool operator==(const MetricRanges&) const = default;
 };
 
 class DesignDb {

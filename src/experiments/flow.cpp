@@ -89,7 +89,8 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
 rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                                       const dse::MetricRanges& ranges,
                                       const RuntimeEvalParams& params, std::uint64_t seed,
-                                      const rel::ClrSpace* clr_space) {
+                                      const rel::ClrSpace* clr_space,
+                                      const rt::MdpTable* mdp_table) {
   rt::QosProcess qos(ranges, params.qos);
   rt::RuntimeSimulator sim(params.sim);
 
@@ -111,24 +112,49 @@ rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatr
     active_scenario = &scenario;
   }
 
+  // Optional prefetch wrapper: selection-transparent, so wrapping changes
+  // only the new stall/hidden accounting — never the decision sequence.
+  const auto run_with = [&](rt::AdaptationPolicy& policy) {
+    if (params.prefetch) {
+      rt::PrefetchPolicy wrapped(policy, db, drc, params.prefetch_params);
+      return sim.run(db, wrapped, qos, eval_rng, active_scenario);
+    }
+    return sim.run(db, policy, qos, eval_rng, active_scenario);
+  };
+
   switch (params.kind) {
     case PolicyKind::Baseline: {
       rt::BaselinePolicy policy(db, drc);
-      return sim.run(db, policy, qos, eval_rng, active_scenario);
+      return run_with(policy);
     }
     case PolicyKind::Ura: {
       rt::UraPolicy policy(db, drc, params.p_rc);
-      return sim.run(db, policy, qos, eval_rng, active_scenario);
+      return run_with(policy);
     }
     case PolicyKind::Aura: {
       rt::AuraPolicy policy(db, drc, params.p_rc, params.aura);
       if (params.pretrain) {
         // Pre-training stays fault-free: prior knowledge reflects the
-        // nominal platform the design-time flow optimized for.
+        // nominal platform the design-time flow optimized for. The prefetch
+        // wrapper (if any) is absent here on purpose: staging is an
+        // evaluation-time effect, not part of the prior.
         rt::pretrain_aura(policy, db, qos, params.pretrain_cycles, params.pretrain_sweeps,
                           pretrain_rng);
       }
-      return sim.run(db, policy, qos, eval_rng, active_scenario);
+      return run_with(policy);
+    }
+    case PolicyKind::Mdp: {
+      // Offline planning is deterministic (no RNG), so building the table
+      // here — or reusing one prebuilt by the caller (fleet sweeps,
+      // snapshot-loaded tables) — yields bit-identical runs.
+      rt::MdpTable built;
+      if (mdp_table == nullptr) {
+        built = rt::build_mdp_table(db, drc, ranges, params.p_rc, params.qos, params.faults,
+                                    params.mdp);
+        mdp_table = &built;
+      }
+      rt::MdpPolicy policy(db, drc, *mdp_table);
+      return run_with(policy);
     }
   }
   throw std::logic_error("evaluate_policy_with: unknown policy kind");

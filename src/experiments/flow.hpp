@@ -5,6 +5,8 @@
 
 #include "dse/design_time.hpp"
 #include "experiments/app.hpp"
+#include "runtime/mdp_policy.hpp"
+#include "runtime/prefetch.hpp"
 #include "runtime/simulator.hpp"
 
 namespace clr::exp {
@@ -46,8 +48,10 @@ dse::QosSpec derive_spec(const sched::EvalContext& ctx, dse::ObjectiveMode mode,
 /// Run design-time DSE (both stages) for one application.
 FlowResult run_design_flow(const AppInstance& app, const FlowParams& params, util::Rng& rng);
 
-/// Which run-time policy to evaluate.
-enum class PolicyKind { Baseline, Ura, Aura };
+/// Which run-time policy to evaluate. Mdp is the offline-planned tabular
+/// policy of DESIGN.md §5.14 (value iteration over the discretized QoS
+/// process), evaluated beside the learned agents.
+enum class PolicyKind { Baseline, Ura, Aura, Mdp };
 
 struct RuntimeEvalParams {
   PolicyKind kind = PolicyKind::Ura;
@@ -66,6 +70,13 @@ struct RuntimeEvalParams {
   /// them from the app's platform (AVF / βp); the app-less
   /// evaluate_policy_with path substitutes uniform defaults.
   std::vector<flt::PeFaultProfile> fault_profiles;
+  /// Offline MDP planning knobs (PolicyKind::Mdp only).
+  rt::MdpPolicyParams mdp{};
+  /// Wrap the evaluated policy in a PrefetchPolicy (speculative bitstream
+  /// staging). Never changes which points are picked — only the stall/hidden
+  /// split in RuntimeStats; every pre-existing field stays bit-identical.
+  bool prefetch = false;
+  rt::PrefetchParams prefetch_params{};
 };
 
 /// Evaluate one policy over one database. `ranges` defines the QoS process
@@ -90,10 +101,14 @@ rt::RuntimeStats evaluate_policy(const AppInstance& app, const dse::DesignDb& db
 /// (see exp::Runner); this overload is also the path that needs no
 /// AppInstance at all (tests, what-if cost tables). `clr_space` gives fault
 /// injection the struck task's CLR coverage; nullptr falls back to
-/// FaultParams::fallback_coverage.
+/// FaultParams::fallback_coverage. `mdp_table` optionally supplies a
+/// prebuilt MDP plan for PolicyKind::Mdp (fleet sweeps share one table
+/// across devices; snapshots persist them) — nullptr builds it on the fly,
+/// bit-identically, since planning is deterministic.
 rt::RuntimeStats evaluate_policy_with(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                                       const dse::MetricRanges& ranges,
                                       const RuntimeEvalParams& params, std::uint64_t seed,
-                                      const rel::ClrSpace* clr_space = nullptr);
+                                      const rel::ClrSpace* clr_space = nullptr,
+                                      const rt::MdpTable* mdp_table = nullptr);
 
 }  // namespace clr::exp

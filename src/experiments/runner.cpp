@@ -19,6 +19,7 @@ const char* policy_name(PolicyKind kind) {
     case PolicyKind::Baseline: return "baseline";
     case PolicyKind::Ura: return "ura";
     case PolicyKind::Aura: return "aura";
+    case PolicyKind::Mdp: return "mdp";
   }
   return "unknown";
 }
@@ -44,6 +45,7 @@ ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
   util::RunningStats events, reconfigs, infeasible, energy, total_cost, avg_cost, max_drc;
   util::RunningStats violation_time, transients, unrecovered, permanents, evacuations,
       safe_entries, downtime, availability, mttr;
+  util::RunningStats stall, hidden, hits, misses, service_avail;
   for (const auto& r : runs) {
     events.add(static_cast<double>(r.num_events));
     reconfigs.add(static_cast<double>(r.num_reconfigs));
@@ -61,6 +63,11 @@ ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
     downtime.add(r.downtime);
     availability.add(r.availability);
     mttr.add(r.mttr);
+    stall.add(r.reconfig_stall_time);
+    hidden.add(r.prefetch_hidden_time);
+    hits.add(static_cast<double>(r.prefetch_hits));
+    misses.add(static_cast<double>(r.prefetch_misses));
+    service_avail.add(r.service_availability);
   }
   ReplicatedStats s;
   s.replications = runs.size();
@@ -80,6 +87,11 @@ ReplicatedStats replicate_stats(const std::vector<rt::RuntimeStats>& runs) {
   s.downtime = util::summarize(downtime);
   s.availability = util::summarize(availability);
   s.mttr = util::summarize(mttr);
+  s.reconfig_stall_time = util::summarize(stall);
+  s.prefetch_hidden_time = util::summarize(hidden);
+  s.prefetch_hits = util::summarize(hits);
+  s.prefetch_misses = util::summarize(misses);
+  s.service_availability = util::summarize(service_avail);
   return s;
 }
 
@@ -132,6 +144,20 @@ std::uint64_t Runner::grid_hash() const {
     hash_value<double>(h, cell.ranges.makespan_max);
     hash_value<double>(h, cell.ranges.func_rel_min);
     hash_value<double>(h, cell.ranges.func_rel_max);
+    // New-policy knobs only enter the hash when they are actually in play,
+    // so every pre-existing grid keeps its historical hash (checkpoints
+    // recorded before this version still resume).
+    if (cell.params.kind == PolicyKind::Mdp) {
+      hash_value<std::uint64_t>(h, cell.params.mdp.makespan_bins);
+      hash_value<std::uint64_t>(h, cell.params.mdp.func_rel_bins);
+      hash_value<double>(h, cell.params.mdp.gamma);
+      hash_value<double>(h, cell.params.mdp.tolerance);
+      hash_value<std::uint64_t>(h, cell.params.mdp.max_sweeps);
+    }
+    if (cell.params.prefetch) {
+      hash_value<std::uint8_t>(h, 1);
+      hash_value<std::uint64_t>(h, cell.params.prefetch_params.min_observations);
+    }
   }
   return h;
 }
@@ -341,6 +367,12 @@ io::Json grid_report(const std::string& experiment, const RunnerConfig& config,
         {"downtime", summary_json(res.stats.downtime)},
         {"availability", summary_json(res.stats.availability)},
         {"mttr", summary_json(res.stats.mttr)},
+        {"prefetch", io::Json(res.params.prefetch)},
+        {"reconfig_stall_time", summary_json(res.stats.reconfig_stall_time)},
+        {"prefetch_hidden_time", summary_json(res.stats.prefetch_hidden_time)},
+        {"prefetch_hits", summary_json(res.stats.prefetch_hits)},
+        {"prefetch_misses", summary_json(res.stats.prefetch_misses)},
+        {"service_availability", summary_json(res.stats.service_availability)},
         {"wall_ms", io::Json(res.wall_ms)},
     };
     cells.emplace_back(std::move(cell));

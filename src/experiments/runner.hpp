@@ -56,6 +56,13 @@ struct ReplicatedStats {
   util::Summary downtime;
   util::Summary availability;
   util::Summary mttr;
+  // Reconfiguration-port axes (stall/hidden split, DESIGN.md §5.14). Without
+  // prefetching, reconfig_stall_time == total_reconfig_cost per run.
+  util::Summary reconfig_stall_time;
+  util::Summary prefetch_hidden_time;
+  util::Summary prefetch_hits;
+  util::Summary prefetch_misses;
+  util::Summary service_availability;
 };
 
 /// Aggregate a finished replication set (in replication order — callers that

@@ -56,6 +56,8 @@ DeviceResult to_result(std::uint64_t device, const rt::RuntimeStats& s) {
   r.permanent_faults = s.num_permanent_faults;
   r.evacuations = s.num_evacuations;
   r.safe_mode_entries = s.num_safe_mode_entries;
+  r.prefetch_hits = s.prefetch_hits;
+  r.prefetch_misses = s.prefetch_misses;
   r.avg_energy = s.avg_energy;
   r.total_reconfig_cost = s.total_reconfig_cost;
   r.qos_violation_time = s.qos_violation_time;
@@ -63,6 +65,9 @@ DeviceResult to_result(std::uint64_t device, const rt::RuntimeStats& s) {
   r.availability = s.availability;
   r.mttr = s.mttr;
   r.max_drc = s.max_drc;
+  r.reconfig_stall_time = s.reconfig_stall_time;
+  r.prefetch_hidden_time = s.prefetch_hidden_time;
+  r.service_availability = s.service_availability;
   return r;
 }
 
@@ -130,6 +135,19 @@ std::uint64_t fleet_param_hash(const FleetConfig& config) {
   hash_value<double>(h, config.ranges.makespan_max);
   hash_value<double>(h, config.ranges.func_rel_min);
   hash_value<double>(h, config.ranges.func_rel_max);
+  // New-policy knobs enter the hash only when in play, keeping every
+  // pre-existing fleet's hash (and its resumable checkpoints) stable.
+  if (p.kind == exp::PolicyKind::Mdp) {
+    hash_value<std::uint64_t>(h, p.mdp.makespan_bins);
+    hash_value<std::uint64_t>(h, p.mdp.func_rel_bins);
+    hash_value<double>(h, p.mdp.gamma);
+    hash_value<double>(h, p.mdp.tolerance);
+    hash_value<std::uint64_t>(h, p.mdp.max_sweeps);
+  }
+  if (p.prefetch) {
+    hash_value<std::uint8_t>(h, 1);
+    hash_value<std::uint64_t>(h, p.prefetch_params.min_observations);
+  }
   // shards, jobs and queue_capacity deliberately excluded: partitioning and
   // flow-control knobs never affect results (the determinism rule), so a
   // checkpoint taken at any --shards/--jobs resumes at any other.
@@ -160,7 +178,7 @@ DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                              const rt::QosProcess& qos, const rt::RuntimeSimulator& sim,
                              const exp::RuntimeEvalParams& params,
                              const rel::ClrSpace* clr_space, std::uint64_t device,
-                             std::uint64_t fleet_seed) {
+                             std::uint64_t fleet_seed, const rt::MdpTable* mdp_table) {
   // Mirrors exp::evaluate_policy_with field by field: same SplitMix64 stream
   // discipline (pretrain, eval, then the fault seed only when faults are
   // enabled), same policy construction, same pre-training. That makes every
@@ -181,14 +199,24 @@ DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
     active_scenario = &scenario;
   }
 
+  // Prefetch wrapping mirrors evaluate_policy_with: selection-transparent,
+  // so the wrapper only fills the stall/hidden split of the result.
+  const auto run_with = [&](rt::AdaptationPolicy& policy) {
+    if (params.prefetch) {
+      rt::PrefetchPolicy wrapped(policy, db, drc, params.prefetch_params);
+      return to_result(device, sim.run(db, wrapped, qos, eval_rng, active_scenario));
+    }
+    return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+  };
+
   switch (params.kind) {
     case exp::PolicyKind::Baseline: {
       rt::BaselinePolicy policy(db, drc);
-      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+      return run_with(policy);
     }
     case exp::PolicyKind::Ura: {
       rt::UraPolicy policy(db, drc, params.p_rc);
-      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+      return run_with(policy);
     }
     case exp::PolicyKind::Aura: {
       rt::AuraPolicy policy(db, drc, params.p_rc, params.aura);
@@ -196,7 +224,19 @@ DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
         rt::pretrain_aura(policy, db, qos, params.pretrain_cycles, params.pretrain_sweeps,
                           pretrain_rng);
       }
-      return to_result(device, sim.run(db, policy, qos, eval_rng, active_scenario));
+      return run_with(policy);
+    }
+    case exp::PolicyKind::Mdp: {
+      rt::MdpTable built;
+      if (mdp_table == nullptr) {
+        // Per-device rebuild: bit-identical to the fleet-shared table (the
+        // offline solve is RNG-free), only slower. run_fleet always shares.
+        built = rt::build_mdp_table(db, drc, qos.ranges(), params.p_rc, params.qos,
+                                    params.faults, params.mdp);
+        mdp_table = &built;
+      }
+      rt::MdpPolicy policy(db, drc, *mdp_table);
+      return run_with(policy);
     }
   }
   throw std::logic_error("fleet: unknown policy kind");
@@ -215,6 +255,9 @@ FleetSummary summarize(const FleetProgress& progress) {
     s.mean_downtime = s.totals.downtime_sum / n;
     s.mean_availability = s.totals.availability_sum / n;
     s.mean_mttr = s.totals.mttr_sum / n;
+    s.mean_stall_time = s.totals.stall_time_sum / n;
+    s.mean_hidden_time = s.totals.hidden_time_sum / n;
+    s.mean_service_availability = s.totals.service_availability_sum / n;
   }
   return s;
 }
@@ -274,6 +317,17 @@ FleetResult run_fleet(const dse::DesignDb& db, const rt::DrcMatrix& drc,
 
   const auto start = std::chrono::steady_clock::now();
 
+  // One offline MDP plan for the whole fleet: the table is immutable and
+  // read-shared across every worker (per-device rebuilds would be
+  // bit-identical but waste the solve num_devices times).
+  std::optional<rt::MdpTable> shared_mdp;
+  if (config.params.kind == exp::PolicyKind::Mdp && config.devices > 0) {
+    shared_mdp = rt::build_mdp_table(db, drc, config.ranges, config.params.p_rc,
+                                     config.params.qos, config.params.faults,
+                                     config.params.mdp);
+  }
+  const rt::MdpTable* shared_mdp_ptr = shared_mdp ? &*shared_mdp : nullptr;
+
   // One queue + completion flag per worker; the worker is the queue's only
   // producer, this (the accumulator) thread its only consumer.
   struct WorkerChannel {
@@ -319,8 +373,8 @@ FleetResult run_fleet(const dse::DesignDb& db, const rt::DrcMatrix& drc,
             const std::uint64_t block_count = block_device_count(config, b, num_blocks);
             DeviceBatch batch;
             for (std::uint64_t d = block_first; d < block_first + block_count; ++d) {
-              batch.results[batch.count++] =
-                  simulate_device(db, drc, qos, sim, config.params, clr_space, d, config.seed);
+              batch.results[batch.count++] = simulate_device(
+                  db, drc, qos, sim, config.params, clr_space, d, config.seed, shared_mdp_ptr);
               if (batch.count == kBatchDevices) {
                 push(std::move(batch));
                 batch = DeviceBatch{};

@@ -79,6 +79,9 @@ struct FleetSummary {
   double mean_downtime = 0.0;          ///< totals.downtime_sum / devices
   double mean_availability = 1.0;      ///< totals.availability_sum / devices
   double mean_mttr = 0.0;              ///< totals.mttr_sum / devices
+  double mean_stall_time = 0.0;        ///< totals.stall_time_sum / devices
+  double mean_hidden_time = 0.0;       ///< totals.hidden_time_sum / devices
+  double mean_service_availability = 1.0;  ///< totals.service_availability_sum / devices
 };
 
 /// One shard's aggregate (fold of its block range, in block order).
@@ -143,12 +146,15 @@ std::pair<std::uint64_t, std::uint64_t> shard_block_range(std::uint64_t num_bloc
 /// Simulate one device exactly as the fleet pipeline does: the per-device
 /// slice of exp::evaluate_policy_with against a shared QosProcess +
 /// RuntimeSimulator. Exposed so tests can pin fleet-vs-reference equality
-/// device by device.
+/// device by device. `mdp_table` supplies the fleet-shared offline plan for
+/// PolicyKind::Mdp (nullptr rebuilds it per device — bit-identical, since the
+/// offline solve is deterministic, just slower).
 DeviceResult simulate_device(const dse::DesignDb& db, const rt::DrcMatrix& drc,
                              const rt::QosProcess& qos, const rt::RuntimeSimulator& sim,
                              const exp::RuntimeEvalParams& params,
                              const rel::ClrSpace* clr_space, std::uint64_t device,
-                             std::uint64_t fleet_seed);
+                             std::uint64_t fleet_seed,
+                             const rt::MdpTable* mdp_table = nullptr);
 
 /// Run the fleet. `clr_space` gives fault injection the struck task's CLR
 /// coverage (nullptr falls back to FaultParams::fallback_coverage, exactly

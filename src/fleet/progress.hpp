@@ -41,6 +41,8 @@ struct DeviceResult {
   std::uint64_t permanent_faults = 0;
   std::uint64_t evacuations = 0;
   std::uint64_t safe_mode_entries = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_misses = 0;
   double avg_energy = 0.0;
   double total_reconfig_cost = 0.0;
   double qos_violation_time = 0.0;
@@ -48,13 +50,16 @@ struct DeviceResult {
   double availability = 1.0;
   double mttr = 0.0;
   double max_drc = 0.0;
+  double reconfig_stall_time = 0.0;
+  double prefetch_hidden_time = 0.0;
+  double service_availability = 1.0;
 
   bool operator==(const DeviceResult&) const = default;
 };
 
 /// Aggregates over one fixed block of consecutive devices. Also the shape of
 /// every derived summary (a shard or fleet total is a block-ordered fold of
-/// these). 10 counters + 6 ordered double sums + 1 max.
+/// these). 12 counters + 9 ordered double sums + 1 max.
 struct BlockSum {
   std::uint64_t devices = 0;  ///< devices folded in (= block size when done)
   std::uint64_t events = 0;
@@ -66,12 +71,17 @@ struct BlockSum {
   std::uint64_t permanent_faults = 0;
   std::uint64_t evacuations = 0;
   std::uint64_t safe_mode_entries = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_misses = 0;
   double energy_sum = 0.0;          ///< Σ avg_energy
   double reconfig_cost_sum = 0.0;   ///< Σ total_reconfig_cost
   double violation_time_sum = 0.0;  ///< Σ qos_violation_time
   double downtime_sum = 0.0;        ///< Σ downtime
   double availability_sum = 0.0;    ///< Σ availability
   double mttr_sum = 0.0;            ///< Σ mttr
+  double stall_time_sum = 0.0;      ///< Σ reconfig_stall_time
+  double hidden_time_sum = 0.0;     ///< Σ prefetch_hidden_time
+  double service_availability_sum = 0.0;  ///< Σ service_availability
   double max_drc = 0.0;             ///< max over devices
 
   bool operator==(const BlockSum&) const = default;
@@ -89,12 +99,17 @@ struct BlockSum {
     permanent_faults += r.permanent_faults;
     evacuations += r.evacuations;
     safe_mode_entries += r.safe_mode_entries;
+    prefetch_hits += r.prefetch_hits;
+    prefetch_misses += r.prefetch_misses;
     energy_sum += r.avg_energy;
     reconfig_cost_sum += r.total_reconfig_cost;
     violation_time_sum += r.qos_violation_time;
     downtime_sum += r.downtime;
     availability_sum += r.availability;
     mttr_sum += r.mttr;
+    stall_time_sum += r.reconfig_stall_time;
+    hidden_time_sum += r.prefetch_hidden_time;
+    service_availability_sum += r.service_availability;
     if (r.max_drc > max_drc) max_drc = r.max_drc;
   }
 
@@ -111,12 +126,17 @@ struct BlockSum {
     permanent_faults += b.permanent_faults;
     evacuations += b.evacuations;
     safe_mode_entries += b.safe_mode_entries;
+    prefetch_hits += b.prefetch_hits;
+    prefetch_misses += b.prefetch_misses;
     energy_sum += b.energy_sum;
     reconfig_cost_sum += b.reconfig_cost_sum;
     violation_time_sum += b.violation_time_sum;
     downtime_sum += b.downtime_sum;
     availability_sum += b.availability_sum;
     mttr_sum += b.mttr_sum;
+    stall_time_sum += b.stall_time_sum;
+    hidden_time_sum += b.hidden_time_sum;
+    service_availability_sum += b.service_availability_sum;
     if (b.max_drc > max_drc) max_drc = b.max_drc;
   }
 };

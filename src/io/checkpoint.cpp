@@ -1,5 +1,6 @@
 #include "io/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace clr::io {
@@ -187,7 +188,10 @@ dse::DesignDb decode_design_db(Cursor& cursor) {
   return db;
 }
 
-/// RuntimeStats without the trace: 18 fixed fields, 144 bytes per job.
+/// RuntimeStats without the trace. Version 4 appends the reconfiguration-port
+/// fields (23 fixed fields, 184 bytes per job); versions <= 3 carried 18
+/// fields in 144 bytes — decode_stats reconstructs the new fields exactly for
+/// those (see below), so pre-v4 checkpoints resume bit-identically.
 void encode_stats(std::string& out, const rt::RuntimeStats& s) {
   append_scalar<double>(out, s.total_cycles);
   append_scalar<std::uint64_t>(out, s.num_events);
@@ -207,9 +211,14 @@ void encode_stats(std::string& out, const rt::RuntimeStats& s) {
   append_scalar<double>(out, s.downtime);
   append_scalar<double>(out, s.availability);
   append_scalar<double>(out, s.mttr);
+  append_scalar<double>(out, s.reconfig_stall_time);
+  append_scalar<double>(out, s.prefetch_hidden_time);
+  append_scalar<std::uint64_t>(out, s.prefetch_hits);
+  append_scalar<std::uint64_t>(out, s.prefetch_misses);
+  append_scalar<double>(out, s.service_availability);
 }
 
-rt::RuntimeStats decode_stats(Cursor& cursor) {
+rt::RuntimeStats decode_stats(Cursor& cursor, std::uint32_t version) {
   rt::RuntimeStats s;
   s.total_cycles = cursor.take<double>("stats total_cycles");
   s.num_events = static_cast<std::size_t>(cursor.take<std::uint64_t>("stats num_events"));
@@ -236,10 +245,34 @@ rt::RuntimeStats decode_stats(Cursor& cursor) {
   s.downtime = cursor.take<double>("stats downtime");
   s.availability = cursor.take<double>("stats availability");
   s.mttr = cursor.take<double>("stats mttr");
+  if (version >= 4) {
+    s.reconfig_stall_time = cursor.take<double>("stats reconfig_stall_time");
+    s.prefetch_hidden_time = cursor.take<double>("stats prefetch_hidden_time");
+    s.prefetch_hits = static_cast<std::size_t>(cursor.take<std::uint64_t>("stats prefetch_hits"));
+    s.prefetch_misses =
+        static_cast<std::size_t>(cursor.take<std::uint64_t>("stats prefetch_misses"));
+    s.service_availability = cursor.take<double>("stats service_availability");
+  } else {
+    // Pre-v4 runs had no reconfiguration port model: every reconfiguration
+    // stalled in full, so the split is reconstructible exactly — stall equals
+    // the folded cost, nothing was hidden, and service availability is the
+    // same clamp the simulator applies (bit-identical inputs, same formula).
+    s.reconfig_stall_time = s.total_reconfig_cost;
+    s.prefetch_hidden_time = 0.0;
+    s.prefetch_hits = 0;
+    s.prefetch_misses = 0;
+    s.service_availability =
+        s.total_cycles > 0.0
+            ? std::clamp(1.0 - (s.downtime + s.reconfig_stall_time) / s.total_cycles, 0.0, 1.0)
+            : 1.0;
+  }
   return s;
 }
 
-/// fleet::BlockSum: 10 counters + 7 doubles, 136 bytes per block.
+/// fleet::BlockSum. Version 4 appends the reconfiguration-port aggregates
+/// (12 counters + 10 doubles, 176 bytes per block); versions <= 3 carried
+/// 10 counters + 7 doubles in 136 bytes — decode_block_sum reconstructs the
+/// exact pre-port equivalents for those.
 void encode_block_sum(std::string& out, const fleet::BlockSum& b) {
   append_scalar<std::uint64_t>(out, b.devices);
   append_scalar<std::uint64_t>(out, b.events);
@@ -251,16 +284,21 @@ void encode_block_sum(std::string& out, const fleet::BlockSum& b) {
   append_scalar<std::uint64_t>(out, b.permanent_faults);
   append_scalar<std::uint64_t>(out, b.evacuations);
   append_scalar<std::uint64_t>(out, b.safe_mode_entries);
+  append_scalar<std::uint64_t>(out, b.prefetch_hits);
+  append_scalar<std::uint64_t>(out, b.prefetch_misses);
   append_scalar<double>(out, b.energy_sum);
   append_scalar<double>(out, b.reconfig_cost_sum);
   append_scalar<double>(out, b.violation_time_sum);
   append_scalar<double>(out, b.downtime_sum);
   append_scalar<double>(out, b.availability_sum);
   append_scalar<double>(out, b.mttr_sum);
+  append_scalar<double>(out, b.stall_time_sum);
+  append_scalar<double>(out, b.hidden_time_sum);
+  append_scalar<double>(out, b.service_availability_sum);
   append_scalar<double>(out, b.max_drc);
 }
 
-fleet::BlockSum decode_block_sum(Cursor& cursor) {
+fleet::BlockSum decode_block_sum(Cursor& cursor, std::uint32_t version) {
   fleet::BlockSum b;
   b.devices = cursor.take<std::uint64_t>("block devices");
   b.events = cursor.take<std::uint64_t>("block events");
@@ -272,12 +310,31 @@ fleet::BlockSum decode_block_sum(Cursor& cursor) {
   b.permanent_faults = cursor.take<std::uint64_t>("block permanent_faults");
   b.evacuations = cursor.take<std::uint64_t>("block evacuations");
   b.safe_mode_entries = cursor.take<std::uint64_t>("block safe_mode_entries");
+  if (version >= 4) {
+    b.prefetch_hits = cursor.take<std::uint64_t>("block prefetch_hits");
+    b.prefetch_misses = cursor.take<std::uint64_t>("block prefetch_misses");
+  }
   b.energy_sum = cursor.take<double>("block energy_sum");
   b.reconfig_cost_sum = cursor.take<double>("block reconfig_cost_sum");
   b.violation_time_sum = cursor.take<double>("block violation_time_sum");
   b.downtime_sum = cursor.take<double>("block downtime_sum");
   b.availability_sum = cursor.take<double>("block availability_sum");
   b.mttr_sum = cursor.take<double>("block mttr_sum");
+  if (version >= 4) {
+    b.stall_time_sum = cursor.take<double>("block stall_time_sum");
+    b.hidden_time_sum = cursor.take<double>("block hidden_time_sum");
+    b.service_availability_sum = cursor.take<double>("block service_availability_sum");
+  } else {
+    // Pre-v4 fleets never prefetched, so every device stalled its full dRC:
+    // the stall fold is bit-identical to the cost fold (same addends, same
+    // block order), nothing was hidden, and no stages were consumed. The
+    // per-device service-availability clamp is not recoverable from a folded
+    // sum; fault availability is its exact value whenever no device stalled
+    // and its upper bound otherwise — the closest reconstruction available.
+    b.stall_time_sum = b.reconfig_cost_sum;
+    b.hidden_time_sum = 0.0;
+    b.service_availability_sum = b.availability_sum;
+  }
   b.max_drc = cursor.take<double>("block max_drc");
   return b;
 }
@@ -404,7 +461,7 @@ RunnerCheckpoint decode_runner_checkpoint(const SnapshotView& view) {
     c.done.push_back(flags[i]);
   }
   c.runs.reserve(static_cast<std::size_t>(jobs));
-  for (std::uint64_t i = 0; i < jobs; ++i) c.runs.push_back(decode_stats(cursor));
+  for (std::uint64_t i = 0; i < jobs; ++i) c.runs.push_back(decode_stats(cursor, view.version()));
   expect_only_padding(cursor, "runner checkpoint");
   return c;
 }
@@ -477,7 +534,8 @@ FleetCheckpoint decode_fleet_checkpoint(const SnapshotView& view) {
     c.progress.done.push_back(flags[i]);
   }
   c.progress.blocks.reserve(static_cast<std::size_t>(blocks));
-  for (std::uint64_t i = 0; i < blocks; ++i) c.progress.blocks.push_back(decode_block_sum(cursor));
+  for (std::uint64_t i = 0; i < blocks; ++i)
+    c.progress.blocks.push_back(decode_block_sum(cursor, view.version()));
   expect_only_padding(cursor, "fleet checkpoint");
   return c;
 }

@@ -35,6 +35,9 @@ constexpr std::uint32_t kMaxSections = 256;
 /// Element-count caps keeping every size computation far from u64 overflow.
 constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 32;
 constexpr std::uint64_t kMaxDrcPoints = std::uint64_t{1} << 26;
+/// Per-axis cap on the MdpPolicy QoS-bin grid (the builder caps the whole
+/// state space at 2^22, so any honest file stays far below this).
+constexpr std::uint32_t kMaxMdpBins = 1u << 16;
 
 std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
   std::uint64_t h = 14695981039346656037ULL;
@@ -158,15 +161,17 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
   // Section table: bounds-check every entry against the buffer before any
   // payload byte is interpreted. Version 1 defines kinds 1..3; version 2
   // adds the checkpoint kinds 5..6; version 3 adds the fleet checkpoint
-  // kind 7 (4 stays reserved throughout).
+  // kind 7; version 4 adds the MdpPolicy companion kind 8 (4 stays reserved
+  // throughout).
   const auto kind_allowed = [&](std::uint32_t kind) {
     if (kind >= 1 && kind <= 3) return true;
     if (v.version_ >= 2 && (kind == 5 || kind == 6)) return true;
-    return v.version_ >= 3 && kind == 7;
+    if (v.version_ >= 3 && kind == 7) return true;
+    return v.version_ >= 4 && kind == 8;
   };
   std::vector<SectionEntry> sections;
   sections.reserve(section_count);
-  bool seen[8] = {};
+  bool seen[9] = {};
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const std::uint8_t* e = bytes + kHeaderSize + std::size_t{i} * kSectionEntrySize;
     SectionEntry s;
@@ -184,7 +189,8 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
                std::to_string(v.version_) +
                (v.version_ == 1   ? " defines kinds 1..3)"
                 : v.version_ == 2 ? " defines kinds 1..3, 5..6)"
-                                  : " defines kinds 1..3, 5..7)"));
+                : v.version_ == 3 ? " defines kinds 1..3, 5..7)"
+                                  : " defines kinds 1..3, 5..8)"));
     }
     if (seen[s.kind]) {
       fail(SnapshotError::Kind::BadValue, "duplicate section kind " + std::to_string(s.kind));
@@ -203,7 +209,10 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
     sections.push_back(s);
   }
   // Shape rule: a file is either a design database (ClrSpace + DesignPoints
-  // [+ DrcMatrix]) or, from version 2, a single checkpoint section.
+  // [+ DrcMatrix] [+ MdpPolicy from version 4]) or, from version 2, a single
+  // checkpoint section. The only-section rule below already forbids an
+  // MdpPolicy companion riding with a checkpoint; the required-sections rule
+  // forbids it without its design database.
   const bool has_checkpoint_section =
       seen[static_cast<std::uint32_t>(SnapshotSection::ExploreState)] ||
       seen[static_cast<std::uint32_t>(SnapshotSection::RunnerState)] ||
@@ -331,6 +340,59 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
                         static_cast<std::size_t>(n * n)};
         break;
       }
+      case SnapshotSection::MdpPolicy: {
+        // Fixed 80-byte preamble: u32 makespan_bins, u32 func_rel_bins,
+        // u64 num_points, f64 gamma, f64 p_rc, f64 ranges[6]; then
+        // u32 policy[S] (8-padded) and f64 values[S], S = bins · num_points.
+        if (s.size < 80) {
+          fail(SnapshotError::Kind::Truncated, "MdpPolicy section of " + std::to_string(s.size) +
+                                                   " bytes cannot hold its 80-byte preamble");
+        }
+        const auto mb = load_scalar<std::uint32_t>(p);
+        const auto fb = load_scalar<std::uint32_t>(p + 4);
+        const auto np = load_scalar<std::uint64_t>(p + 8);
+        if (mb == 0 || fb == 0 || mb > kMaxMdpBins || fb > kMaxMdpBins) {
+          fail(SnapshotError::Kind::BadValue,
+               "MdpPolicy bin grid " + std::to_string(mb) + "x" + std::to_string(fb) +
+                   " (each axis wants 1.." + std::to_string(kMaxMdpBins) + ")");
+        }
+        if (np == 0 || np > kMaxCount) {
+          fail(SnapshotError::Kind::BadValue, "MdpPolicy point count " + std::to_string(np) +
+                                                  " (want 1.." + std::to_string(kMaxCount) + ")");
+        }
+        const std::uint64_t states = std::uint64_t{mb} * fb * np;
+        if (states > kMaxCount) {
+          fail(SnapshotError::Kind::Bounds, "MdpPolicy state count " + std::to_string(states) +
+                                                " exceeds the format limit of " +
+                                                std::to_string(kMaxCount));
+        }
+        const std::uint64_t required = 80 + align8(states * 4) + states * 8;
+        if (required != s.size) {
+          fail(SnapshotError::Kind::Bounds, "MdpPolicy section holds " + std::to_string(s.size) +
+                                                " bytes but " + std::to_string(states) +
+                                                " states need " + std::to_string(required));
+        }
+        v.mdp_present_ = true;
+        v.mdp_makespan_bins_ = mb;
+        v.mdp_func_rel_bins_ = fb;
+        v.mdp_num_points_ = np;
+        v.mdp_gamma_ = load_scalar<double>(p + 16);
+        v.mdp_p_rc_ = load_scalar<double>(p + 24);
+        v.mdp_ranges_ = {reinterpret_cast<const double*>(p + 32), 6};
+        v.mdp_policy_ = {reinterpret_cast<const std::uint32_t*>(p + 80),
+                         static_cast<std::size_t>(states)};
+        v.mdp_values_ = {reinterpret_cast<const double*>(p + 80 + align8(states * 4)),
+                         static_cast<std::size_t>(states)};
+        for (std::size_t i = 0; i < v.mdp_policy_.size(); ++i) {
+          if (v.mdp_policy_[i] >= np) {
+            fail(SnapshotError::Kind::BadValue,
+                 "MdpPolicy state " + std::to_string(i) + ": action " +
+                     std::to_string(v.mdp_policy_[i]) + " outside the " + std::to_string(np) +
+                     "-point database");
+          }
+        }
+        break;
+      }
       case SnapshotSection::ExploreState:
       case SnapshotSection::RunnerState:
       case SnapshotSection::FleetState: {
@@ -357,6 +419,11 @@ SnapshotView SnapshotView::attach(const void* data, std::size_t size) {
            "DrcMatrix covers " + std::to_string(v.drc_costs_.size()) + " entries but the " +
                std::to_string(n) + "-point database needs " + std::to_string(n * n));
     }
+  }
+  if (v.mdp_present_ && v.mdp_num_points_ != v.num_points_) {
+    fail(SnapshotError::Kind::BadValue,
+         "MdpPolicy was solved over " + std::to_string(v.mdp_num_points_) +
+             " points but the database holds " + std::to_string(v.num_points_));
   }
   for (std::size_t i = 0; i < v.num_assignments_; ++i) {
     if (v.clr_index_[i] >= v.clr_count_) {
@@ -441,6 +508,25 @@ std::string encode_drc(const rt::DrcMatrix& drc) {
   return out;
 }
 
+std::string encode_mdp_table(const rt::MdpTable& mdp) {
+  std::string out;
+  append_scalar<std::uint32_t>(out, mdp.makespan_bins);
+  append_scalar<std::uint32_t>(out, mdp.func_rel_bins);
+  append_scalar<std::uint64_t>(out, mdp.num_points);
+  append_scalar<double>(out, mdp.gamma);
+  append_scalar<double>(out, mdp.p_rc);
+  append_scalar<double>(out, mdp.ranges.energy_min);
+  append_scalar<double>(out, mdp.ranges.energy_max);
+  append_scalar<double>(out, mdp.ranges.makespan_min);
+  append_scalar<double>(out, mdp.ranges.makespan_max);
+  append_scalar<double>(out, mdp.ranges.func_rel_min);
+  append_scalar<double>(out, mdp.ranges.func_rel_max);
+  for (std::uint32_t a : mdp.policy) append_scalar<std::uint32_t>(out, a);
+  pad_to_8(out);
+  for (double value : mdp.values) append_scalar<double>(out, value);
+  return out;
+}
+
 }  // namespace
 
 namespace detail {
@@ -484,11 +570,13 @@ std::string assemble_snapshot_container(std::uint32_t version,
 
 std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
                                            const rel::ClrSpace& space,
-                                           const rt::DrcMatrix* drc) {
-  // The design-database sections are layout-identical in versions 1..3;
+                                           const rt::DrcMatrix* drc,
+                                           const rt::MdpTable* mdp) {
+  // The design-database sections are layout-identical in versions 1..4;
   // only the header version differs (versions 2 and 3 additionally *allow*
-  // checkpoint sections, which this writer never emits).
-  if (version != 1 && version != 2 && version != 3) {
+  // checkpoint sections, which this writer never emits, and version 4 the
+  // MdpPolicy companion below).
+  if (version != 1 && version != 2 && version != 3 && version != 4) {
     fail(SnapshotError::Kind::BadVersion,
          "cannot serialize snapshot version " + std::to_string(version) +
              " (this writer supports 1.." + std::to_string(kSnapshotVersion) + ")");
@@ -497,6 +585,16 @@ std::string serialize_snapshot_for_version(std::uint32_t version, const dse::Des
     fail(SnapshotError::Kind::BadValue,
          "DrcMatrix spans " + std::to_string(drc->size()) + " points but the database holds " +
              std::to_string(db.size()));
+  }
+  if (mdp != nullptr && version < 4) {
+    fail(SnapshotError::Kind::BadVersion,
+         "an MdpPolicy section needs format version 4, cannot emit it at version " +
+             std::to_string(version));
+  }
+  if (mdp != nullptr && mdp->num_points != db.size()) {
+    fail(SnapshotError::Kind::BadValue,
+         "MdpPolicy was solved over " + std::to_string(mdp->num_points) +
+             " points but the database holds " + std::to_string(db.size()));
   }
 
   std::vector<detail::RawSection> sections;
@@ -508,12 +606,16 @@ std::string serialize_snapshot_for_version(std::uint32_t version, const dse::Des
     sections.push_back({static_cast<std::uint32_t>(SnapshotSection::DrcMatrix),
                         encode_drc(*drc)});
   }
+  if (mdp != nullptr) {
+    sections.push_back({static_cast<std::uint32_t>(SnapshotSection::MdpPolicy),
+                        encode_mdp_table(*mdp)});
+  }
   return detail::assemble_snapshot_container(version, std::move(sections));
 }
 
 std::string serialize_snapshot(const dse::DesignDb& db, const rel::ClrSpace& space,
-                               const rt::DrcMatrix* drc) {
-  return serialize_snapshot_for_version(kSnapshotVersion, db, space, drc);
+                               const rt::DrcMatrix* drc, const rt::MdpTable* mdp) {
+  return serialize_snapshot_for_version(kSnapshotVersion, db, space, drc, mdp);
 }
 
 void write_file_durable(const std::string& path, std::string_view bytes) {
@@ -574,8 +676,8 @@ void write_file_durable(const std::string& path, std::string_view bytes) {
 }
 
 void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::ClrSpace& space,
-                   const rt::DrcMatrix* drc) {
-  write_file_durable(path, serialize_snapshot(db, space, drc));
+                   const rt::DrcMatrix* drc, const rt::MdpTable* mdp) {
+  write_file_durable(path, serialize_snapshot(db, space, drc, mdp));
 }
 
 // ---------------------------------------------------------------------------
@@ -691,6 +793,25 @@ LoadedSnapshot materialize_v1(const SnapshotView& view) {
     const auto costs = view.drc_costs();
     loaded.drc.emplace(view.num_points(), std::vector<double>(costs.begin(), costs.end()));
   }
+
+  if (view.has_mdp()) {
+    rt::MdpTable table;
+    table.makespan_bins = view.mdp_makespan_bins();
+    table.func_rel_bins = view.mdp_func_rel_bins();
+    table.num_points = view.mdp_num_points();
+    table.gamma = view.mdp_gamma();
+    table.p_rc = view.mdp_p_rc();
+    const auto r = view.mdp_ranges();
+    table.ranges.energy_min = r[0];
+    table.ranges.energy_max = r[1];
+    table.ranges.makespan_min = r[2];
+    table.ranges.makespan_max = r[3];
+    table.ranges.func_rel_min = r[4];
+    table.ranges.func_rel_max = r[5];
+    table.policy.assign(view.mdp_policy().begin(), view.mdp_policy().end());
+    table.values.assign(view.mdp_values().begin(), view.mdp_values().end());
+    loaded.mdp = std::move(table);
+  }
   return loaded;
 }
 
@@ -704,10 +825,13 @@ LoadedSnapshot materialize(const SnapshotView& view) {
              "), not a design database — resume it with --resume / io::checkpoint");
   }
   switch (view.version()) {
-    // The design-database sections are layout-identical in versions 1..3.
+    // The design-database sections are layout-identical in versions 1..4
+    // (version 4 can additionally carry the MdpPolicy companion, which
+    // materialize_v1 copies out when present).
     case 1:
     case 2:
     case 3:
+    case 4:
       return materialize_v1(view);
     default: break;
   }

@@ -44,6 +44,7 @@
 #include "dse/design_db.hpp"
 #include "reliability/clr_config.hpp"
 #include "runtime/drc_matrix.hpp"
+#include "runtime/mdp_policy.hpp"
 
 namespace clr::io {
 
@@ -59,7 +60,12 @@ namespace clr::io {
 ///   3 — adds the FleetState checkpoint kind (completed fleet aggregation
 ///       blocks, DESIGN.md §5.13). Same shape rule as version 2; version-1
 ///       and version-2 files still load.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+///   4 — adds the MdpPolicy design-database companion section (kind 8, the
+///       solved rt::MdpTable; DESIGN.md §5.14) and extends the checkpoint
+///       stats/block-sum payloads with the reconfiguration-port fields
+///       (io/checkpoint.cpp decodes older payload layouts by version).
+///       Versions 1-3 still load.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Section kinds. Values are part of the format; never reuse.
 enum class SnapshotSection : std::uint32_t {
@@ -70,6 +76,7 @@ enum class SnapshotSection : std::uint32_t {
   ExploreState = 5,  ///< design-flow checkpoint (GA state + stage progress)
   RunnerState = 6,   ///< exp::Runner checkpoint (completed replication jobs)
   FleetState = 7,    ///< fleet::run_fleet checkpoint (completed block sums)
+  MdpPolicy = 8,     ///< solved rt::MdpTable riding with its design database
 };
 
 /// Typed deserialization failure. Every constructor-path error names what it
@@ -136,6 +143,21 @@ class SnapshotView {
   /// Row-major num_points()² cost table (empty when the section is absent).
   std::span<const double> drc_costs() const { return drc_costs_; }
 
+  // --- Optional MdpPolicy companion section (version 4, DESIGN.md §5.14) ---
+  bool has_mdp() const { return mdp_present_; }
+  std::uint32_t mdp_makespan_bins() const { return mdp_makespan_bins_; }
+  std::uint32_t mdp_func_rel_bins() const { return mdp_func_rel_bins_; }
+  std::uint64_t mdp_num_points() const { return mdp_num_points_; }
+  double mdp_gamma() const { return mdp_gamma_; }
+  double mdp_p_rc() const { return mdp_p_rc_; }
+  /// The QoS box the bins partition, as 6 doubles: energy min/max, makespan
+  /// min/max, func_rel min/max (empty when the section is absent).
+  std::span<const double> mdp_ranges() const { return mdp_ranges_; }
+  /// Greedy action per state, state = bin·num_points + current point.
+  std::span<const std::uint32_t> mdp_policy() const { return mdp_policy_; }
+  /// Value function per state (same indexing).
+  std::span<const double> mdp_values() const { return mdp_values_; }
+
   // --- Checkpoint sections (versions 2-3, DESIGN.md §5.12-5.13) ---
   /// True when the file holds a checkpoint instead of a design database.
   bool has_checkpoint() const { return checkpoint_kind_ != 0; }
@@ -162,6 +184,15 @@ class SnapshotView {
   std::span<const std::int32_t> priority_;
   std::span<const double> drc_costs_;
   bool drc_present_ = false;
+  bool mdp_present_ = false;
+  std::uint32_t mdp_makespan_bins_ = 0;
+  std::uint32_t mdp_func_rel_bins_ = 0;
+  std::uint64_t mdp_num_points_ = 0;
+  double mdp_gamma_ = 0.0;
+  double mdp_p_rc_ = 0.0;
+  std::span<const double> mdp_ranges_;
+  std::span<const std::uint32_t> mdp_policy_;
+  std::span<const double> mdp_values_;
   std::uint32_t checkpoint_kind_ = 0;
   std::span<const std::uint8_t> checkpoint_payload_;
 };
@@ -206,6 +237,9 @@ struct LoadedSnapshot {
   /// Present when the file carried a DrcMatrix section; loaders then skip
   /// the O(n²·tasks) rebuild entirely.
   std::optional<rt::DrcMatrix> drc;
+  /// Present when the file carried an MdpPolicy section (version 4); loaders
+  /// then skip the offline value-iteration solve entirely.
+  std::optional<rt::MdpTable> mdp;
 };
 
 /// Copy a validated view into owning DesignDb/ClrSpace/DrcMatrix values.
@@ -216,16 +250,19 @@ LoadedSnapshot materialize(const SnapshotView& view);
 
 /// Serialize for an explicit format version (RethinkDB serialize_for_version
 /// idiom). The design-database sections are layout-identical in versions
-/// 1..3, so all are writable — the older versions stay available for
+/// 1..4, so all are writable — the older versions stay available for
 /// cross-version compatibility tests and downgrade-friendly exports. `drc`
-/// is optional.
+/// and `mdp` are optional; an `mdp` table requires version >= 4 (older
+/// versions cannot carry the section and are rejected with BadValue).
 std::string serialize_snapshot_for_version(std::uint32_t version, const dse::DesignDb& db,
                                            const rel::ClrSpace& space,
-                                           const rt::DrcMatrix* drc);
+                                           const rt::DrcMatrix* drc,
+                                           const rt::MdpTable* mdp = nullptr);
 
 /// Serialize at the current version.
 std::string serialize_snapshot(const dse::DesignDb& db, const rel::ClrSpace& space,
-                               const rt::DrcMatrix* drc = nullptr);
+                               const rt::DrcMatrix* drc = nullptr,
+                               const rt::MdpTable* mdp = nullptr);
 
 /// Durably write `bytes` to `path`: write to `path + ".tmp"`, fsync the file,
 /// rename over `path`, then fsync the parent directory — after a power-cut
@@ -236,7 +273,7 @@ void write_file_durable(const std::string& path, std::string_view bytes);
 
 /// Write a .clrdb file via write_file_durable (atomic and power-cut safe).
 void save_snapshot(const std::string& path, const dse::DesignDb& db, const rel::ClrSpace& space,
-                   const rt::DrcMatrix* drc = nullptr);
+                   const rt::DrcMatrix* drc = nullptr, const rt::MdpTable* mdp = nullptr);
 
 /// open() + materialize() in one call.
 LoadedSnapshot load_snapshot(const std::string& path);

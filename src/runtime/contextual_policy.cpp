@@ -45,6 +45,11 @@ Decision ContextualAuraPolicy::select(std::size_t current, const dse::QosSpec& s
   return d;
 }
 
+Decision ContextualAuraPolicy::peek(std::size_t current, const dse::QosSpec& spec) {
+  const std::size_t ctx = context_of(spec);
+  return evaluate_and_pick(current, spec, &values_[ctx], params_.gamma, params_.guard);
+}
+
 void ContextualAuraPolicy::end_episode() {
   if (!learning_ || episode_.empty()) return;
   double g = 0.0;

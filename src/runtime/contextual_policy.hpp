@@ -30,6 +30,8 @@ class ContextualAuraPolicy : public UraPolicy {
                        const dse::MetricRanges& ranges, Params params);
 
   Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  /// Episode-free evaluation (speculative previews must not enter learning).
+  Decision peek(std::size_t current, const dse::QosSpec& spec) override;
   void end_episode() override;
   void reset() override;
 

@@ -1,0 +1,101 @@
+#pragma once
+// rt::MdpPolicy — decision-theoretic stored-point selection (DESIGN.md §5.14).
+//
+// The QoS space is discretized into a makespan × reliability bin grid; the
+// state is (QoS bin, active design point), the action the next design point.
+// The transition kernel derives from the AR(1) QosProcess parameters (per
+// dimension: a Gaussian step distribution integrated over the bin edges, the
+// cross-dimension correlation dropped as a documented product approximation)
+// and the fault-regime hazard rates (expected evacuation cost per event is
+// folded into the reward). Solved OFFLINE by in-place value iteration with a
+// policy-iteration fallback (runtime/mdp.hpp, proven optimal by
+// tests/runtime/test_mdp_oracle.cpp); the runtime decision is a pure table
+// lookup — deterministic, allocation-free — with a feasibility-checked
+// fallback scan when the tabular pick misses the concrete requirement.
+//
+// The resulting MdpTable is immutable and shareable (the fleet builds one per
+// run and hands it to every device) and serializable as the `.clrdb`
+// MdpPolicy section (io/snapshot.hpp, format version 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/design_db.hpp"
+#include "faults/fault_model.hpp"
+#include "runtime/drc_matrix.hpp"
+#include "runtime/policy.hpp"
+#include "runtime/qos_process.hpp"
+
+namespace clr::rt {
+
+/// Offline solve knobs for the tabular policy.
+struct MdpPolicyParams {
+  std::size_t makespan_bins = 6;   ///< QoS-bin grid resolution (makespan axis)
+  std::size_t func_rel_bins = 6;   ///< QoS-bin grid resolution (reliability axis)
+  double gamma = 0.9;              ///< discount factor of the offline solve
+  double tolerance = 1e-10;        ///< value-iteration convergence tolerance
+  std::size_t max_sweeps = 10000;  ///< VI sweep budget before the PI fallback
+};
+
+/// The solved tabular policy: one action (next point) and one value per
+/// (QoS bin, current point) state. Plain data — buildable, comparable and
+/// serializable without the DesignDb it was solved against.
+struct MdpTable {
+  std::uint32_t makespan_bins = 0;
+  std::uint32_t func_rel_bins = 0;
+  std::uint64_t num_points = 0;
+  double gamma = 0.0;
+  double p_rc = 0.0;
+  /// The QoS box the bins partition (the QosProcess ranges).
+  dse::MetricRanges ranges{};
+  /// Greedy action per state, state = bin * num_points + current.
+  std::vector<std::uint32_t> policy;
+  /// Value function per state (same indexing).
+  std::vector<double> values;
+
+  std::size_t num_bins() const {
+    return static_cast<std::size_t>(makespan_bins) * func_rel_bins;
+  }
+  std::size_t num_states() const { return num_bins() * static_cast<std::size_t>(num_points); }
+
+  /// Row-major bin of a requirement (clamped into the grid).
+  std::size_t bin_of(const dse::QosSpec& spec) const;
+  std::size_t state_of(const dse::QosSpec& spec, std::size_t current) const {
+    return bin_of(spec) * static_cast<std::size_t>(num_points) + current;
+  }
+
+  bool operator==(const MdpTable&) const = default;
+};
+
+/// Build + solve the tabular policy offline. Deterministic (no RNG): the
+/// kernel integrates the AR(1) step distribution analytically. Throws
+/// std::invalid_argument on degenerate inputs (empty db, zero bins, a state
+/// space above the 2^22 safety cap).
+MdpTable build_mdp_table(const dse::DesignDb& db, const DrcMatrix& drc,
+                         const dse::MetricRanges& ranges, double p_rc,
+                         const QosProcessParams& qos, const flt::FaultParams& faults,
+                         const MdpPolicyParams& params = {});
+
+/// Tabular adaptation policy over a prebuilt (and possibly shared) table.
+/// The table must outlive the policy and match the database size.
+class MdpPolicy : public AdaptationPolicy {
+ public:
+  MdpPolicy(const dse::DesignDb& db, const DrcMatrix& drc, const MdpTable& table);
+
+  /// Allocation-free on the happy path: a table lookup, a feasibility check
+  /// and (only when the tabular pick misses the concrete spec or died with a
+  /// PE) a linear value-ranked fallback scan.
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  Decision peek(std::size_t current, const dse::QosSpec& spec) override;
+
+  const MdpTable& table() const { return *table_; }
+
+ private:
+  Decision decide(std::size_t current, const dse::QosSpec& spec) const;
+
+  const dse::DesignDb* db_;
+  const DrcMatrix* drc_;
+  const MdpTable* table_;
+};
+
+}  // namespace clr::rt

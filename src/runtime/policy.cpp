@@ -179,6 +179,12 @@ Decision AuraPolicy::select_initial(std::size_t hint, const dse::QosSpec& spec) 
   return evaluate_and_pick(hint, spec, &values_, params_.gamma, params_.guard);
 }
 
+Decision AuraPolicy::peek(std::size_t current, const dse::QosSpec& spec) {
+  // Speculative preview (prefetch staging): same evaluation as select(), but
+  // never recorded — a mispredicted stage must not bias the value updates.
+  return evaluate_and_pick(current, spec, &values_, params_.gamma, params_.guard);
+}
+
 void AuraPolicy::end_episode() {
   if (!learning_ || episode_.empty()) return;
   // Every-visit Monte-Carlo: discounted return from each step to episode end.

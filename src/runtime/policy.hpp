@@ -51,6 +51,15 @@ class AdaptationPolicy {
     return select(hint, spec);
   }
 
+  /// Side-effect-free preview of select(): the point the policy WOULD pick
+  /// for `spec` from `current`. Never records learning state — the prefetch
+  /// wrapper uses this to stage a *predicted* requirement's target without
+  /// perturbing the policy. Memoryless policies default to select(); learning
+  /// policies must override with their episode-free evaluation.
+  virtual Decision peek(std::size_t current, const dse::QosSpec& spec) {
+    return select(current, spec);
+  }
+
   /// Episode boundary notification (learning policies update values here).
   virtual void end_episode() {}
 
@@ -61,8 +70,9 @@ class AdaptationPolicy {
   /// current run. While attached, every selection is restricted to stored
   /// points whose PEs are all alive — the feasible set shrinks as permanent
   /// faults retire PEs. The simulator owns the health object; it attaches it
-  /// at run start and detaches it before returning.
-  void set_health(const flt::PlatformHealth* health) { health_ = health; }
+  /// at run start and detaches it before returning. Virtual so wrappers
+  /// (PrefetchPolicy) can forward the attachment to their inner policy.
+  virtual void set_health(const flt::PlatformHealth* health) { health_ = health; }
   const flt::PlatformHealth* health() const { return health_; }
 
  protected:
@@ -143,6 +153,8 @@ class AuraPolicy : public UraPolicy {
   /// Same selection as select(), but never recorded into the episode: the
   /// free initial placement must not bias the value updates.
   Decision select_initial(std::size_t hint, const dse::QosSpec& spec) override;
+  /// Episode-free evaluation (speculative previews must not enter learning).
+  Decision peek(std::size_t current, const dse::QosSpec& spec) override;
   void end_episode() override;
   void reset() override;
 

@@ -1,0 +1,63 @@
+#include "runtime/prefetch.hpp"
+
+#include <stdexcept>
+
+namespace clr::rt {
+
+PrefetchPolicy::PrefetchPolicy(AdaptationPolicy& inner, const dse::DesignDb& db,
+                               const DrcMatrix& drc, PrefetchParams params)
+    : inner_(&inner), db_(&db), drc_(&drc), params_(params) {
+  if (db.empty()) throw std::invalid_argument("PrefetchPolicy: empty database");
+  if (drc.size() != db.size()) {
+    throw std::invalid_argument("PrefetchPolicy: drc size must match db size");
+  }
+}
+
+Decision PrefetchPolicy::select(std::size_t current, const dse::QosSpec& spec) {
+  predictor_.observe(spec);
+  return inner_->select(current, spec);
+}
+
+Decision PrefetchPolicy::select_initial(std::size_t hint, const dse::QosSpec& spec) {
+  predictor_.observe(spec);
+  return inner_->select_initial(hint, spec);
+}
+
+Decision PrefetchPolicy::peek(std::size_t current, const dse::QosSpec& spec) {
+  return inner_->peek(current, spec);
+}
+
+void PrefetchPolicy::end_episode() { inner_->end_episode(); }
+
+void PrefetchPolicy::reset() {
+  inner_->reset();
+  predictor_.reset();
+  port_.cancel_all();
+}
+
+void PrefetchPolicy::set_health(const flt::PlatformHealth* health) {
+  AdaptationPolicy::set_health(health);
+  inner_->set_health(health);
+}
+
+void PrefetchPolicy::stage_predicted(std::size_t current, double now) {
+  if (predictor_.observations() < params_.min_observations) return;
+  const dse::QosSpec predicted = predictor_.predict();
+  // peek, not select: the speculation must not record learning state or
+  // otherwise perturb the inner policy — the wrapped run stays bit-identical.
+  const std::size_t target = inner_->peek(current, predicted).point;
+  port_.cancel_all();
+  if (target == current) return;  // predicted stay-put: nothing to load
+  port_.stage(target, drc_->drc(current, target), now);
+}
+
+PrefetchPolicy::Credit PrefetchPolicy::credit_for(std::size_t target, double drc, double now) {
+  Credit credit;
+  credit.had_stage = port_.has_staged();
+  const sim::IcapPort::Consume c = port_.consume(target, drc, now);
+  credit.hit = c.hit;
+  credit.hidden = c.hidden;
+  return credit;
+}
+
+}  // namespace clr::rt

@@ -1,0 +1,141 @@
+#pragma once
+// Predictive reconfiguration prefetching (DESIGN.md §5.14).
+//
+// TrendPredictor learns the QoS drift online — the AR(1) factor of
+// QosProcess is learnable from the observed requirement sequence — and
+// predicts the likely next requirement. PrefetchPolicy wraps any
+// AdaptationPolicy: selections are forwarded untouched (the wrapper NEVER
+// changes which point is picked, so every pre-existing result field is
+// bit-identical with the wrapper on or off), but after each decision it asks
+// the inner policy what it WOULD pick for the predicted next requirement
+// (peek — side-effect free) and speculatively stages that bitstream on the
+// sim::IcapPort. When the next reconfiguration matches the staged target the
+// staged progress is hidden latency; a mismatch cancels the stage
+// (cancel-on-mispredict). The simulator drives the staging hooks and
+// accounts reconfig_stall_time / prefetch_hidden_time in RuntimeStats.
+//
+// Deterministic throughout: the predictor is a closed-form moment estimator,
+// the port is bookkeeping — no RNG anywhere, so enabling prefetch cannot
+// perturb the QoS/fault streams.
+
+#include <cstddef>
+
+#include "dse/design_db.hpp"
+#include "runtime/drc_matrix.hpp"
+#include "runtime/policy.hpp"
+#include "sim/icap.hpp"
+
+namespace clr::rt {
+
+/// Online AR(1) estimator of one QoS dimension: running first/second moments
+/// plus the lag-1 cross moment give phi_hat = cov(x_t, x_{t+1}) / var(x);
+/// the one-step prediction is mean + phi_hat * (last - mean).
+class TrendPredictor {
+ public:
+  void observe(const dse::QosSpec& spec) {
+    makespan_.observe(spec.max_makespan);
+    func_rel_.observe(spec.min_func_rel);
+    ++observations_;
+  }
+
+  dse::QosSpec predict() const {
+    dse::QosSpec spec;
+    spec.max_makespan = makespan_.predict();
+    spec.min_func_rel = func_rel_.predict();
+    return spec;
+  }
+
+  std::size_t observations() const { return observations_; }
+  double phi_makespan() const { return makespan_.phi(); }
+  double phi_func_rel() const { return func_rel_.phi(); }
+
+  void reset() {
+    makespan_ = Dim{};
+    func_rel_ = Dim{};
+    observations_ = 0;
+  }
+
+ private:
+  struct Dim {
+    double sum = 0.0, sum_sq = 0.0, sum_lag = 0.0, last = 0.0;
+    std::size_t n = 0;
+
+    void observe(double x) {
+      if (n > 0) sum_lag += last * x;
+      sum += x;
+      sum_sq += x * x;
+      last = x;
+      ++n;
+    }
+    double mean() const { return n > 0 ? sum / static_cast<double>(n) : 0.0; }
+    double phi() const {
+      if (n < 2) return 0.0;
+      const double m = mean();
+      const double var = sum_sq / static_cast<double>(n) - m * m;
+      if (var <= 1e-18) return 0.0;
+      const double cov = sum_lag / static_cast<double>(n - 1) - m * m;
+      const double phi = cov / var;
+      return phi < -0.999 ? -0.999 : (phi > 0.999 ? 0.999 : phi);
+    }
+    double predict() const { return n == 0 ? 0.0 : mean() + phi() * (last - mean()); }
+  };
+
+  Dim makespan_{};
+  Dim func_rel_{};
+  std::size_t observations_ = 0;
+};
+
+struct PrefetchParams {
+  /// Observed QoS events before staging begins (the phi estimate needs a few
+  /// samples; staging on noise would only burn the port).
+  std::size_t min_observations = 4;
+};
+
+/// Transparent prefetching wrapper. Selection, learning and health routing
+/// all forward to the inner policy; the wrapper only adds the speculative
+/// staging state the simulator drives between decisions.
+class PrefetchPolicy : public AdaptationPolicy {
+ public:
+  PrefetchPolicy(AdaptationPolicy& inner, const dse::DesignDb& db, const DrcMatrix& drc,
+                 PrefetchParams params = {});
+
+  Decision select(std::size_t current, const dse::QosSpec& spec) override;
+  Decision select_initial(std::size_t hint, const dse::QosSpec& spec) override;
+  Decision peek(std::size_t current, const dse::QosSpec& spec) override;
+  void end_episode() override;
+  void reset() override;
+  void set_health(const flt::PlatformHealth* health) override;
+
+  /// Simulator hook, after each QoS decision: predict the next requirement
+  /// and stage the inner policy's pick for it (cancelling any previous
+  /// stage). No-op while the predictor is warming up or when the predicted
+  /// pick is the current point (nothing to load).
+  void stage_predicted(std::size_t current, double now);
+
+  /// Simulator hook, when a reconfiguration to `target` (real load time
+  /// `drc`) starts at `now`: hidden-latency credit from the staged load.
+  /// `had_stage` distinguishes a cold port from a misprediction.
+  struct Credit {
+    double hidden = 0.0;
+    bool hit = false;
+    bool had_stage = false;
+  };
+  Credit credit_for(std::size_t target, double drc, double now);
+
+  /// Simulator hook on evacuations/safe-mode: the port is needed for the
+  /// emergency load, drop any speculation.
+  void cancel_staged() { port_.cancel_all(); }
+
+  const TrendPredictor& predictor() const { return predictor_; }
+  AdaptationPolicy& inner() { return *inner_; }
+
+ private:
+  AdaptationPolicy* inner_;
+  const dse::DesignDb* db_;
+  const DrcMatrix* drc_;
+  PrefetchParams params_;
+  TrendPredictor predictor_;
+  sim::IcapPort port_;
+};
+
+}  // namespace clr::rt

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "runtime/prefetch.hpp"
 #include "trace/trace.hpp"
 
 namespace clr::rt {
@@ -36,6 +37,11 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
   RuntimeStats stats;
   stats.total_cycles = params_.total_cycles;
   policy.reset();
+
+  // Speculative-staging hooks are only driven when the policy is wrapped in a
+  // PrefetchPolicy; otherwise every reconfiguration stalls its full dRC and
+  // reconfig_stall_time degenerates to total_reconfig_cost exactly.
+  auto* prefetch = dynamic_cast<PrefetchPolicy*>(&policy);
 
   // Fault-side state. The injector owns the dedicated fault Rng, so the QoS
   // stream (`rng`) sees the exact same draws at any fault rate — and zero
@@ -89,6 +95,10 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
   //   Tier 3 — safe-mode sentinel: nothing acceptable (or nothing alive);
   //            downtime accrues until a later requirement is coverable.
   const auto resolve_degraded = [&](EventRecord& rec) {
+    // The port is needed for any emergency load (and useless in safe mode):
+    // drop whatever speculation is in flight. Evacuations never get hidden
+    // latency — the predictor staged for a QoS drift, not a PE death.
+    if (prefetch != nullptr) prefetch->cancel_staged();
     if (health->num_alive_points() == 0) {
       if (!safe_mode) {
         safe_mode = true;
@@ -106,6 +116,7 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       ++stats.num_evacuations;
       ++stats.num_reconfigs;
       stats.total_reconfig_cost += d.drc;
+      stats.reconfig_stall_time += d.drc;  // emergency loads stall in full
       stats.max_drc = std::max(stats.max_drc, d.drc);
       stats.downtime += d.drc;  // the migration is a service interruption
       repair_time += d.drc;
@@ -237,6 +248,18 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
         ++stats.num_reconfigs;
         stats.total_reconfig_cost += drc;
         stats.max_drc = std::max(stats.max_drc, drc);
+        double stall = drc;
+        if (prefetch != nullptr) {
+          const PrefetchPolicy::Credit credit = prefetch->credit_for(d.point, drc, now);
+          stats.prefetch_hidden_time += credit.hidden;
+          stall = drc - credit.hidden;
+          if (credit.hit) {
+            ++stats.prefetch_hits;
+          } else if (credit.had_stage) {
+            ++stats.prefetch_misses;  // cancel-on-mispredict
+          }
+        }
+        stats.reconfig_stall_time += stall;
         CLR_TRACE_INSTANT(trace::Category::Runtime, "rt.reconfig",
                           {{"t", now},
                            {"from", current},
@@ -255,6 +278,8 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
       trace_push(EventRecord{now, d.point, drc, reconfigured, d.feasible_set_empty,
                              flt::FaultKind::None, violating, false});
     }
+    // Speculate on the NEXT requirement while the current one is serviced.
+    if (prefetch != nullptr && !safe_mode) prefetch->stage_predicted(current, now);
     next_event = now + qos.sample_gap(rng);
   }
   policy.end_episode();
@@ -266,6 +291,8 @@ RuntimeStats RuntimeSimulator::run(const dse::DesignDb& db, AdaptationPolicy& po
   stats.availability =
       std::clamp(1.0 - stats.downtime / params_.total_cycles, 0.0, 1.0);
   stats.mttr = repairs > 0 ? repair_time / static_cast<double>(repairs) : 0.0;
+  stats.service_availability = std::clamp(
+      1.0 - (stats.downtime + stats.reconfig_stall_time) / params_.total_cycles, 0.0, 1.0);
   return stats;
 }
 

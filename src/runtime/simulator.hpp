@@ -103,6 +103,22 @@ struct RuntimeStats {
   /// unrepaired outage, not repair work.
   double mttr = 0.0;
 
+  // --- reconfiguration-port accounting (DESIGN.md §5.14) ---
+  /// Cycles the service actually stalled loading bitstreams. Without
+  /// prefetching this equals total_reconfig_cost exactly (the historic folded
+  /// accounting); with prefetching the staged progress is subtracted.
+  /// Invariant: total_reconfig_cost == reconfig_stall_time +
+  /// prefetch_hidden_time, always.
+  double reconfig_stall_time = 0.0;
+  /// Cycles of reconfiguration latency hidden by speculative staging.
+  double prefetch_hidden_time = 0.0;
+  std::size_t prefetch_hits = 0;    ///< reconfigs that found their target staged
+  std::size_t prefetch_misses = 0;  ///< reconfigs that cancelled a wrong stage
+  /// 1 - (downtime + reconfig_stall_time) / total_cycles, clamped to [0, 1]:
+  /// availability of the *service*, which reconfiguration stalls also
+  /// interrupt (availability above only charges fault handling).
+  double service_availability = 1.0;
+
   std::vector<EventRecord> trace;
 };
 

@@ -1,0 +1,78 @@
+#pragma once
+// ICAP reconfiguration-port model (DESIGN.md §5.14).
+//
+// FPGA-style platforms reconfigure through a single internal configuration
+// access port: bitstream loads serialize, and a load started speculatively
+// before it is needed hides part (or all) of the reconfiguration latency —
+// the Resano et al. hybrid prefetch-scheduling insight (PAPERS.md). This
+// models exactly that contract:
+//
+//   - ONE port: staged loads are FIFO-serialized; a request issued while the
+//     port is busy starts when the port frees up.
+//   - stage() enqueues a speculative load of `target` with the given
+//     duration.
+//   - consume(target) is called when the system actually reconfigures to
+//     `target`: if a staged load of that target exists, the time the port
+//     already spent on it is *hidden* latency (capped by the real duration);
+//     the remainder stalls the service. Any other staged load was a
+//     misprediction and is cancelled (the port is needed for the real load).
+//
+// Purely deterministic bookkeeping — no RNG, no allocation in steady state
+// (the FIFO reuses its storage).
+
+#include <cstddef>
+#include <vector>
+
+namespace clr::sim {
+
+class IcapPort {
+ public:
+  struct Consume {
+    bool hit = false;      ///< a staged load of the requested target existed
+    double hidden = 0.0;   ///< latency already covered by the staged load
+  };
+
+  /// Enqueue a speculative load. `duration` is the full load time; the load
+  /// starts at `now` or when the port frees up, whichever is later.
+  void stage(std::size_t target, double duration, double now) {
+    const double start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + duration;
+    queue_.push_back(Entry{target, start, duration});
+  }
+
+  /// The system reconfigures to `target` at `now` with real load time
+  /// `duration`: credit the staged progress, drop everything else.
+  Consume consume(std::size_t target, double duration, double now) {
+    Consume c;
+    for (const Entry& e : queue_) {
+      if (e.target != target) continue;
+      const double elapsed = now > e.start ? now - e.start : 0.0;
+      const double progress = elapsed < e.duration ? elapsed : e.duration;
+      c.hit = true;
+      c.hidden = progress < duration ? progress : duration;
+      break;
+    }
+    cancel_all();
+    return c;
+  }
+
+  /// Drop every staged load and free the port (mispredict / evacuation).
+  void cancel_all() {
+    queue_.clear();
+    busy_until_ = 0.0;
+  }
+
+  bool has_staged() const { return !queue_.empty(); }
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    std::size_t target = 0;
+    double start = 0.0;
+    double duration = 0.0;
+  };
+  std::vector<Entry> queue_;
+  double busy_until_ = 0.0;
+};
+
+}  // namespace clr::sim

@@ -14,6 +14,7 @@
 
 #include "dse/mapping_problem.hpp"
 #include "experiments/app.hpp"
+#include "experiments/flow.hpp"
 #include "schedule/scheduler.hpp"
 
 namespace clr::exp {
@@ -62,6 +63,49 @@ TEST_F(GoldenSchedule, Table2BundleOfTaskZeroIsExact) {
   EXPECT_DOUBLE_EQ(m.mttf, 2293827.8216240308);
   EXPECT_DOUBLE_EQ(m.avg_power, 1.1828919278778716);
   EXPECT_DOUBLE_EQ(m.eta, 2579401.8261115714);
+}
+
+TEST(GoldenRuntime, FoldedReconfigAccountingIsExactAfterTheStallSplit) {
+  // ISSUE 10 satellite: reconfig_stall_time was split out of the previously
+  // folded reconfiguration accounting. This pins the OLD folded sum (and the
+  // fields derived from it) as exact literals on a fixed fixture, so the
+  // split provably re-derives — not re-defines — the historical quantity:
+  // with prefetch off, stall must carry the identical bits.
+  dse::DesignDb db;
+  auto add = [&](double s, double f, double j, int tag) {
+    dse::DesignPoint p;
+    p.makespan = s;
+    p.func_rel = f;
+    p.energy = j;
+    p.config.tasks.resize(1);
+    p.config.tasks[0].priority = tag;
+    db.add(p);
+  };
+  add(100, 0.95, 50, 0);
+  add(120, 0.99, 80, 1);
+  add(80, 0.92, 30, 2);
+  const rt::DrcMatrix drc(3, {0, 10, 2, 10, 0, 10, 2, 10, 0});
+  dse::MetricRanges ranges;
+  ranges.makespan_min = 80.0;
+  ranges.makespan_max = 120.0;
+  ranges.func_rel_min = 0.92;
+  ranges.func_rel_max = 0.99;
+  ranges.energy_min = 30.0;
+  ranges.energy_max = 80.0;
+
+  RuntimeEvalParams params;
+  params.kind = PolicyKind::Ura;
+  params.p_rc = 0.3;
+  params.sim.total_cycles = 2e4;
+  const rt::RuntimeStats s = evaluate_policy_with(db, drc, ranges, params, 42);
+
+  EXPECT_DOUBLE_EQ(s.total_reconfig_cost, 130.0);
+  EXPECT_DOUBLE_EQ(s.avg_reconfig_cost, 0.67010309278350511);
+  EXPECT_EQ(s.num_reconfigs, 57u);
+  // The split re-derives the folded sum bit-for-bit.
+  EXPECT_EQ(s.reconfig_stall_time, s.total_reconfig_cost);
+  EXPECT_EQ(s.prefetch_hidden_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.service_availability, 0.99350000000000005);
 }
 
 TEST_F(GoldenSchedule, ScheduleStructurallyValid) {

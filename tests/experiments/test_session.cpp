@@ -240,6 +240,27 @@ void add_grid(Runner& runner, const dse::DesignDb& db, const rt::DrcMatrix& drc)
   }
 }
 
+/// The ISSUE 10 grid: every policy kind (including the tabular MDP policy),
+/// with the MDP cell additionally running under speculative prefetch.
+void add_policy_grid(Runner& runner, const dse::DesignDb& db, const rt::DrcMatrix& drc) {
+  for (const PolicyKind kind :
+       {PolicyKind::Baseline, PolicyKind::Ura, PolicyKind::Aura, PolicyKind::Mdp}) {
+    RunnerCell cell;
+    cell.db = &db;
+    cell.drc = &drc;
+    cell.ranges = make_ranges();
+    cell.params.kind = kind;
+    cell.params.p_rc = 0.3;
+    cell.params.sim.total_cycles = 2e4;
+    cell.params.mdp.makespan_bins = 4;
+    cell.params.mdp.func_rel_bins = 4;
+    cell.params.prefetch = (kind == PolicyKind::Mdp);
+    cell.seed = 42 + static_cast<std::uint64_t>(kind);
+    cell.label = std::string("cell_") + std::to_string(static_cast<int>(kind));
+    runner.add_cell(cell);
+  }
+}
+
 void expect_summary_equal(const util::Summary& a, const util::Summary& b, const char* what) {
   EXPECT_DOUBLE_EQ(a.mean, b.mean) << what;
   EXPECT_DOUBLE_EQ(a.stddev, b.stddev) << what;
@@ -395,6 +416,87 @@ TEST(Session, GridHashIgnoresJobsButTracksTheGrid) {
   extra.seed = 7;
   d.add_cell(extra);
   EXPECT_NE(a.grid_hash(), d.grid_hash());
+}
+
+TEST_F(SessionTempDir, RunnerMdpPrefetchGridResumesBitIdentically) {
+  // The full policy grid — baseline, uRA, AuRA and the tabular MDP policy
+  // (the latter under prefetch) — interrupted at jobs=8 and finished at
+  // jobs=1 must aggregate bit-identically to one uninterrupted run.
+  const auto db = make_db();
+  const auto drc = make_drc();
+
+  RunnerConfig config;
+  config.replications = 4;
+  config.jobs = 1;
+  Runner full_runner(config);
+  add_policy_grid(full_runner, db, drc);
+  const std::vector<CellResult> full = full_runner.run();
+
+  SessionControl control;
+  control.checkpoint_path = path("grid.clrdb");
+  control.checkpoint_every = 1;
+  control.resume = true;
+  control.step_budget = 3;
+
+  RunnerConfig wide = config;
+  wide.jobs = 8;
+  Runner first(wide);
+  add_policy_grid(first, db, drc);
+  RunnerOutcome out = run_runner_session(first, control);
+  EXPECT_FALSE(out.run.complete);
+
+  control.step_budget = 0;
+  Runner second(config);
+  add_policy_grid(second, db, drc);
+  const RunnerOutcome resumed = run_runner_session(second, control);
+  ASSERT_TRUE(resumed.run.complete);
+  EXPECT_TRUE(resumed.resumed);
+  expect_results_equal(full, resumed.run.results);
+}
+
+TEST(Session, GridHashTracksPolicyAndPrefetchOnlyWhenActive) {
+  // Mirror of the fleet param-hash rule at the Runner-grid layer: a prefetch
+  // toggle or an MDP-knob change on an MDP cell must fence a checkpoint,
+  // while MDP knobs on non-MDP cells stay hash-invisible — so every pre-PR
+  // grid checkpoint keeps loading against the identical grid.
+  const auto db = make_db();
+  const auto drc = make_drc();
+
+  RunnerConfig config;
+  config.replications = 3;
+
+  auto hash_with = [&](auto mutate) {
+    Runner runner(config);
+    for (const PolicyKind kind : {PolicyKind::Baseline, PolicyKind::Ura}) {
+      RunnerCell cell;
+      cell.db = &db;
+      cell.drc = &drc;
+      cell.ranges = make_ranges();
+      cell.params.kind = kind;
+      cell.params.sim.total_cycles = 2e4;
+      cell.seed = 7;
+      mutate(cell);
+      runner.add_cell(cell);
+    }
+    return runner.grid_hash();
+  };
+
+  const std::uint64_t base = hash_with([](RunnerCell&) {});
+  EXPECT_EQ(base, hash_with([](RunnerCell& cell) {
+              // Inactive knobs: MDP planning parameters under non-MDP policies.
+              cell.params.mdp.gamma = 0.5;
+              cell.params.mdp.makespan_bins = 3;
+              cell.params.prefetch_params.min_observations = 99;
+            }));
+  EXPECT_NE(base, hash_with([](RunnerCell& cell) { cell.params.prefetch = true; }));
+
+  const std::uint64_t mdp =
+      hash_with([](RunnerCell& cell) { cell.params.kind = PolicyKind::Mdp; });
+  EXPECT_NE(base, mdp);
+  EXPECT_NE(mdp, hash_with([](RunnerCell& cell) {
+              cell.params.kind = PolicyKind::Mdp;
+              cell.params.mdp.gamma = 0.5;
+            }));
 }
 
 TEST_F(SessionTempDir, ExternalStopIsForwardedAndReported) {

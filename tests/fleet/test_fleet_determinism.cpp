@@ -96,10 +96,9 @@ void expect_block_table_identical(const FleetResult& a, const FleetResult& b,
   EXPECT_EQ(a.summary.mean_availability, b.summary.mean_availability) << what;
 }
 
-void run_matrix(bool with_faults) {
+void run_matrix_over(const FleetConfig& base) {
   const auto db = make_db();
   const auto drc = make_drc();
-  const FleetConfig base = make_config(with_faults);
 
   std::vector<FleetResult> results;
   for (const Combo& combo : kMatrix) {
@@ -132,10 +131,73 @@ void run_matrix(bool with_faults) {
   }
 }
 
+void run_matrix(bool with_faults) { run_matrix_over(make_config(with_faults)); }
+
 TEST(FleetDeterminism, AggregatesBitIdenticalAcrossShardAndJobMatrix) { run_matrix(false); }
 
 TEST(FleetDeterminism, AggregatesBitIdenticalAcrossShardAndJobMatrixWithFaults) {
   run_matrix(true);
+}
+
+TEST(FleetDeterminism, MdpPrefetchAggregatesBitIdenticalAcrossShardAndJobMatrix) {
+  // ISSUE 10 differential: the MDP policy (one table shared by every worker)
+  // plus speculative prefetch must survive the same shards × jobs matrix
+  // bit-for-bit — with fault injection on, which exercises the
+  // cancel-on-evacuation path of the reconfiguration port.
+  FleetConfig config = make_config(true);
+  config.params.kind = exp::PolicyKind::Mdp;
+  config.params.mdp.makespan_bins = 4;
+  config.params.mdp.func_rel_bins = 4;
+  config.params.prefetch = true;
+  run_matrix_over(config);
+}
+
+TEST(FleetDeterminism, PrefetchOffFoldsKeepStallEqualToReconfigCost) {
+  // With prefetch off nothing is ever staged: the stall fold must carry the
+  // exact bits of the folded reconfiguration cost (same addends, same order)
+  // and the hidden/hit/miss counters must be identically zero. This pins the
+  // pre-PR accounting: the old folded sum is still reconstructible as
+  // stall + hidden on every block.
+  const auto db = make_db();
+  const auto drc = make_drc();
+  const FleetResult r = run_fleet(db, drc, nullptr, make_config(true));
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(r.summary.totals.stall_time_sum, r.summary.totals.reconfig_cost_sum);
+  EXPECT_EQ(r.summary.totals.hidden_time_sum, 0.0);
+  EXPECT_EQ(r.summary.totals.prefetch_hits, 0u);
+  EXPECT_EQ(r.summary.totals.prefetch_misses, 0u);
+  for (const auto& block : r.progress.blocks) {
+    EXPECT_EQ(block.stall_time_sum, block.reconfig_cost_sum);
+    EXPECT_EQ(block.hidden_time_sum, 0.0);
+  }
+}
+
+TEST(FleetDeterminism, PolicyAndPrefetchKnobsAreHashGuardedOnlyWhenActive) {
+  // The param hash is extended ONLY for result-affecting knobs: toggling
+  // prefetch or switching to the MDP policy must fence checkpoints, while
+  // MDP planning knobs stay inert (hash-invisible) under a non-MDP policy —
+  // that is what keeps every pre-PR checkpoint loadable.
+  const FleetConfig base = make_config(false);  // Ura, prefetch off
+  const std::uint64_t h0 = fleet_param_hash(base);
+
+  FleetConfig prefetch_on = base;
+  prefetch_on.params.prefetch = true;
+  EXPECT_NE(fleet_param_hash(prefetch_on), h0);
+
+  FleetConfig mdp = base;
+  mdp.params.kind = exp::PolicyKind::Mdp;
+  const std::uint64_t h_mdp = fleet_param_hash(mdp);
+  EXPECT_NE(h_mdp, h0);
+
+  FleetConfig inert = base;
+  inert.params.mdp.gamma = 0.5;
+  inert.params.mdp.makespan_bins = 3;
+  inert.params.prefetch_params.min_observations = 99;
+  EXPECT_EQ(fleet_param_hash(inert), h0) << "inactive knobs must not invalidate checkpoints";
+
+  FleetConfig mdp_tuned = mdp;
+  mdp_tuned.params.mdp.gamma = 0.5;
+  EXPECT_NE(fleet_param_hash(mdp_tuned), h_mdp) << "active MDP knobs are result-affecting";
 }
 
 TEST(FleetDeterminism, RepeatedRunsAreBitIdentical) {

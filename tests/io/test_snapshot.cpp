@@ -299,6 +299,138 @@ TEST(SnapshotFuzz, MissingRequiredSectionRejected) {
   EXPECT_EQ(kind_of(bytes), SnapshotError::Kind::BadValue);
 }
 
+// --- MdpPolicy section (format version 4) ------------------------------------
+
+/// Hand-built table sized to the fixture database: irregular values, every
+/// policy entry exercised, no offline solve needed.
+rt::MdpTable make_mdp_table(std::size_t points) {
+  rt::MdpTable t;
+  t.makespan_bins = 3;
+  t.func_rel_bins = 2;
+  t.num_points = points;
+  t.gamma = 0.9375;
+  t.p_rc = 0.4;
+  t.ranges.makespan_min = 48.0;
+  t.ranges.makespan_max = 50.0;
+  t.ranges.func_rel_min = 0.9985;
+  t.ranges.func_rel_max = 0.999;
+  t.ranges.energy_min = 100.0;
+  t.ranges.energy_max = 113.0;
+  t.policy.resize(t.num_states());
+  t.values.resize(t.num_states());
+  for (std::size_t s = 0; s < t.num_states(); ++s) {
+    t.policy[s] = static_cast<std::uint32_t>((s * 7 + 1) % points);
+    t.values[s] = 0.25 * static_cast<double>(s) - 3.5;
+  }
+  return t;
+}
+
+TEST(SnapshotMdp, RoundTripsTheMdpPolicySection) {
+  const Fixture f = make_fixture();
+  const rt::MdpTable table = make_mdp_table(f.db.size());
+  const Snapshot snap =
+      Snapshot::from_bytes(serialize_snapshot(f.db, f.space, &f.drc, &table));
+  ASSERT_TRUE(snap.view().has_mdp());
+  const LoadedSnapshot loaded = materialize(snap.view());
+  expect_equal(f.db, loaded.db);
+  ASSERT_TRUE(loaded.mdp.has_value());
+  // Defaulted operator==: every scalar, range bound, policy entry and value
+  // compared bit-for-bit.
+  EXPECT_EQ(*loaded.mdp, table);
+}
+
+TEST(SnapshotMdp, FilesWithoutTheSectionLoadWithNoTable) {
+  const Fixture f = make_fixture();
+  const LoadedSnapshot loaded =
+      materialize(Snapshot::from_bytes(serialize_snapshot(f.db, f.space, &f.drc)).view());
+  EXPECT_FALSE(loaded.mdp.has_value());
+}
+
+TEST(SnapshotMdp, OlderFormatVersionsStillLoadAndNeverCarryATable) {
+  const Fixture f = make_fixture();
+  for (const std::uint32_t version : {1u, 2u, 3u}) {
+    const std::string bytes =
+        serialize_snapshot_for_version(version, f.db, f.space, version >= 2 ? &f.drc : nullptr);
+    const LoadedSnapshot loaded = materialize(Snapshot::from_bytes(std::string(bytes)).view());
+    expect_equal(f.db, loaded.db);
+    EXPECT_FALSE(loaded.mdp.has_value()) << "version " << version;
+  }
+}
+
+TEST(SnapshotMdp, WriterRefusesTheSectionBelowVersionFour) {
+  const Fixture f = make_fixture();
+  const rt::MdpTable table = make_mdp_table(f.db.size());
+  for (const std::uint32_t version : {1u, 2u, 3u}) {
+    try {
+      (void)serialize_snapshot_for_version(version, f.db, f.space, nullptr, &table);
+      ADD_FAILURE() << "version " << version << " accepted an MdpPolicy section";
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(e.kind(), SnapshotError::Kind::BadVersion);
+    }
+  }
+}
+
+TEST(SnapshotMdp, WriterRefusesATableSizedForADifferentDatabase) {
+  const Fixture f = make_fixture();
+  const rt::MdpTable table = make_mdp_table(f.db.size() + 1);
+  try {
+    (void)serialize_snapshot(f.db, f.space, nullptr, &table);
+    ADD_FAILURE() << "num_points mismatch accepted";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.kind(), SnapshotError::Kind::BadValue);
+  }
+}
+
+TEST(SnapshotMdp, TruncationAtEveryLengthThrows) {
+  const Fixture f = make_fixture(2);
+  const rt::MdpTable table = make_mdp_table(2);
+  const std::string good = serialize_snapshot(f.db, f.space, nullptr, &table);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW((void)Snapshot::from_bytes(good.substr(0, len)), SnapshotError)
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(SnapshotMdp, EveryByteFlipThrows) {
+  const Fixture f = make_fixture(2);
+  const rt::MdpTable table = make_mdp_table(2);
+  const std::string good = serialize_snapshot(f.db, f.space, &f.drc, &table);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bytes = good;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
+    EXPECT_THROW((void)Snapshot::from_bytes(std::move(bytes)), SnapshotError)
+        << "flip at byte " << i << " accepted";
+  }
+}
+
+TEST(SnapshotMdp, SectionCannotRideWithACheckpoint) {
+  // Rewriting the MdpPolicy table entry (section index 3, last) to a
+  // checkpoint kind produces a file mixing checkpoint and design-db sections;
+  // the only-section shape rule (or the checkpoint payload decode) must
+  // reject it no matter which fires first.
+  const Fixture f = make_fixture(2);
+  const rt::MdpTable table = make_mdp_table(2);
+  const std::string good = serialize_snapshot(f.db, f.space, &f.drc, &table);
+  for (const std::uint32_t checkpoint_kind : {5u, 6u, 7u}) {
+    std::string bytes = good;
+    patch<std::uint32_t>(bytes, 40 + 24 * 3, checkpoint_kind);
+    EXPECT_THROW((void)Snapshot::from_bytes(std::move(bytes)), SnapshotError)
+        << "kind " << checkpoint_kind;
+  }
+}
+
+TEST(SnapshotMdp, FileRoundTripPreservesTheTable) {
+  const Fixture f = make_fixture();
+  const rt::MdpTable table = make_mdp_table(f.db.size());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "clr_snapshot_mdp_test.clrdb").string();
+  save_snapshot(path, f.db, f.space, &f.drc, &table);
+  const LoadedSnapshot loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded.mdp.has_value());
+  EXPECT_EQ(*loaded.mdp, table);
+  std::filesystem::remove(path);
+}
+
 // --- End-to-end equivalence ---------------------------------------------------
 
 TEST(SnapshotRunner, GridResultsBitIdenticalToJsonPathAtAnyJobCount) {

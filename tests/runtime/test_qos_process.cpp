@@ -113,5 +113,103 @@ TEST(QosProcess, CorrelationPropagates) {
   EXPECT_GT(corr, 0.7);  // clamping attenuates, but the sign/strength remains
 }
 
+TEST(QosProcessAr1, ChainIsReproduciblePerSeed) {
+  QosProcess qos(make_ranges());
+  util::Rng a(21), b(21);
+  auto sa = qos.sample_spec(a);
+  auto sb = qos.sample_spec(b);
+  for (int i = 0; i < 200; ++i) {
+    sa = qos.next_spec(sa, a);
+    sb = qos.next_spec(sb, b);
+    EXPECT_DOUBLE_EQ(sa.max_makespan, sb.max_makespan);
+    EXPECT_DOUBLE_EQ(sa.min_func_rel, sb.min_func_rel);
+  }
+}
+
+TEST(QosProcessAr1, StationaryMomentsMatchTheMarginalWithinCiBounds) {
+  // The AR(1) chain is constructed so its stationary marginal equals the
+  // i.i.d. sample_spec distribution: innovations scaled by sqrt(1 - phi²).
+  // Long-run chain mean/sd must therefore match the marginal parameters.
+  QosProcessParams p;
+  p.makespan_mean_frac = 0.5;
+  p.func_rel_mean_frac = 0.5;
+  p.makespan_sd_frac = 0.05;  // tight: boundary clamping negligible
+  p.func_rel_sd_frac = 0.05;
+  p.ar1_phi = 0.6;
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(31);
+  auto spec = qos.sample_spec(rng);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    spec = qos.next_spec(spec, rng);
+    sum += spec.max_makespan;
+    sum_sq += spec.max_makespan * spec.max_makespan;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  // Marginal: mean 150, sd 5. The chain's effective sample size is reduced
+  // by the autocorrelation (factor ~ (1+phi)/(1-phi) = 4), hence the wider
+  // tolerance than the i.i.d. moment test above.
+  EXPECT_NEAR(mean, 150.0, 1.0);
+  EXPECT_NEAR(sd, 5.0, 0.5);
+}
+
+TEST(QosProcessAr1, Lag1AutocorrelationMatchesPhi) {
+  QosProcessParams p;
+  p.makespan_sd_frac = 0.05;
+  p.func_rel_sd_frac = 0.05;
+  p.ar1_phi = 0.7;
+  QosProcess qos(make_ranges(), p);
+  util::Rng rng(37);
+  auto spec = qos.sample_spec(rng);
+  double sum = 0.0, sum_sq = 0.0, sum_lag = 0.0, prev = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    spec = qos.next_spec(spec, rng);
+    sum += spec.max_makespan;
+    sum_sq += spec.max_makespan * spec.max_makespan;
+    if (i > 0) sum_lag += prev * spec.max_makespan;
+    prev = spec.max_makespan;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  const double cov = sum_lag / (n - 1) - mean * mean;
+  EXPECT_NEAR(cov / var, 0.7, 0.05);
+}
+
+TEST(QosProcessAr1, ZeroPhiDegeneratesToIndependentDraws) {
+  QosProcessParams p;
+  p.ar1_phi = 0.0;
+  QosProcess qos(make_ranges(), p);
+  util::Rng a(41), b(41);
+  // With phi = 0 the next spec must not depend on the previous one: stepping
+  // from two different states under the same RNG stream yields the same draw.
+  dse::QosSpec low, high;
+  low.max_makespan = 100.0;
+  low.min_func_rel = 0.90;
+  high.max_makespan = 200.0;
+  high.min_func_rel = 0.99;
+  for (int i = 0; i < 50; ++i) {
+    const auto from_low = qos.next_spec(low, a);
+    const auto from_high = qos.next_spec(high, b);
+    EXPECT_DOUBLE_EQ(from_low.max_makespan, from_high.max_makespan);
+    EXPECT_DOUBLE_EQ(from_low.min_func_rel, from_high.min_func_rel);
+  }
+}
+
+TEST(QosProcessAr1, StepsStayWithinTheAchievableBox) {
+  QosProcess qos(make_ranges());
+  util::Rng rng(43);
+  auto spec = qos.sample_spec(rng);
+  for (int i = 0; i < 5000; ++i) {
+    spec = qos.next_spec(spec, rng);
+    EXPECT_GE(spec.max_makespan, 100.0);
+    EXPECT_LE(spec.max_makespan, 200.0);
+    EXPECT_GE(spec.min_func_rel, 0.90);
+    EXPECT_LE(spec.min_func_rel, 0.99);
+  }
+}
+
 }  // namespace
 }  // namespace clr::rt

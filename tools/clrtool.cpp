@@ -11,7 +11,8 @@
 //       design-point database. --jobs sets the evaluation concurrency
 //       (default: all hardware threads); results are identical at any J.
 //
-//   clrtool simulate --tasks N [--seed S] [--db DB.json] [--policy ura|aura|baseline]
+//   clrtool simulate --tasks N [--seed S] [--db DB.json]
+//                    [--policy ura|aura|mdp|baseline] [--prefetch]
 //                    [--prc X] [--cycles C] [--sim-seed S2]
 //                    [--fault-rate R] [--pe-mtbf M] [--qos-tolerance T]
 //                    [--replications R] [--jobs J] [--report F.json]
@@ -25,10 +26,15 @@
 //       writes the full replicated grid as JSON. --fault-rate (transient
 //       soft errors per PE per cycle) and --pe-mtbf (mean cycles to
 //       permanent PE wear-out) switch run-time fault injection on;
-//       --qos-tolerance bounds the relaxed-QoS degraded mode.
+//       --qos-tolerance bounds the relaxed-QoS degraded mode. --policy mdp
+//       selects the offline-solved tabular MDP policy (DESIGN.md §5.14);
+//       --prefetch speculatively stages the predicted next configuration on
+//       the single reconfiguration port so its load time hides behind
+//       serviced cycles (never changes decisions, only stall accounting).
 //
 //   clrtool fleet    --devices N [--shards S] [--jobs J] [--block B]
-//                    [--tasks N] [--seed S] [--db DB.clrdb] [--policy ura|aura|baseline]
+//                    [--tasks N] [--seed S] [--db DB.clrdb]
+//                    [--policy ura|aura|mdp|baseline] [--prefetch]
 //                    [--prc X] [--cycles C] [--sim-seed S2] [--fault-rate R]
 //                    [--pe-mtbf M] [--qos-tolerance T] [--report F.json]
 //       Run N independent device instances — each a runtime simulator +
@@ -228,7 +234,8 @@ int usage() {
                "           [--db-out F] [--trace F2] [--trace-categories C]\n"
                "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
                "           [--time-budget SEC] [--step-budget N]\n"
-               "  simulate --tasks N [--seed S] [--db F] [--policy ura|aura|baseline] [--prc X]\n"
+               "  simulate --tasks N [--seed S] [--db F] [--policy ura|aura|mdp|baseline]\n"
+               "           [--prefetch] [--prc X]\n"
                "           [--cycles C] [--sim-seed S2] [--fault-rate R] [--pe-mtbf M]\n"
                "           [--qos-tolerance T] [--replications R] [--jobs J] [--report F]\n"
                "           [--pop P] [--gens G] [--trace F2] [--trace-categories C]\n"
@@ -236,7 +243,8 @@ int usage() {
                "           [--time-budget SEC] [--step-budget N]\n"
                "           (without --db the design-time flow runs inline first)\n"
                "  fleet    --devices N [--shards S] [--jobs J] [--block B] [--tasks N] [--seed S]\n"
-               "           [--db F] [--policy ura|aura|baseline] [--prc X] [--cycles C]\n"
+               "           [--db F] [--policy ura|aura|mdp|baseline] [--prefetch] [--prc X]\n"
+               "           [--cycles C]\n"
                "           [--sim-seed S2] [--fault-rate R] [--pe-mtbf M] [--qos-tolerance T]\n"
                "           [--report F] [--pop P] [--gens G]\n"
                "           [--checkpoint F.clrdb] [--checkpoint-every N] [--resume]\n"
@@ -369,10 +377,10 @@ int cmd_explore(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
-  args.expect_only({"tasks", "seed", "db", "policy", "prc", "cycles", "sim-seed", "fault-rate",
-                    "pe-mtbf", "qos-tolerance", "replications", "jobs", "report", "trace",
-                    "trace-categories", "pop", "gens", "checkpoint", "checkpoint-every", "resume",
-                    "time-budget", "step-budget"});
+  args.expect_only({"tasks", "seed", "db", "policy", "prefetch", "prc", "cycles", "sim-seed",
+                    "fault-rate", "pe-mtbf", "qos-tolerance", "replications", "jobs", "report",
+                    "trace", "trace-categories", "pop", "gens", "checkpoint", "checkpoint-every",
+                    "resume", "time-budget", "step-budget"});
   // Validate every option before touching the filesystem, so a typo'd flag
   // value fails fast with the option-level message.
   const auto tasks = size_arg(args, "tasks", 20, 1);
@@ -382,12 +390,14 @@ int cmd_simulate(const Args& args) {
   const std::string policy = args.str("policy", "ura");
   if (policy == "ura") params.kind = exp::PolicyKind::Ura;
   else if (policy == "aura") params.kind = exp::PolicyKind::Aura;
+  else if (policy == "mdp") params.kind = exp::PolicyKind::Mdp;
   else if (policy == "baseline") params.kind = exp::PolicyKind::Baseline;
   else {
-    std::fprintf(stderr, "simulate: unknown policy '%s' (use ura, aura or baseline)\n",
+    std::fprintf(stderr, "simulate: unknown policy '%s' (use ura, aura, mdp or baseline)\n",
                  policy.c_str());
     return usage();
   }
+  params.prefetch = args.has("prefetch");
   params.p_rc = args.real("prc", 0.5);
   if (params.p_rc < 0.0 || params.p_rc > 1.0) {
     throw std::runtime_error("option --prc: must be in [0, 1]");
@@ -537,10 +547,10 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_fleet(const Args& args) {
-  args.expect_only({"devices", "shards", "jobs", "block", "tasks", "seed", "db", "policy", "prc",
-                    "cycles", "sim-seed", "fault-rate", "pe-mtbf", "qos-tolerance", "report",
-                    "pop", "gens", "checkpoint", "checkpoint-every", "resume", "time-budget",
-                    "step-budget"});
+  args.expect_only({"devices", "shards", "jobs", "block", "tasks", "seed", "db", "policy",
+                    "prefetch", "prc", "cycles", "sim-seed", "fault-rate", "pe-mtbf",
+                    "qos-tolerance", "report", "pop", "gens", "checkpoint", "checkpoint-every",
+                    "resume", "time-budget", "step-budget"});
   const auto tasks = size_arg(args, "tasks", 20, 1);
   const auto seed = static_cast<std::uint64_t>(size_arg(args, "seed", 1));
 
@@ -555,12 +565,14 @@ int cmd_fleet(const Args& args) {
   const std::string policy = args.str("policy", "ura");
   if (policy == "ura") params.kind = exp::PolicyKind::Ura;
   else if (policy == "aura") params.kind = exp::PolicyKind::Aura;
+  else if (policy == "mdp") params.kind = exp::PolicyKind::Mdp;
   else if (policy == "baseline") params.kind = exp::PolicyKind::Baseline;
   else {
-    std::fprintf(stderr, "fleet: unknown policy '%s' (use ura, aura or baseline)\n",
+    std::fprintf(stderr, "fleet: unknown policy '%s' (use ura, aura, mdp or baseline)\n",
                  policy.c_str());
     return usage();
   }
+  params.prefetch = args.has("prefetch");
   params.p_rc = args.real("prc", 0.5);
   if (params.p_rc < 0.0 || params.p_rc > 1.0) {
     throw std::runtime_error("option --prc: must be in [0, 1]");
@@ -695,6 +707,7 @@ int cmd_fleet(const Args& args) {
         {"block_size", io::Json(config.block_size)},
         {"seed", io::Json(config.seed)},
         {"policy", io::Json(policy)},
+        {"prefetch", io::Json(params.prefetch)},
         {"p_rc", io::Json(params.p_rc)},
         {"cycles", io::Json(params.sim.total_cycles)},
         {"fault_rate", io::Json(params.faults.transient_rate)},
@@ -720,6 +733,11 @@ int cmd_fleet(const Args& args) {
              {"mean_downtime", io::Json(s.mean_downtime)},
              {"mean_availability", io::Json(s.mean_availability)},
              {"mean_mttr", io::Json(s.mean_mttr)},
+             {"prefetch_hits", io::Json(s.totals.prefetch_hits)},
+             {"prefetch_misses", io::Json(s.totals.prefetch_misses)},
+             {"mean_stall_time", io::Json(s.mean_stall_time)},
+             {"mean_hidden_time", io::Json(s.mean_hidden_time)},
+             {"mean_service_availability", io::Json(s.mean_service_availability)},
              {"max_drc", io::Json(s.totals.max_drc)},
          })},
         {"shard_aggregates", io::Json(std::move(shard_rows))},
